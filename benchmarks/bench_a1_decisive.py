@@ -1,0 +1,13 @@
+"""Benchmark: Ablation A1: decisive tuples in real ensembles + the delta_l recursion.
+
+Regenerates experiment A1 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_a1_decisive(benchmark):
+    """Ablation A1: decisive tuples in real ensembles + the delta_l recursion."""
+    run_and_report(benchmark, "A1")

@@ -1,0 +1,13 @@
+"""Benchmark: Ablation A2: prefix-monotone encoding existence at the structural boundaries.
+
+Regenerates experiment A2 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_a2_encoding(benchmark):
+    """Ablation A2: prefix-monotone encoding existence at the structural boundaries."""
+    run_and_report(benchmark, "A2")

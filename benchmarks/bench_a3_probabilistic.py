@@ -1,0 +1,13 @@
+"""Benchmark: Extension A3: probabilistic STP beyond alpha(m) (Section 6).
+
+Regenerates experiment A3 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_a3_probabilistic(benchmark):
+    """Extension A3: probabilistic STP beyond alpha(m) (Section 6)."""
+    run_and_report(benchmark, "A3")

@@ -1,0 +1,13 @@
+"""Benchmark: Ablation A4: the Theorem 1 proof's lemmas checked over real ensembles.
+
+Regenerates experiment A4 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_a4_lemmas(benchmark):
+    """Ablation A4: the Theorem 1 proof's lemmas checked over real ensembles."""
+    run_and_report(benchmark, "A4")

@@ -1,0 +1,13 @@
+"""Benchmark: Ablation A5: the cost of mechanized impossibility.
+
+Regenerates experiment A5 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_a5_attack_cost(benchmark):
+    """Ablation A5: the cost of mechanized impossibility."""
+    run_and_report(benchmark, "A5")

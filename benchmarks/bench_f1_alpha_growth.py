@@ -1,0 +1,13 @@
+"""Benchmark: Figure 1: growth of alpha(m) within the [m!, e*m!) band.
+
+Regenerates experiment F1 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f1_alpha_growth(benchmark):
+    """Figure 1: growth of alpha(m) within the [m!, e*m!) band."""
+    run_and_report(benchmark, "F1")

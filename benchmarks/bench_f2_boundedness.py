@@ -1,0 +1,13 @@
+"""Benchmark: Figure 2: bounded vs weakly-bounded single-fault recovery (Section 5).
+
+Regenerates experiment F2 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f2_boundedness(benchmark):
+    """Figure 2: bounded vs weakly-bounded single-fault recovery (Section 5)."""
+    run_and_report(benchmark, "F2")

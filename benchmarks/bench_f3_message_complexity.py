@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3: message complexity across the protocol portfolio.
+
+Regenerates experiment F3 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f3_message_complexity(benchmark):
+    """Figure 3: message complexity across the protocol portfolio."""
+    run_and_report(benchmark, "F3")

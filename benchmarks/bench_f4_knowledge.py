@@ -1,0 +1,13 @@
+"""Benchmark: Figure 4: learning times t_i via the epistemic model checker.
+
+Regenerates experiment F4 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f4_knowledge(benchmark):
+    """Figure 4: learning times t_i via the epistemic model checker."""
+    run_and_report(benchmark, "F4")

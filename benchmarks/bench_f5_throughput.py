@@ -1,0 +1,13 @@
+"""Benchmark: Figure 5: timed throughput -- window size versus loss.
+
+Regenerates experiment F5 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f5_throughput(benchmark):
+    """Figure 5: timed throughput -- window size versus loss."""
+    run_and_report(benchmark, "F5")

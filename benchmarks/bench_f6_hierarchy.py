@@ -1,0 +1,13 @@
+"""Benchmark: Figure 6: the knowledge hierarchy climbs while common knowledge never arrives.
+
+Regenerates experiment F6 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f6_hierarchy(benchmark):
+    """Figure 6: the knowledge hierarchy climbs while common knowledge never arrives."""
+    run_and_report(benchmark, "F6")

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 7: knowledge-optimality of the Section 3 receiver.
+
+Regenerates experiment F7 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_f7_kbp(benchmark):
+    """Figure 7: knowledge-optimality of the Section 3 receiver."""
+    run_and_report(benchmark, "F7")

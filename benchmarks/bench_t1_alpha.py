@@ -1,0 +1,13 @@
+"""Benchmark: Table 1: alpha(m) cross-checked four ways.
+
+Regenerates experiment T1 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t1_alpha(benchmark):
+    """Table 1: alpha(m) cross-checked four ways."""
+    run_and_report(benchmark, "T1")

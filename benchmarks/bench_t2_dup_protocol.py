@@ -1,0 +1,13 @@
+"""Benchmark: Table 2: Theorem 1 tightness -- the no-repetition protocol at |X| = alpha(m) on dup channels.
+
+Regenerates experiment T2 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t2_dup_protocol(benchmark):
+    """Table 2: Theorem 1 tightness -- the no-repetition protocol at |X| = alpha(m) on dup channels."""
+    run_and_report(benchmark, "T2")

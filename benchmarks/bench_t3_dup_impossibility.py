@@ -1,0 +1,13 @@
+"""Benchmark: Table 3: Theorem 1 impossibility -- overfull families attacked on dup channels.
+
+Regenerates experiment T3 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t3_dup_impossibility(benchmark):
+    """Table 3: Theorem 1 impossibility -- overfull families attacked on dup channels."""
+    run_and_report(benchmark, "T3")

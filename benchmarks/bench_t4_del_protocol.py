@@ -1,0 +1,13 @@
+"""Benchmark: Table 4: Theorem 2 tightness -- the bounded protocol at |X| = alpha(m) on del channels.
+
+Regenerates experiment T4 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t4_del_protocol(benchmark):
+    """Table 4: Theorem 2 tightness -- the bounded protocol at |X| = alpha(m) on del channels."""
+    run_and_report(benchmark, "T4")

@@ -1,0 +1,13 @@
+"""Benchmark: Table 5: Theorem 2 impossibility -- overfull families convicted on del channels.
+
+Regenerates experiment T5 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t5_del_impossibility(benchmark):
+    """Table 5: Theorem 2 impossibility -- overfull families convicted on del channels."""
+    run_and_report(benchmark, "T5")

@@ -1,0 +1,13 @@
+"""Benchmark: Table 6: ABP separation -- exhaustively safe on lossy FIFO, attacked under reordering.
+
+Regenerates experiment T6 (see DESIGN.md section 4 and the experiment
+module's docstring for the full methodology) and asserts its reproduction
+checks.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_t6_abp(benchmark):
+    """Table 6: ABP separation -- exhaustively safe on lossy FIFO, attacked under reordering."""
+    run_and_report(benchmark, "T6")

@@ -1,0 +1,113 @@
+"""File transfer over a lossy, reordering link -- the data-link-layer use.
+
+Run:  python examples/file_transfer.py
+
+The paper's introduction motivates STP as the data link layer: "other
+common communication protocols such as virtual circuits, file transfer,
+and electronic mail are often built on top of this layer".  This example
+builds exactly that stack in miniature:
+
+* a payload is chunked into data items;
+* Stenning's protocol (the unbounded-header baseline -- fine here, since
+  the file length is known up front) carries the chunks over a
+  reorder+delete channel with 40% loss;
+* the receiver's output tape is reassembled and verified byte-for-byte.
+
+A second pass then runs the same payload over the paper's finite-alphabet
+machinery: the chunk stream is mapped through a prefix-monotone encoding
+(possible because a single file is one allowed sequence -- a family of
+one!), showing how the alpha(m) theory prices the alphabet: one known
+sequence of n chunks needs only n distinct messages and no headers at all.
+"""
+
+from repro import build_prefix_monotone_encoding, handshake_protocol, run_protocol
+from repro.adversaries import AgingFairAdversary, DroppingAdversary, RandomAdversary
+from repro.analysis.metrics import measure_run
+from repro.channels import DeletingChannel
+from repro.kernel.rng import DeterministicRNG
+from repro.protocols.stenning import stenning_protocol
+
+PAYLOAD = (
+    b"Tight Bounds for the Sequence Transmission Problem. "
+    b"We investigate the problem of transmitting sequences over "
+    b"unreliable channels where both the data items and the message "
+    b"alphabet have finite domains."
+)
+CHUNK_SIZE = 16
+LOSS_RATE = 0.4
+
+
+def chunk(payload: bytes, size: int):
+    return tuple(payload[i : i + size] for i in range(0, len(payload), size))
+
+
+def lossy_adversary(rng, label):
+    return AgingFairAdversary(
+        DroppingAdversary(
+            rng.fork(f"{label}/drop"),
+            RandomAdversary(rng.fork(f"{label}/sched"), deliver_weight=3.0),
+            LOSS_RATE,
+        ),
+        patience=96,
+    )
+
+
+def main() -> None:
+    rng = DeterministicRNG(42)
+    chunks = chunk(PAYLOAD, CHUNK_SIZE)
+    print(f"payload: {len(PAYLOAD)} bytes -> {len(chunks)} chunks of {CHUNK_SIZE}\n")
+
+    print(f"== Pass 1: Stenning's protocol, {LOSS_RATE:.0%} loss, reordering")
+    sender, receiver = stenning_protocol(sorted(set(chunks)), len(chunks))
+    result = run_protocol(
+        sender,
+        receiver,
+        DeletingChannel(),
+        DeletingChannel(),
+        chunks,
+        lossy_adversary(rng, "stenning"),
+        max_steps=200_000,
+    )
+    assert result.completed and result.safe
+    received = b"".join(result.trace.output())
+    assert received == PAYLOAD, "byte-for-byte reassembly failed"
+    metrics = measure_run(result)
+    print(f"   reassembled {len(received)} bytes correctly")
+    print(
+        f"   {metrics.steps} steps, {metrics.data_messages_sent} data "
+        f"messages ({metrics.messages_per_item:.1f} per chunk), "
+        f"{metrics.drops} channel deletions survived\n"
+    )
+
+    print("== Pass 2: finite-alphabet handshake for this one known file")
+    # A single allowed sequence is a family of size 1 <= alpha(n): encode
+    # it prefix-monotonically into n distinct headerless messages.
+    alphabet = tuple(f"m{i}" for i in range(len(chunks)))
+    encoding = build_prefix_monotone_encoding([chunks], alphabet)
+    sender, receiver = handshake_protocol(encoding)
+    result = run_protocol(
+        sender,
+        receiver,
+        DeletingChannel(),
+        DeletingChannel(),
+        chunks,
+        lossy_adversary(rng, "handshake"),
+        max_steps=200_000,
+    )
+    assert result.completed and result.safe
+    assert b"".join(result.trace.output()) == PAYLOAD
+    metrics = measure_run(result)
+    print(
+        f"   same file, {len(alphabet)} messages, no headers: "
+        f"{metrics.steps} steps, {metrics.data_messages_sent} data messages"
+    )
+    print(
+        "   (the receiver even wrote the whole file from the *encoding*\n"
+        "    alone -- with one allowed sequence, delta(empty) is the file;\n"
+        "    the handshake merely confirms it, which is the |X| = 1 corner\n"
+        "    of the alpha(m) theory)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim so `setup.py develop` works offline (no wheel package available)."""
+from setuptools import setup
+
+setup()

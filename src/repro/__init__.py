@@ -1,0 +1,87 @@
+"""Reproduction of Wang & Zuck, *Tight Bounds for the Sequence Transmission
+Problem* (Yale TR-705 / PODC 1989).
+
+The paper proves that with a finite sender alphabet of size ``m``, the
+sequence transmission problem over reordering channels is solvable for at
+most ``alpha(m) = m! * sum_{k<=m} 1/k!`` allowable input sequences -- under
+duplication for any solution (Theorem 1), under deletion for any *bounded*
+solution (Theorem 2) -- and that both bounds are tight.
+
+This package makes the whole of that theory executable:
+
+* :mod:`repro.kernel` -- protocol/channel/system abstractions and the
+  simulator;
+* :mod:`repro.channels` -- the dup/del/reorder/FIFO channel families with
+  the paper's exact ``dlvrble`` semantics;
+* :mod:`repro.adversaries` -- delivery schedulers, fault injection, and
+  fairness;
+* :mod:`repro.protocols` -- the paper's protocols (plus ABP, Stenning,
+  the Section 5 hybrid, and deliberately doomed candidates);
+* :mod:`repro.core` -- ``alpha(m)``, prefix-monotone encodings, decisive
+  tuples, boundedness;
+* :mod:`repro.knowledge` -- the epistemic framework (``K_S``/``K_R``,
+  learning times ``t_i``) as a model checker;
+* :mod:`repro.verify` -- exhaustive exploration and the attack
+  synthesizer that mechanizes the impossibility proofs;
+* :mod:`repro.workloads`, :mod:`repro.analysis`,
+  :mod:`repro.experiments` -- the evaluation harness.
+
+Quickstart::
+
+    from repro import alpha, norepeat_protocol, run_protocol
+    from repro.channels import DuplicatingChannel
+    from repro.adversaries import EagerAdversary
+
+    sender, receiver = norepeat_protocol("abc")   # |X| = alpha(3) = 16
+    result = run_protocol(
+        sender, receiver,
+        DuplicatingChannel(), DuplicatingChannel(),
+        ("b", "a", "c"), EagerAdversary(),
+    )
+    assert result.completed and result.safe
+"""
+
+from repro.core.alpha import alpha, max_family_size
+from repro.core.bounds import dup_solvable, del_bounded_solvable, min_alphabet_size
+from repro.core.encoding import (
+    Encoding,
+    IdentityEncoding,
+    TableEncoding,
+    build_prefix_monotone_encoding,
+)
+from repro.kernel.simulator import Simulator, SimulationResult, run_protocol
+from repro.kernel.system import System, Configuration
+from repro.kernel.trace import Trace
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.norepeat_del import bounded_del_protocol
+from repro.protocols.handshake import handshake_protocol, protocol_for_family
+from repro.verify.attack import find_attack, find_attack_on_family
+from repro.verify.explorer import explore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "alpha",
+    "max_family_size",
+    "dup_solvable",
+    "del_bounded_solvable",
+    "min_alphabet_size",
+    "Encoding",
+    "IdentityEncoding",
+    "TableEncoding",
+    "build_prefix_monotone_encoding",
+    "Simulator",
+    "SimulationResult",
+    "run_protocol",
+    "System",
+    "Configuration",
+    "Trace",
+    "norepeat_protocol",
+    "bounded_del_protocol",
+    "handshake_protocol",
+    "protocol_for_family",
+    "find_attack",
+    "find_attack_on_family",
+    "explore",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Adversaries: the environment's scheduling power, made concrete.
+
+In the paper the environment "arbitrarily delays messages and cannot
+discriminate between deliverable messages" (Property 1).  Here an adversary
+is any object choosing, at each point, one enabled event (a local step, a
+delivery of some deliverable message, or -- where the channel permits -- a
+drop).  Different adversaries realize different corners of that power:
+
+* :class:`RandomAdversary` -- uniform/biased random scheduling (fair with
+  probability 1 in the limit).
+* :class:`EagerAdversary` -- deterministic round-robin, delivers promptly;
+  the "nice network" baseline.
+* :class:`QuiescentBurstAdversary` -- long silent stretches, then bursts;
+  stresses retransmission logic.
+* :class:`ReplayFloodAdversary` -- floods old copies on duplicating
+  channels before allowing fresh progress.
+* :class:`DroppingAdversary` -- deletes copies with a configured
+  probability on channels that support drops.
+* :class:`ScriptedAdversary` -- replays an exact schedule (used to re-run
+  attack witnesses found by :mod:`repro.verify.attack`).
+* :class:`FaultInjectingAdversary` -- wraps another adversary and injects
+  a drop burst at a chosen time (the Section 5 single-fault experiment).
+* :class:`AgingFairAdversary` -- wraps another adversary and enforces
+  bounded fairness: no deliverable message is ignored forever.
+
+Fairness *checkers* over finished traces live in
+:mod:`repro.adversaries.fairness`.
+"""
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.random_ import RandomAdversary
+from repro.adversaries.eager import EagerAdversary
+from repro.adversaries.quiescent import QuiescentBurstAdversary
+from repro.adversaries.replay import ReplayFloodAdversary
+from repro.adversaries.dropping import DroppingAdversary
+from repro.adversaries.scripted import ScriptedAdversary
+from repro.adversaries.fault import FaultInjectingAdversary
+from repro.adversaries.fair import AgingFairAdversary
+from repro.adversaries.fairness import (
+    undelivered_messages,
+    dup_fairness_debt,
+    is_delivery_fair,
+)
+
+__all__ = [
+    "Adversary",
+    "RandomAdversary",
+    "EagerAdversary",
+    "QuiescentBurstAdversary",
+    "ReplayFloodAdversary",
+    "DroppingAdversary",
+    "ScriptedAdversary",
+    "FaultInjectingAdversary",
+    "AgingFairAdversary",
+    "undelivered_messages",
+    "dup_fairness_debt",
+    "is_delivery_fair",
+]

@@ -1,0 +1,39 @@
+"""The adversary contract.
+
+An adversary embodies the environment protocol of Section 2.2: it decides,
+at every point, which enabled transition the system takes.  Adversaries may
+keep mutable per-run bookkeeping; :meth:`Adversary.reset` is called by
+drivers before each run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class Adversary(ABC):
+    """Chooses the next event of a run, or ``None`` to stop scheduling."""
+
+    @abstractmethod
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        """Pick one of ``enabled`` (or ``None`` to end the run).
+
+        ``enabled`` is never empty: local steps are always enabled.
+        """
+
+    def reset(self) -> None:
+        """Clear per-run bookkeeping.  Default: nothing to clear."""
+
+
+def split_events(enabled: Tuple[Event, ...]):
+    """Partition enabled events into (steps, deliveries, drops)."""
+    steps = tuple(e for e in enabled if e[0] == "step")
+    deliveries = tuple(e for e in enabled if e[0] == "deliver")
+    drops = tuple(e for e in enabled if e[0] == "drop")
+    return steps, deliveries, drops

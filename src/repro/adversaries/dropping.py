@@ -1,0 +1,48 @@
+"""Probabilistic deletion on channels that expose drops.
+
+Wraps the scheduling question into two coins: first decide whether this
+choice is a drop (with probability ``drop_rate``, if any drop is enabled),
+then fall back to a delegate adversary for the productive choice.  Used by
+the STP(del) campaigns (T4) at loss rates from 0 to 0.9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class DroppingAdversary(Adversary):
+    """Drops deliverable copies with a configured probability.
+
+    Args:
+        rng: random stream.
+        base: the adversary making productive choices (steps/deliveries).
+        drop_rate: probability that, when a drop is possible, this choice
+            discards a copy instead of making progress.
+    """
+
+    def __init__(
+        self, rng: DeterministicRNG, base: Adversary, drop_rate: float
+    ) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate out of range: {drop_rate}")
+        self.rng = rng
+        self.base = base
+        self.drop_rate = drop_rate
+
+    def reset(self) -> None:
+        self.base.reset()
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        _, _, drops = split_events(enabled)
+        if drops and self.rng.coin(self.drop_rate):
+            return self.rng.choice(drops)
+        productive = tuple(event for event in enabled if event[0] != "drop")
+        return self.base.choose(system, trace, productive)

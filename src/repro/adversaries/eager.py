@@ -1,0 +1,73 @@
+"""The benign deterministic scheduler.
+
+Round-robins sender step, a delivery to the receiver, receiver step, a
+delivery to the sender.  Deliveries are *newest first*: on channels that
+keep old messages deliverable forever (duplicating channels), always
+delivering the message that most recently became deliverable is what a
+well-behaved network does, and it guarantees fresh protocol messages are
+never starved by stale ones.  On well-behaved protocols this completes
+runs in near-minimal time; it is the baseline against which the hostile
+adversaries are compared, and the scheduler of choice for examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.system import (
+    Event,
+    RECEIVER_STEP,
+    SENDER_STEP,
+    System,
+)
+from repro.kernel.trace import Trace
+
+
+class EagerAdversary(Adversary):
+    """Deterministic round-robin with newest-first deliveries, no drops."""
+
+    def __init__(self) -> None:
+        self._phase = 0
+        self._first_seen: Dict[Tuple[str, object], int] = {}
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._phase = 0
+        self._first_seen = {}
+        self._clock = 0
+
+    def _note(self, deliveries: Tuple[Event, ...]) -> None:
+        self._clock += 1
+        for event in deliveries:
+            self._first_seen.setdefault((event[1], event[2]), self._clock)
+
+    def _newest(self, deliveries: Tuple[Event, ...]) -> Event:
+        return max(
+            deliveries,
+            key=lambda event: (self._first_seen[(event[1], event[2])], repr(event[2])),
+        )
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        _, deliveries, _ = split_events(enabled)
+        self._note(deliveries)
+        to_receiver = tuple(e for e in deliveries if e[1] == "SR")
+        to_sender = tuple(e for e in deliveries if e[1] == "RS")
+        for offset in range(4):
+            phase = (self._phase + offset) % 4
+            if phase == 0:
+                self._phase = 1
+                return SENDER_STEP
+            if phase == 1 and to_receiver:
+                self._phase = 2
+                return self._newest(to_receiver)
+            if phase == 2:
+                self._phase = 3
+                return RECEIVER_STEP
+            if phase == 3 and to_sender:
+                self._phase = 0
+                return self._newest(to_sender)
+        self._phase = 1
+        return SENDER_STEP

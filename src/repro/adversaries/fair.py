@@ -1,0 +1,63 @@
+"""Bounded-fairness enforcement.
+
+The paper's Liveness is conditioned on fairness ("if the channel satisfies
+appropriate fairness conditions").  In finite simulations "eventually" must
+be given a bound: :class:`AgingFairAdversary` wraps any adversary and
+guarantees that no message stays deliverable for more than ``patience``
+consecutive choices without being delivered.  Runs under it are therefore
+fair in a strong, checkable sense, which makes non-completion a genuine
+liveness failure rather than an artefact of scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class AgingFairAdversary(Adversary):
+    """Wraps ``base`` and force-delivers messages older than ``patience``.
+
+    Ages are tracked per (direction, message) pair: the counter starts when
+    the pair first becomes deliverable and resets whenever it is delivered
+    or stops being deliverable.
+    """
+
+    def __init__(self, base: Adversary, patience: int = 32) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.base = base
+        self.patience = patience
+        self._ages: Dict[Tuple[str, object], int] = {}
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._ages = {}
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        _, deliveries, _ = split_events(enabled)
+        live_keys = {(event[1], event[2]) for event in deliveries}
+        # Age live pairs; forget pairs no longer deliverable.
+        self._ages = {
+            key: self._ages.get(key, 0) + 1 for key in live_keys
+        }
+        overdue = [
+            event
+            for event in deliveries
+            if self._ages[(event[1], event[2])] > self.patience
+        ]
+        if overdue:
+            choice = min(
+                overdue, key=lambda event: (-self._ages[(event[1], event[2])],
+                                            repr(event[2]))
+            )
+        else:
+            choice = self.base.choose(system, trace, enabled)
+        if choice is not None and choice[0] == "deliver":
+            self._ages.pop((choice[1], choice[2]), None)
+        return choice

@@ -1,0 +1,90 @@
+"""Fairness checkers over finished traces.
+
+These diagnostics make the paper's fairness side conditions observable:
+
+* :func:`undelivered_messages` -- copies sent but never delivered, per
+  direction (on a deleting channel this is legal; on a duplicating channel
+  a nonzero result on an *infinite* run would violate Property 1c, so on
+  finite prefixes it is reported as outstanding "fairness debt").
+* :func:`dup_fairness_debt` -- Property 1c bookkeeping for duplicating
+  channels: per message, sends minus deliveries (floored at zero).
+* :func:`is_delivery_fair` -- bounded-fairness check: was every message
+  that remained deliverable for ``patience`` consecutive points delivered
+  within that window?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kernel.trace import Trace
+
+
+def undelivered_messages(trace: Trace) -> Dict[str, Dict[object, int]]:
+    """Sent-minus-delivered counts per direction at the end of ``trace``.
+
+    Sender-side sends are reconstructed by replaying the sender automaton;
+    receiver-side sends likewise.  Deliveries are read off the schedule.
+    """
+    sent: Dict[str, Dict[object, int]] = {"SR": {}, "RS": {}}
+    for _, message in trace.messages_sent_to_receiver():
+        sent["SR"][message] = sent["SR"].get(message, 0) + 1
+    for _, message in _receiver_sends(trace):
+        sent["RS"][message] = sent["RS"].get(message, 0) + 1
+    for _, message in trace.messages_delivered_to_receiver():
+        sent["SR"][message] = sent["SR"].get(message, 0) - 1
+    for _, message in trace.messages_delivered_to_sender():
+        sent["RS"][message] = sent["RS"].get(message, 0) - 1
+    return {
+        direction: {msg: count for msg, count in counts.items() if count > 0}
+        for direction, counts in sent.items()
+    }
+
+
+def _receiver_sends(trace: Trace):
+    """(time, message) pairs for every send by the receiver automaton."""
+    receiver = trace.system.receiver
+    state = trace.initial.receiver_state
+    for position, step in enumerate(trace.steps):
+        event = step.event
+        if event == ("step", "R"):
+            transition = receiver.on_step(state)
+        elif event[0] == "deliver" and event[1] == "SR":
+            transition = receiver.on_message(state, event[2])
+        else:
+            continue
+        for message in transition.sends:
+            yield position, message
+        state = transition.state
+
+
+def dup_fairness_debt(trace: Trace) -> Dict[str, Dict[object, int]]:
+    """Outstanding Property 1c obligations on duplicating channels.
+
+    For channels that cannot delete, every send must eventually be matched
+    by a delivery.  On a finite prefix the unmatched sends are "debt" that
+    any fair continuation must pay; an infinite run with permanent debt is
+    unfair.  Identical arithmetic to :func:`undelivered_messages`, exposed
+    under the Property-1c reading.
+    """
+    return undelivered_messages(trace)
+
+
+def is_delivery_fair(trace: Trace, patience: int) -> bool:
+    """Bounded fairness: no message stayed deliverable for > ``patience``
+    consecutive points without being delivered."""
+    ages: Dict[Tuple[str, object], int] = {}
+    system = trace.system
+    config = trace.initial
+    for step in trace.steps:
+        live = {("SR", m) for m in system.channel_sr.deliverable(config.chan_sr)}
+        live |= {("RS", m) for m in system.channel_rs.deliverable(config.chan_rs)}
+        ages = {key: ages.get(key, 0) + 1 for key in live}
+        for key, age in ages.items():
+            if age > patience:
+                return False
+        event = step.event
+        if event[0] == "deliver":
+            ages.pop((event[1], event[2]), None)
+        config = step.config
+    return True

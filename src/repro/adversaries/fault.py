@@ -1,0 +1,90 @@
+"""Single-fault injection (the Section 5 recovery experiment).
+
+Section 5 argues that weak boundedness admits protocols in which *one*
+fault -- one lost message at an unlucky moment -- costs an unbounded number
+of steps to recover from.  :class:`FaultInjectingAdversary` reproduces that
+setting: it behaves like its delegate until a trigger, then (a) discards
+every in-flight copy it is allowed to and (b) holds an *outage window*
+during which only local steps are scheduled (messages sent into the outage
+are dropped too, where the channel allows).  After the window it reverts
+to the delegate so recovery time can be measured.  The outage is what
+makes timeout-based fault detection (the hybrid protocol's trigger) fire,
+matching the paper's "fails to receive a message in time".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class FaultInjectingAdversary(Adversary):
+    """Delegates scheduling, but injects one drop-and-outage fault.
+
+    Args:
+        base: the adversary used outside the fault window.
+        fault_time: the step index at which the fault starts.
+        outage_length: number of choices after the drop during which no
+            delivery is scheduled (local steps only; new in-flight copies
+            are dropped where possible).
+        predicate: optional alternative trigger -- a callable on the trace;
+            the fault fires at the first choice where it returns True
+            (overrides ``fault_time`` if given).
+    """
+
+    def __init__(
+        self,
+        base: Adversary,
+        fault_time: int = 0,
+        outage_length: int = 0,
+        predicate=None,
+    ) -> None:
+        if fault_time < 0:
+            raise ValueError("fault_time must be non-negative")
+        if outage_length < 0:
+            raise ValueError("outage_length must be non-negative")
+        self.base = base
+        self.fault_time = fault_time
+        self.outage_length = outage_length
+        self.predicate = predicate
+        self._armed = True
+        self._outage_remaining = 0
+        self.fault_fired_at: Optional[int] = None
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._armed = True
+        self._outage_remaining = 0
+        self.fault_fired_at = None
+
+    def _should_fire(self, trace: Trace) -> bool:
+        if not self._armed:
+            return False
+        if self.predicate is not None:
+            return bool(self.predicate(trace))
+        return len(trace) >= self.fault_time
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        steps, _, drops = split_events(enabled)
+        if self._should_fire(trace):
+            self._armed = False
+            self._outage_remaining = self.outage_length
+            self.fault_fired_at = len(trace)
+        if not self._armed and (self._outage_remaining > 0 or drops):
+            if drops:
+                # Flush in-flight copies first (and anything sent into the
+                # outage), without consuming outage budget.
+                if self._outage_remaining > 0:
+                    return drops[0]
+                # Outage over but copies remain droppable: stop dropping,
+                # fall through to normal scheduling.
+            if self._outage_remaining > 0:
+                self._outage_remaining -= 1
+                return steps[len(trace) % len(steps)]
+        productive = tuple(event for event in enabled if event[0] != "drop")
+        return self.base.choose(system, trace, productive)

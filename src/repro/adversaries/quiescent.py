@@ -1,0 +1,52 @@
+"""Quiescent-burst scheduling: long silences, then delivery storms.
+
+Property 1b-i of the paper guarantees that from any point there is an
+extension in which *nothing* is delivered; this adversary lives in that
+corner.  For ``quiet_length`` consecutive choices it schedules only local
+steps (messages pile up, retransmissions fire), then for ``burst_length``
+choices it delivers as fast as possible -- in *reverse* arrival preference
+where it can, maximizing reordering stress.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class QuiescentBurstAdversary(Adversary):
+    """Alternating starvation and delivery bursts."""
+
+    def __init__(
+        self,
+        rng: DeterministicRNG,
+        quiet_length: int = 8,
+        burst_length: int = 8,
+    ) -> None:
+        if quiet_length < 0 or burst_length < 1:
+            raise ValueError("quiet_length must be >= 0 and burst_length >= 1")
+        self.rng = rng
+        self.quiet_length = quiet_length
+        self.burst_length = burst_length
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        steps, deliveries, _ = split_events(enabled)
+        cycle = self.quiet_length + self.burst_length
+        in_quiet = (self._position % cycle) < self.quiet_length
+        self._position += 1
+        if in_quiet or not deliveries:
+            return self.rng.choice(steps)
+        # Burst: deliver a random deliverable message -- stale and fresh
+        # copies are equally likely, maximizing reordering stress without
+        # starving any message class.
+        return self.rng.choice(deliveries)

@@ -1,0 +1,56 @@
+"""Random scheduling: the workhorse adversary for simulation campaigns.
+
+A randomized scheduler that, with configurable bias, favours deliveries
+over local steps.  Over an infinite run it is fair with probability 1
+(every deliverable message is eventually delivered), so completed runs
+under it are legitimate witnesses for Liveness; bounded runs that do not
+complete are reported as such by the simulator, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class RandomAdversary(Adversary):
+    """Uniform-ish random choice among enabled events.
+
+    Args:
+        rng: the random stream to draw from.
+        deliver_weight: relative weight of each delivery event versus each
+            local step.  Values above 1 make networks "responsive"; values
+            well below 1 approximate long asynchronous delays.
+        drop_weight: relative weight of each drop event (only meaningful on
+            channels exposing drops); 0 disables random drops entirely.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRNG,
+        deliver_weight: float = 4.0,
+        drop_weight: float = 0.0,
+    ) -> None:
+        if deliver_weight < 0 or drop_weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.rng = rng
+        self.deliver_weight = deliver_weight
+        self.drop_weight = drop_weight
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        steps, deliveries, drops = split_events(enabled)
+        options = list(steps) + list(deliveries) + list(drops)
+        weights = (
+            [1.0] * len(steps)
+            + [self.deliver_weight] * len(deliveries)
+            + [self.drop_weight] * len(drops)
+        )
+        if not any(weight > 0 for weight in weights):
+            return None
+        return self.rng.weighted_choice(options, weights)

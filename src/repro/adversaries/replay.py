@@ -1,0 +1,60 @@
+"""Replay flooding: the duplicating channel's signature attack posture.
+
+On a duplicating channel every message ever sent stays deliverable forever.
+This adversary exploits that: before allowing any "fresh" progress it
+delivers ``flood_factor`` stale copies drawn from everything previously
+sent, biased toward the *oldest* messages.  A protocol correct for
+STP(dup) must shrug this off (the paper's no-repetition protocol does:
+old messages carry no new information); a protocol that misuses message
+identity is driven straight into a safety violation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary, split_events
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class ReplayFloodAdversary(Adversary):
+    """Floods stale duplicate copies between every productive action."""
+
+    def __init__(self, rng: DeterministicRNG, flood_factor: int = 3) -> None:
+        if flood_factor < 0:
+            raise ValueError("flood_factor must be non-negative")
+        self.rng = rng
+        self.flood_factor = flood_factor
+        self._flood_budget = 0
+        self._seen_first: dict = {}
+
+    def reset(self) -> None:
+        self._flood_budget = 0
+        self._seen_first = {}
+
+    def _note_ages(self, deliveries: Tuple[Event, ...], now: int) -> None:
+        for event in deliveries:
+            key = (event[1], event[2])
+            self._seen_first.setdefault(key, now)
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        steps, deliveries, _ = split_events(enabled)
+        self._note_ages(deliveries, len(trace))
+        if deliveries and self._flood_budget > 0:
+            self._flood_budget -= 1
+            # Prefer the oldest (most stale) deliverable message.
+            return min(
+                deliveries,
+                key=lambda event: (
+                    self._seen_first.get((event[1], event[2]), len(trace)),
+                    repr(event[2]),
+                ),
+            )
+        self._flood_budget = self.flood_factor
+        # Productive phase: random step or a delivery.
+        options = list(steps) + list(deliveries)
+        return self.rng.choice(options)

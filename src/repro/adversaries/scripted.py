@@ -1,0 +1,52 @@
+"""Exact schedule replay.
+
+The attack synthesizer (:mod:`repro.verify.attack`) produces a *witness
+schedule*: the exact event sequence driving a protocol into a safety
+violation.  :class:`ScriptedAdversary` replays such a schedule through the
+ordinary simulator, so every impossibility claim in the benchmarks is
+re-validated end-to-end by the same machinery that validates the protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.adversaries.base import Adversary
+from repro.kernel.errors import SimulationError
+from repro.kernel.system import Event, System
+from repro.kernel.trace import Trace
+
+
+class ScriptedAdversary(Adversary):
+    """Replays a fixed event sequence, then stops.
+
+    Args:
+        script: the events to schedule, in order.
+        strict: if True (default), raise if a scripted event is not enabled
+            at its scheduled point; if False, skip ahead to the next
+            enabled scripted event.
+    """
+
+    def __init__(self, script: Sequence[Event], strict: bool = True) -> None:
+        self.script = tuple(script)
+        self.strict = strict
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        enabled_set = set(enabled)
+        while self._position < len(self.script):
+            event = self.script[self._position]
+            self._position += 1
+            if event in enabled_set:
+                return event
+            if self.strict:
+                raise SimulationError(
+                    f"scripted event {event!r} not enabled at step "
+                    f"{self._position - 1}; enabled: {sorted(map(repr, enabled))}"
+                )
+        return None

@@ -1,0 +1,33 @@
+"""Analysis: run metrics, aggregate statistics, and report rendering.
+
+* :mod:`repro.analysis.metrics` -- per-run and per-campaign measurements
+  (messages sent/delivered/dropped, completion time, per-item overhead).
+* :mod:`repro.analysis.stats` -- the small statistics toolkit the tables
+  use (mean, median, percentiles, min/max summaries).
+* :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
+  the output format of every benchmark.
+"""
+
+from repro.analysis.metrics import RunMetrics, measure_run, CampaignSummary, summarize
+from repro.analysis.stats import mean, median, percentile, Summary, five_number
+from repro.analysis.tables import render_table, render_series, format_cell
+from repro.analysis.campaign import Campaign, CampaignOutcome
+from repro.analysis.diagram import sequence_diagram
+
+__all__ = [
+    "RunMetrics",
+    "measure_run",
+    "CampaignSummary",
+    "summarize",
+    "mean",
+    "median",
+    "percentile",
+    "Summary",
+    "five_number",
+    "render_table",
+    "render_series",
+    "format_cell",
+    "Campaign",
+    "CampaignOutcome",
+    "sequence_diagram",
+]

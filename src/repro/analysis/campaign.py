@@ -1,0 +1,114 @@
+"""Campaign runner: the sweep-and-summarize API the experiments use.
+
+A *campaign* runs one protocol pair over a family of inputs under a grid
+of adversaries and seeds, collects per-run metrics, and aggregates them.
+The experiment modules originally inlined this loop; exposing it as an
+API makes the same sweeps one-liners for downstream users:
+
+    campaign = Campaign(
+        sender, receiver,
+        channel_factory=DuplicatingChannel,
+        inputs=repetition_free_family("abc"),
+        adversary_factory=lambda rng: AgingFairAdversary(
+            RandomAdversary(rng), patience=64),
+        seeds=5,
+    )
+    outcome = campaign.run(DeterministicRNG(0))
+    assert outcome.all_safe and outcome.all_completed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import CampaignSummary, RunMetrics, measure_run, summarize
+from repro.kernel.errors import VerificationError
+from repro.kernel.interfaces import ChannelModel, ReceiverProtocol, SenderProtocol
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import System
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Everything a campaign produced.
+
+    Attributes:
+        summary: aggregate statistics over all runs.
+        metrics: the individual per-run measurements, in run order.
+        failures: (input, seed) pairs of runs that were unsafe or
+            incomplete -- empty for a fully successful campaign.
+    """
+
+    summary: CampaignSummary
+    metrics: Tuple[RunMetrics, ...]
+    failures: Tuple[Tuple[Tuple, int], ...]
+
+    @property
+    def all_safe(self) -> bool:
+        """True iff Safety held in every run."""
+        return self.summary.safe == self.summary.runs
+
+    @property
+    def all_completed(self) -> bool:
+        """True iff every run wrote its whole input."""
+        return self.summary.completed == self.summary.runs
+
+
+@dataclass
+class Campaign:
+    """A declarative sweep specification.
+
+    Attributes:
+        sender / receiver: the protocol automata (shared across runs --
+            they are stateless).
+        channel_factory: builds a fresh channel model per direction per
+            run.
+        inputs: the input sequences to sweep.
+        adversary_factory: builds a fresh adversary from a forked RNG.
+        seeds: number of repetitions per input.
+        max_steps: per-run step budget.
+    """
+
+    sender: SenderProtocol
+    receiver: ReceiverProtocol
+    channel_factory: Callable[[], ChannelModel]
+    inputs: Sequence[Tuple]
+    adversary_factory: Callable[[DeterministicRNG], object]
+    seeds: int = 1
+    max_steps: int = 50_000
+
+    def run(self, rng: DeterministicRNG) -> CampaignOutcome:
+        """Execute the sweep and aggregate."""
+        if self.seeds < 1:
+            raise VerificationError("seeds must be >= 1")
+        if not self.inputs:
+            raise VerificationError("campaign needs at least one input")
+        metrics: List[RunMetrics] = []
+        failures: List[Tuple[Tuple, int]] = []
+        for input_sequence in self.inputs:
+            input_sequence = tuple(input_sequence)
+            for seed in range(self.seeds):
+                adversary = self.adversary_factory(
+                    rng.fork(f"{input_sequence!r}/{seed}")
+                )
+                system = System(
+                    self.sender,
+                    self.receiver,
+                    self.channel_factory(),
+                    self.channel_factory(),
+                    input_sequence,
+                )
+                result = Simulator(
+                    system, adversary, max_steps=self.max_steps
+                ).run()
+                measured = measure_run(result)
+                metrics.append(measured)
+                if not (measured.safe and measured.completed):
+                    failures.append((input_sequence, seed))
+        return CampaignOutcome(
+            summary=summarize(metrics),
+            metrics=tuple(metrics),
+            failures=tuple(failures),
+        )

@@ -1,0 +1,99 @@
+"""Per-run and per-campaign measurements.
+
+Everything the benchmark tables report about executions is derived here
+from recorded traces, so simulation code never hand-counts anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.simulator import SimulationResult
+from repro.analysis.stats import Summary, five_number
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Measurements of a single run.
+
+    Attributes:
+        steps: events scheduled.
+        completed / safe: outcome flags.
+        items: input length.
+        data_messages_sent: sends on the S->R channel (from sender replay).
+        deliveries_to_receiver / deliveries_to_sender: delivery events.
+        drops: explicit environment drops.
+        messages_per_item: data messages per input item (None for empty
+            inputs).
+        first_violation_time: earliest unsafe point, if any.
+    """
+
+    steps: int
+    completed: bool
+    safe: bool
+    items: int
+    data_messages_sent: int
+    deliveries_to_receiver: int
+    deliveries_to_sender: int
+    drops: int
+    messages_per_item: Optional[float]
+    first_violation_time: Optional[int]
+
+
+def measure_run(result: SimulationResult) -> RunMetrics:
+    """Extract :class:`RunMetrics` from one simulation result."""
+    trace = result.trace
+    items = len(trace.input_sequence)
+    sent = len(trace.messages_sent_to_receiver())
+    return RunMetrics(
+        steps=result.steps,
+        completed=result.completed,
+        safe=result.safe,
+        items=items,
+        data_messages_sent=sent,
+        deliveries_to_receiver=len(trace.messages_delivered_to_receiver()),
+        deliveries_to_sender=len(trace.messages_delivered_to_sender()),
+        drops=trace.count_events("drop"),
+        messages_per_item=(sent / items) if items else None,
+        first_violation_time=result.first_violation_time,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregates over a campaign of runs.
+
+    Attributes:
+        runs: number of runs.
+        completed / safe: how many runs completed / stayed safe.
+        steps: five-number summary of run lengths.
+        data_messages: five-number summary of data messages sent.
+        messages_per_item: five-number summary over non-empty inputs
+            (None if every input was empty).
+    """
+
+    runs: int
+    completed: int
+    safe: int
+    steps: Summary
+    data_messages: Summary
+    messages_per_item: Optional[Summary]
+
+
+def summarize(metrics: Sequence[RunMetrics]) -> CampaignSummary:
+    """Aggregate a non-empty campaign."""
+    if not metrics:
+        raise VerificationError("cannot summarize an empty campaign")
+    per_item: List[float] = [
+        m.messages_per_item for m in metrics if m.messages_per_item is not None
+    ]
+    return CampaignSummary(
+        runs=len(metrics),
+        completed=sum(1 for m in metrics if m.completed),
+        safe=sum(1 for m in metrics if m.safe),
+        steps=five_number([m.steps for m in metrics]),
+        data_messages=five_number([m.data_messages_sent for m in metrics]),
+        messages_per_item=five_number(per_item) if per_item else None,
+    )

@@ -1,0 +1,73 @@
+"""A small, dependency-free statistics toolkit for the report tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.kernel.errors import VerificationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise VerificationError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation, 0 <= q <= 100)."""
+    if not values:
+        raise VerificationError("percentile of an empty sequence is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise VerificationError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    if fraction == 0.0 or ordered[low] == ordered[high]:
+        # Short-circuit: also avoids subnormal underflow when averaging
+        # two equal denormal values.
+        return float(ordered[low])
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus-mean summary of a sample."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+
+def five_number(values: Sequence[float]) -> Summary:
+    """Compute the :class:`Summary` of a non-empty sample."""
+    if not values:
+        raise VerificationError("summary of an empty sequence is undefined")
+    minimum = float(min(values))
+    maximum = float(max(values))
+    # Clamp against 1-ulp float drift (summing equal values can round the
+    # mean just past the extremes); mathematically the mean lies within.
+    clamped_mean = min(max(mean(values), minimum), maximum)
+    return Summary(
+        count=len(values),
+        minimum=minimum,
+        p25=percentile(values, 25.0),
+        median=percentile(values, 50.0),
+        p75=percentile(values, 75.0),
+        maximum=maximum,
+        mean=clamped_mean,
+    )

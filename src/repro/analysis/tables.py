@@ -1,0 +1,79 @@
+"""Deterministic ASCII tables and series.
+
+Every benchmark prints its table/figure through these two functions, so
+EXPERIMENTS.md and the bench output share one format and diffs stay
+readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats to 3 significant decimals, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """A fixed-width ASCII table with a separator under the header."""
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row!r}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows), 1)
+        if rendered_rows
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    points: Sequence[Tuple],
+    width: int = 48,
+) -> str:
+    """A series as a table plus a proportional ASCII bar per point.
+
+    The benches use this for "figures": the shape (monotonicity,
+    crossovers, flat-versus-growing) is visible directly in the bars.
+    """
+    numeric = [
+        float(y) for _, y in points if isinstance(y, (int, float)) and y is not None
+    ]
+    top = max(numeric, default=0.0)
+    lines = [title, f"{x_label:>12}  {y_label:<12}  "]
+    for x, y in points:
+        if y is None:
+            bar = ""
+            shown = "-"
+        else:
+            scale = (float(y) / top) if top > 0 else 0.0
+            bar = "#" * max(0, round(scale * width))
+            shown = format_cell(y)
+        lines.append(f"{format_cell(x):>12}  {shown:<12}  {bar}")
+    return "\n".join(lines)

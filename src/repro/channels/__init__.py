@@ -1,0 +1,41 @@
+"""Channel models (Section 2.2 of the paper).
+
+Each channel family implements :class:`repro.kernel.interfaces.ChannelModel`
+over immutable, hashable states, storing exactly the paper's ``dlvrble``
+bookkeeping:
+
+* :class:`DuplicatingChannel` -- reorder + duplicate.  State is the *set*
+  of messages ever sent; a sent message remains deliverable forever and
+  arbitrarily often (the paper's 0/1 ``dlvrble`` vector).
+* :class:`DeletingChannel` -- reorder + delete.  State is the *multiset*
+  of sent-minus-delivered copies (the paper's counting ``dlvrble`` vector).
+* :class:`ReorderingChannel` -- reorder only: the deleting multiset
+  semantics, but fairness obliges the adversary to eventually deliver
+  every copy exactly once (enforced by fairness checkers, not the model).
+* :class:`FifoChannel` / :class:`LossyFifoChannel` -- order-preserving
+  queues, the substrate for the Alternating Bit separation experiment.
+
+Reordering never appears explicitly: the *adversary* picks which
+deliverable message to deliver, so all non-FIFO channels reorder freely.
+"""
+
+from repro.channels.duplicating import DuplicatingChannel
+from repro.channels.deleting import DeletingChannel
+from repro.channels.reordering import ReorderingChannel
+from repro.channels.fifo import FifoChannel, LossyFifoChannel
+from repro.channels.registry import (
+    channel_by_name,
+    channel_names,
+    register_channel,
+)
+
+__all__ = [
+    "DuplicatingChannel",
+    "DeletingChannel",
+    "ReorderingChannel",
+    "FifoChannel",
+    "LossyFifoChannel",
+    "channel_by_name",
+    "channel_names",
+    "register_channel",
+]

@@ -1,0 +1,74 @@
+"""The reorder + delete channel of Section 4 (``X``-STP(del)).
+
+"At every step the channel can deliver a copy of any message that was sent
+and was not delivered in the past.  In order to model this, the environment
+stores, in its local state, how many copies of each message were sent and
+not yet delivered."  The channel state is therefore an immutable multiset
+of in-flight copies; delivery consumes one copy; deletion is the explicit
+``drop`` environment action (or, equivalently, never delivering a copy).
+
+For exhaustive exploration the per-message copy count may be capped:
+further sends of an already-saturated message are deleted on entry, which
+is legal deleting-channel behaviour and keeps the state space finite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernel.errors import ChannelError
+from repro.kernel.interfaces import ChannelModel, Message
+from repro.kernel.types import Multiset
+
+
+class DeletingChannel(ChannelModel):
+    """Unidirectional channel that may reorder and delete messages.
+
+    Args:
+        max_copies: if given, the channel silently deletes any send that
+            would raise a message's in-flight count above this cap.  This
+            matters only for finite-state exploration; simulation normally
+            uses the uncapped channel.
+    """
+
+    name = "del"
+
+    def __init__(self, max_copies: Optional[int] = None) -> None:
+        if max_copies is not None and max_copies < 1:
+            raise ChannelError(f"max_copies must be >= 1, got {max_copies}")
+        self.max_copies = max_copies
+
+    def empty(self) -> Multiset:
+        return Multiset()
+
+    def after_send(self, state: Multiset, message: Message) -> Multiset:
+        if self.max_copies is not None and state.count(message) >= self.max_copies:
+            return state  # the channel deletes the new copy on entry
+        return state.add(message)
+
+    def deliverable(self, state: Multiset) -> Tuple[Message, ...]:
+        return state.support()
+
+    def after_deliver(self, state: Multiset, message: Message) -> Multiset:
+        if state.count(message) == 0:
+            raise ChannelError(
+                f"no undelivered copy of {message!r} on this del channel"
+            )
+        return state.remove(message)
+
+    def dlvrble_count(self, state: Multiset, message: Message) -> int:
+        return state.count(message)
+
+    def can_duplicate(self) -> bool:
+        return False
+
+    def can_delete(self) -> bool:
+        return True
+
+    def droppable(self, state: Multiset) -> Tuple[Message, ...]:
+        return state.support()
+
+    def after_drop(self, state: Multiset, message: Message) -> Multiset:
+        if state.count(message) == 0:
+            raise ChannelError(f"no copy of {message!r} to drop")
+        return state.remove(message)

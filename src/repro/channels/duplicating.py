@@ -1,0 +1,50 @@
+"""The reorder + duplicate channel of Section 3 (``X``-STP(dup)).
+
+"At every step the channel can deliver a copy of any message that had been
+sent in the past."  The channel state is therefore just the set of messages
+ever sent on it; delivery does not consume anything.  The ``dlvrble``
+vector is 0/1-valued, exactly as defined for STP(dup) in Section 2.2.
+
+Property 1c (the dup environment cannot delete: every sent message is
+eventually delivered at least as often as it was sent) is a *fairness*
+obligation on schedules, checked by :mod:`repro.adversaries.fairness`;
+the state algebra here only determines what *may* happen at each step.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.kernel.errors import ChannelError
+from repro.kernel.interfaces import ChannelModel, Message, State
+
+
+class DuplicatingChannel(ChannelModel):
+    """Unidirectional channel that may reorder and duplicate messages."""
+
+    name = "dup"
+
+    def empty(self) -> FrozenSet[Message]:
+        return frozenset()
+
+    def after_send(self, state: FrozenSet[Message], message: Message) -> FrozenSet:
+        return state | {message}
+
+    def deliverable(self, state: FrozenSet[Message]) -> Tuple[Message, ...]:
+        return tuple(sorted(state, key=repr))
+
+    def after_deliver(self, state: FrozenSet[Message], message: Message) -> FrozenSet:
+        if message not in state:
+            raise ChannelError(
+                f"message {message!r} was never sent on this dup channel"
+            )
+        return state  # a delivered copy remains deliverable forever
+
+    def dlvrble_count(self, state: FrozenSet[Message], message: Message) -> int:
+        return 1 if message in state else 0
+
+    def can_duplicate(self) -> bool:
+        return True
+
+    def can_delete(self) -> bool:
+        return False

@@ -1,0 +1,82 @@
+"""Order-preserving channels.
+
+:class:`FifoChannel` is the perfect substrate on which STP is trivial
+(Section 1: "the sender simply sends each item in turn"); it anchors the
+sanity experiments.  :class:`LossyFifoChannel` preserves order but may lose
+messages (as explicit environment drops of the queue head) -- the classic
+Alternating-Bit-Protocol channel, used by the T6 separation experiment
+(ABP is correct on lossy FIFO but attackable under reordering).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kernel.errors import ChannelError
+from repro.kernel.interfaces import ChannelModel, Message
+
+
+class FifoChannel(ChannelModel):
+    """A perfect order-preserving queue: no loss, no duplication."""
+
+    name = "fifo"
+
+    def empty(self) -> Tuple[Message, ...]:
+        return ()
+
+    def after_send(self, state: Tuple, message: Message) -> Tuple:
+        return state + (message,)
+
+    def deliverable(self, state: Tuple) -> Tuple[Message, ...]:
+        return (state[0],) if state else ()
+
+    def after_deliver(self, state: Tuple, message: Message) -> Tuple:
+        if not state or state[0] != message:
+            raise ChannelError(
+                f"{message!r} is not at the head of this FIFO channel"
+            )
+        return state[1:]
+
+    def dlvrble_count(self, state: Tuple, message: Message) -> int:
+        return sum(1 for queued in state if queued == message)
+
+
+class LossyFifoChannel(FifoChannel):
+    """An order-preserving queue whose head may be dropped by the environment.
+
+    Only the head is droppable: dropping deeper entries would be equivalent
+    to a reordering of losses, and keeping loss at the head preserves the
+    FIFO discipline that the Alternating Bit Protocol relies on.
+
+    Args:
+        capacity: if given, sends that would grow the queue beyond this
+            bound are lost on entry (tail-drop).  Legal lossy behaviour;
+            required for finite-state exhaustive exploration, since
+            retransmitting protocols otherwise grow the queue without
+            bound under starving schedules.
+    """
+
+    name = "lossy-fifo"
+
+    def __init__(self, capacity=None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ChannelError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
+    def after_send(self, state: Tuple, message: Message) -> Tuple:
+        if self.capacity is not None and len(state) >= self.capacity:
+            return state  # tail-drop: the new copy is lost on entry
+        return state + (message,)
+
+    def can_delete(self) -> bool:
+        return True
+
+    def droppable(self, state: Tuple) -> Tuple[Message, ...]:
+        return (state[0],) if state else ()
+
+    def after_drop(self, state: Tuple, message: Message) -> Tuple:
+        if not state or state[0] != message:
+            raise ChannelError(
+                f"{message!r} is not at the head of this lossy FIFO channel"
+            )
+        return state[1:]

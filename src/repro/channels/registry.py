@@ -1,0 +1,51 @@
+"""A tiny name-indexed registry of channel families.
+
+Used by the CLI and the benchmark harness to select channels from strings
+("dup", "del", ...) without importing concrete classes everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.kernel.errors import ChannelError
+from repro.kernel.interfaces import ChannelModel
+
+_REGISTRY: Dict[str, Callable[[], ChannelModel]] = {}
+
+
+def register_channel(name: str, factory: Callable[[], ChannelModel]) -> None:
+    """Register a channel factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def channel_by_name(name: str) -> ChannelModel:
+    """Instantiate the channel family registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ChannelError(
+            f"unknown channel {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def channel_names() -> Tuple[str, ...]:
+    """All registered channel names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    from repro.channels.duplicating import DuplicatingChannel
+    from repro.channels.deleting import DeletingChannel
+    from repro.channels.reordering import ReorderingChannel
+    from repro.channels.fifo import FifoChannel, LossyFifoChannel
+
+    register_channel("dup", DuplicatingChannel)
+    register_channel("del", DeletingChannel)
+    register_channel("reorder", ReorderingChannel)
+    register_channel("fifo", FifoChannel)
+    register_channel("lossy-fifo", LossyFifoChannel)
+
+
+_register_builtins()

@@ -1,0 +1,42 @@
+"""A reorder-only channel: every sent copy is delivered exactly once.
+
+The state algebra is identical to the deleting channel's multiset, but the
+family differs contractually: ``can_delete`` is False, there is no drop
+action, and fairness (checked by :mod:`repro.adversaries.fairness`) obliges
+schedules to eventually deliver every in-flight copy.  This is the weakest
+of the paper's adversarial channels and is included as a baseline substrate:
+protocols correct for STP(del) or STP(dup) are a fortiori correct here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kernel.errors import ChannelError
+from repro.kernel.interfaces import ChannelModel, Message
+from repro.kernel.types import Multiset
+
+
+class ReorderingChannel(ChannelModel):
+    """Unidirectional channel that may only reorder messages."""
+
+    name = "reorder"
+
+    def empty(self) -> Multiset:
+        return Multiset()
+
+    def after_send(self, state: Multiset, message: Message) -> Multiset:
+        return state.add(message)
+
+    def deliverable(self, state: Multiset) -> Tuple[Message, ...]:
+        return state.support()
+
+    def after_deliver(self, state: Multiset, message: Message) -> Multiset:
+        if state.count(message) == 0:
+            raise ChannelError(
+                f"no undelivered copy of {message!r} on this reordering channel"
+            )
+        return state.remove(message)
+
+    def dlvrble_count(self, state: Multiset, message: Message) -> int:
+        return state.count(message)

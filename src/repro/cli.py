@@ -1,0 +1,274 @@
+"""Command-line interface: ``stp-repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` -- show every experiment id and title;
+* ``run <ids...>`` -- run experiments (``all`` for everything) and print
+  their rendered tables; ``--quick`` shrinks parameters, ``--seed`` fixes
+  randomness;
+* ``alpha <m>`` -- print ``alpha(m)`` and the solvability boundary;
+* ``simulate`` -- run one protocol/channel/adversary combination on one
+  input and print the run's metrics (a playground for exploring the
+  library from the shell);
+* ``attack`` -- run the impossibility engine against the natural
+  candidate protocol on an overfull family and print the witness;
+* ``trap`` -- exhaustively search a protocol/channel combination for
+  liveness traps (states from which completion is unreachable);
+* ``report`` -- regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.alpha import alpha
+from repro.experiments.base import _MODULES, run_experiment
+
+
+def _cmd_list(_args) -> int:
+    import importlib
+
+    print(f"{'id':4}  title")
+    print(f"{'-'*4}  {'-'*60}")
+    for experiment_id, module_name in sorted(_MODULES.items()):
+        module = importlib.import_module(module_name)
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:4}  {first_line}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids = list(args.ids)
+    if any(i.lower() == "all" for i in ids):
+        ids = sorted(_MODULES)
+    failures: List[str] = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, seed=args.seed, quick=args.quick)
+        print(result.rendered)
+        if result.notes:
+            print(f"notes: {result.notes}")
+        failed = [name for name, ok in result.checks.items() if not ok]
+        if failed:
+            failures.append(f"{experiment_id}: {failed}")
+            print(f"FAILED CHECKS: {failed}")
+        else:
+            print(f"all {len(result.checks)} checks passed")
+        print()
+    if failures:
+        print("reproduction regressions:", *failures, sep="\n  ")
+        return 1
+    return 0
+
+
+def _cmd_alpha(args) -> int:
+    m = args.m
+    print(f"alpha({m}) = {alpha(m)}")
+    print(
+        f"X-STP(dup) and bounded X-STP(del) are solvable with {m} sender "
+        f"messages iff |X| <= {alpha(m)} (Theorems 1 and 2)"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.adversaries import (
+        AgingFairAdversary,
+        EagerAdversary,
+        RandomAdversary,
+    )
+    from repro.analysis.metrics import measure_run
+    from repro.channels import channel_by_name
+    from repro.kernel.rng import DeterministicRNG
+    from repro.kernel.simulator import run_protocol
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.protocols.stenning import stenning_protocol
+
+    items = tuple(args.input.split(",")) if args.input else ()
+    domain = tuple(sorted(set(items))) or ("a",)
+    if args.protocol == "norepeat":
+        sender, receiver = norepeat_protocol(domain)
+    elif args.protocol == "stenning":
+        sender, receiver = stenning_protocol(domain, max(len(items), 1))
+    else:
+        print(f"unknown protocol {args.protocol!r}", file=sys.stderr)
+        return 2
+    if args.adversary == "eager":
+        adversary = EagerAdversary()
+    else:
+        adversary = AgingFairAdversary(
+            RandomAdversary(DeterministicRNG(args.seed, "cli")), patience=64
+        )
+    result = run_protocol(
+        sender,
+        receiver,
+        channel_by_name(args.channel),
+        channel_by_name(args.channel),
+        items,
+        adversary,
+        max_steps=args.max_steps,
+    )
+    metrics = measure_run(result)
+    print(f"input:     {items!r}")
+    print(f"output:    {result.trace.output()!r}")
+    print(f"completed: {metrics.completed}   safe: {metrics.safe}")
+    print(f"steps:     {metrics.steps}   data messages: {metrics.data_messages_sent}")
+    return 0 if (metrics.completed and metrics.safe) else 1
+
+
+def _cmd_attack(args) -> int:
+    from repro.channels import DeletingChannel, DuplicatingChannel
+    from repro.protocols.optimistic import identity_optimistic
+    from repro.verify import find_attack_on_family, replay_witness
+    from repro.workloads import overfull_family
+
+    m = args.m
+    domain = "abcdefgh"[:m]
+    family = overfull_family(domain, m)
+    print(
+        f"family: the {len(family)} (= alpha({m})+1) shortest sequences "
+        f"over {domain!r}"
+    )
+    sender, receiver = identity_optimistic(family)
+    channel = (
+        DeletingChannel(max_copies=2) if args.channel == "del"
+        else DuplicatingChannel()
+    )
+    witness = find_attack_on_family(
+        sender, receiver, channel, channel, family, max_states=args.max_states
+    )
+    if witness is None:
+        print("no witness found within the search budget")
+        return 1
+    replay_witness(sender, receiver, channel, channel, witness)
+    print(f"victim input:    {witness.input_sequence!r}")
+    print(f"confused with:   {witness.other_sequence!r}")
+    print(
+        f"wrong write:     {witness.wrote!r} at position "
+        f"{witness.wrong_position} (expected {witness.expected!r})"
+    )
+    print(f"product states:  {witness.product_states}")
+    print("schedule (replay-confirmed):")
+    for event in witness.schedule:
+        print(f"  {event!r}")
+    return 0
+
+
+def _cmd_trap(args) -> int:
+    from repro.channels import DeletingChannel, LossyFifoChannel
+    from repro.kernel.system import System
+    from repro.protocols.hybrid import hybrid_protocol
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import find_liveness_trap
+
+    items = tuple(args.input.split(",")) if args.input else ("a", "b")
+    if args.protocol == "norepeat":
+        pair = norepeat_protocol(tuple(sorted(set(items))))
+    else:
+        pair = hybrid_protocol(
+            tuple(sorted(set(items))), len(items), timeout=3
+        )
+    channel_factory = {
+        "del": lambda: DeletingChannel(max_copies=args.cap),
+        "lossy-fifo": lambda: LossyFifoChannel(capacity=args.cap),
+    }[args.channel]
+    system = System(
+        pair[0], pair[1], channel_factory(), channel_factory(), items
+    )
+    report = find_liveness_trap(system, max_states=args.max_states)
+    print(f"reachable states: {report.states} (truncated: {report.truncated})")
+    print(f"completing states: {report.completing_states}")
+    if report.trap_found:
+        print(f"LIVENESS TRAP after {len(report.trap_path)} events:")
+        for event in report.trap_path:
+            print(f"  {event!r}")
+        return 1
+    print("no liveness trap: completion reachable from every state")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate
+
+    return 0 if generate(args.path, seed=args.seed, quick=args.quick) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``stp-repro``."""
+    parser = argparse.ArgumentParser(
+        prog="stp-repro",
+        description=(
+            "Reproduction of Wang & Zuck, 'Tight Bounds for the Sequence "
+            "Transmission Problem' (1989)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--quick", action="store_true")
+    run_parser.set_defaults(func=_cmd_run)
+
+    alpha_parser = sub.add_parser("alpha", help="evaluate the tight bound")
+    alpha_parser.add_argument("m", type=int)
+    alpha_parser.set_defaults(func=_cmd_alpha)
+
+    simulate_parser = sub.add_parser("simulate", help="run one transmission")
+    simulate_parser.add_argument(
+        "--protocol", default="norepeat", choices=("norepeat", "stenning")
+    )
+    simulate_parser.add_argument(
+        "--channel", default="dup", help="dup, del, reorder, fifo, lossy-fifo"
+    )
+    simulate_parser.add_argument(
+        "--adversary", default="random", choices=("eager", "random")
+    )
+    simulate_parser.add_argument(
+        "--input", default="a,b,c", help="comma-separated data items"
+    )
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument("--max-steps", type=int, default=20_000)
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    attack_parser = sub.add_parser(
+        "attack", help="attack an overfull family (Theorem 1/2 impossibility)"
+    )
+    attack_parser.add_argument("m", nargs="?", type=int, default=2)
+    attack_parser.add_argument("--channel", default="dup", choices=("dup", "del"))
+    attack_parser.add_argument("--max-states", type=int, default=400_000)
+    attack_parser.set_defaults(func=_cmd_attack)
+
+    trap_parser = sub.add_parser(
+        "trap", help="search for liveness traps exhaustively"
+    )
+    trap_parser.add_argument(
+        "--protocol", default="hybrid", choices=("norepeat", "hybrid")
+    )
+    trap_parser.add_argument(
+        "--channel", default="del", choices=("del", "lossy-fifo")
+    )
+    trap_parser.add_argument("--input", default="a,b,a")
+    trap_parser.add_argument("--cap", type=int, default=1)
+    trap_parser.add_argument("--max-states", type=int, default=500_000)
+    trap_parser.set_defaults(func=_cmd_trap)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from the live experiments"
+    )
+    report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--quick", action="store_true")
+    report_parser.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

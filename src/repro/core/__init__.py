@@ -1,0 +1,103 @@
+"""The paper's primary contribution: the tight-bound theory, executable.
+
+* :mod:`repro.core.alpha` -- the bound ``alpha(m) = m! * sum 1/k!``:
+  closed form, recurrence, asymptotics, and its combinatorial meaning
+  (repetition-free sequence counting).
+* :mod:`repro.core.sequences` -- repetition-free sequences, prefix order,
+  and the prefix tree they form.
+* :mod:`repro.core.encoding` -- prefix-monotone encodings ``mu`` of a
+  sequence family into repetition-free message sequences (end of Section 3),
+  with existence checks and optimality results.
+* :mod:`repro.core.decisive` -- dup-decisive and del-decisive tuples
+  (Definitions 1 and 3) and the ``delta_l`` resource recursion from the
+  proof of Lemma 4.
+* :mod:`repro.core.boundedness` -- Definition 2 (f-bounded), weak
+  boundedness (Section 5), and trace-level certificates.
+* :mod:`repro.core.bounds` -- the headline theorems packaged as decision
+  procedures: is ``X``-STP(dup)/bounded-STP(del) solvable for this family
+  and alphabet size?
+"""
+
+from repro.core.alpha import (
+    alpha,
+    alpha_recurrence,
+    alpha_floor_e_factorial,
+    count_repetition_free,
+    max_family_size,
+)
+from repro.core.sequences import (
+    is_repetition_free,
+    is_prefix,
+    repetition_free_sequences,
+    PrefixTree,
+    longest_common_prefix,
+)
+from repro.core.encoding import (
+    Encoding,
+    IdentityEncoding,
+    TableEncoding,
+    build_prefix_monotone_encoding,
+    is_prefix_monotone,
+    max_encodable_antichain,
+)
+from repro.core.decisive import (
+    DupDecisiveTuple,
+    DelDecisiveTuple,
+    delta_schedule,
+    beta_identification_index,
+)
+from repro.core.boundedness import (
+    BoundednessReport,
+    check_f_bounded,
+    check_weakly_bounded,
+    recovery_times,
+)
+from repro.core.lemmas import (
+    LemmaReport,
+    check_lemma1,
+    check_corollary1,
+    check_corollary2,
+)
+from repro.core.bounds import (
+    dup_solvable,
+    del_bounded_solvable,
+    min_alphabet_size,
+    structural_min_alphabet,
+    family_dup_solvable,
+)
+
+__all__ = [
+    "alpha",
+    "alpha_recurrence",
+    "alpha_floor_e_factorial",
+    "count_repetition_free",
+    "max_family_size",
+    "is_repetition_free",
+    "is_prefix",
+    "repetition_free_sequences",
+    "PrefixTree",
+    "longest_common_prefix",
+    "Encoding",
+    "IdentityEncoding",
+    "TableEncoding",
+    "build_prefix_monotone_encoding",
+    "is_prefix_monotone",
+    "max_encodable_antichain",
+    "DupDecisiveTuple",
+    "DelDecisiveTuple",
+    "delta_schedule",
+    "beta_identification_index",
+    "BoundednessReport",
+    "check_f_bounded",
+    "check_weakly_bounded",
+    "recovery_times",
+    "dup_solvable",
+    "del_bounded_solvable",
+    "min_alphabet_size",
+    "structural_min_alphabet",
+    "family_dup_solvable",
+    "LemmaReport",
+    "check_lemma1",
+    "check_corollary1",
+    "check_corollary2",
+]

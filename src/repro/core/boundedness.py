@@ -1,0 +1,254 @@
+"""Boundedness (Definition 2), weak boundedness (Section 5), and recovery.
+
+A solution to ``X``-STP(del) is *f-bounded* when from **every** point after
+``t_{i-1}`` there exists an extension in which ``R`` learns item ``i``
+within ``f(i)`` steps, *without* the channel delivering any message that
+was already in flight (requirement 2: recovery must not depend on long-lost
+messages).  *Weak boundedness* (the [LMF88] notion) demands this only at
+the ``t_{i-1}`` points themselves.
+
+Both are existential over extensions, so they are certified constructively:
+given a run prefix and a probe time, we *build* the witness extension with
+a fresh-messages-only eager scheduler and measure how many steps it takes
+the receiver to produce the next item.  A protocol is empirically
+``f``-bounded on a probe set when every probe's witness meets its budget;
+a weakly-bounded-but-unbounded protocol (the Section 5 hybrid) passes the
+weak probes and fails the strong ones -- which is exactly experiment F2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import Configuration, System
+from repro.kernel.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One boundedness probe.
+
+    Attributes:
+        item: the 1-indexed item whose learning was probed.
+        probe_time: the time ``t`` the witness extension starts from.
+        recovery_steps: steps the witness needed before the receiver wrote
+            item ``item`` (None if the witness failed within the horizon).
+        budget: the allowance ``f(item)``.
+    """
+
+    item: int
+    probe_time: int
+    recovery_steps: Optional[int]
+    budget: int
+
+    @property
+    def satisfied(self) -> bool:
+        """True iff the witness met its budget."""
+        return self.recovery_steps is not None and self.recovery_steps <= self.budget
+
+
+@dataclass(frozen=True)
+class BoundednessReport:
+    """The outcome of a boundedness certification campaign."""
+
+    probes: Tuple[ProbeResult, ...]
+    notion: str  # "bounded" or "weakly-bounded"
+
+    @property
+    def satisfied(self) -> bool:
+        """True iff every probe met its budget."""
+        return all(probe.satisfied for probe in self.probes)
+
+    def worst(self) -> Optional[ProbeResult]:
+        """The probe with the largest recovery (failed probes first)."""
+        if not self.probes:
+            return None
+        return max(
+            self.probes,
+            key=lambda probe: (
+                probe.recovery_steps is None,
+                probe.recovery_steps or 0,
+            ),
+        )
+
+
+def fresh_only_extension(
+    system: System,
+    prefix_events: Sequence,
+    horizon: int,
+) -> Tuple[Optional[int], Trace]:
+    """Build Definition 2's witness extension and measure recovery.
+
+    Re-runs ``prefix_events``, snapshots the in-flight message counts, then
+    extends the run with an eager scheduler that never delivers *old*
+    copies (a copy is old if consuming it would dip below the snapshot
+    count -- the multiset analogue of "sent prior to (r, t)").  Returns
+    ``(steps_until_next_write, full_trace)``; steps is None if no write
+    happened within ``horizon``.
+    """
+    trace = Trace(system)
+    trace.replay(prefix_events)
+    probe_time = len(trace)
+    written_before = len(trace.last.output)
+
+    old_sr: Dict = _counts(system.channel_sr, trace.last.chan_sr)
+    old_rs: Dict = _counts(system.channel_rs, trace.last.chan_rs)
+
+    phase = 0
+    for step_count in range(1, horizon + 1):
+        config = trace.last
+        event = _next_fresh_event(system, config, old_sr, old_rs, phase)
+        phase += 1
+        config = trace.extend(event)
+        if event[0] == "deliver":
+            # A fresh copy was consumed; old snapshots are untouched, but
+            # cap them at current availability (they can only shrink).
+            direction = event[1]
+            snapshot = old_sr if direction == "SR" else old_rs
+            channel = system.channel_sr if direction == "SR" else system.channel_rs
+            state = config.chan_sr if direction == "SR" else config.chan_rs
+            message = event[2]
+            if message in snapshot:
+                snapshot[message] = min(
+                    snapshot[message], channel.dlvrble_count(state, message)
+                )
+        if len(config.output) > written_before:
+            return step_count, trace
+    return None, trace
+
+
+def _counts(channel, state) -> Dict:
+    return {
+        message: channel.dlvrble_count(state, message)
+        for message in channel.deliverable(state)
+    }
+
+
+def _next_fresh_event(system, config: Configuration, old_sr, old_rs, phase: int):
+    """Eager scheduling restricted to fresh copies.
+
+    Rotates sender-step / fresh-SR-delivery / receiver-step /
+    fresh-RS-delivery so both processes make progress.
+    """
+    fresh_sr = [
+        ("deliver", "SR", message)
+        for message in system.channel_sr.deliverable(config.chan_sr)
+        if system.channel_sr.dlvrble_count(config.chan_sr, message)
+        > old_sr.get(message, 0)
+    ]
+    fresh_rs = [
+        ("deliver", "RS", message)
+        for message in system.channel_rs.deliverable(config.chan_rs)
+        if system.channel_rs.dlvrble_count(config.chan_rs, message)
+        > old_rs.get(message, 0)
+    ]
+    rotation = [("step", "S"), None, ("step", "R"), None]
+    slot = phase % 4
+    if slot == 1 and fresh_sr:
+        return fresh_sr[0]
+    if slot == 3 and fresh_rs:
+        return fresh_rs[0]
+    if rotation[slot] is not None:
+        return rotation[slot]
+    return fresh_sr[0] if fresh_sr else (fresh_rs[0] if fresh_rs else ("step", "S"))
+
+
+def check_f_bounded(
+    system: System,
+    driver_events: Sequence,
+    f: Callable[[int], int],
+    probe_stride: int = 1,
+    horizon_factor: int = 4,
+) -> BoundednessReport:
+    """Certify Definition 2 along one driven run.
+
+    Replays ``driver_events`` and probes every ``probe_stride``-th point
+    after the previous item's write: from each probe a fresh-only witness
+    extension is built and its recovery compared to ``f(next_item)``.
+
+    The witness horizon is ``horizon_factor * f(next_item) + 8`` steps, so
+    failures are definite within that allowance rather than timeouts of an
+    undersized budget.
+    """
+    if probe_stride < 1:
+        raise VerificationError("probe_stride must be >= 1")
+    base = Trace(system)
+    base.replay(driver_events)
+    writes = base.write_times()
+    input_length = len(system.input_sequence)
+    probes: List[ProbeResult] = []
+    for time in range(0, len(base) + 1, probe_stride):
+        written = len(base.config_at(time).output)
+        item = written + 1
+        if item > input_length:
+            continue
+        budget = f(item)
+        horizon = horizon_factor * budget + 8
+        recovery, _ = fresh_only_extension(system, base.events()[:time], horizon)
+        probes.append(
+            ProbeResult(
+                item=item, probe_time=time, recovery_steps=recovery, budget=budget
+            )
+        )
+    return BoundednessReport(probes=tuple(probes), notion="bounded")
+
+
+def check_weakly_bounded(
+    system: System,
+    driver_events: Sequence,
+    f: Callable[[int], int],
+    horizon_factor: int = 4,
+) -> BoundednessReport:
+    """Certify the weaker [LMF88] notion along one driven run.
+
+    Probes only the points immediately after each item's write (the
+    operational stand-in for ``t_{i-1}``), not every later point.
+    """
+    base = Trace(system)
+    base.replay(driver_events)
+    writes = [0] + base.write_times()
+    input_length = len(system.input_sequence)
+    probes: List[ProbeResult] = []
+    for written, time in enumerate(writes):
+        item = written + 1
+        if item > input_length:
+            continue
+        budget = f(item)
+        already_written = len(base.config_at(time).output)
+        if already_written >= item:
+            # A batch write delivered this item in the same step as its
+            # predecessor (t_i == t_{i-1}); recovery is trivially zero.
+            probes.append(
+                ProbeResult(
+                    item=item, probe_time=time, recovery_steps=0, budget=budget
+                )
+            )
+            continue
+        horizon = horizon_factor * budget + 8
+        recovery, _ = fresh_only_extension(system, base.events()[:time], horizon)
+        probes.append(
+            ProbeResult(
+                item=item, probe_time=time, recovery_steps=recovery, budget=budget
+            )
+        )
+    return BoundednessReport(probes=tuple(probes), notion="weakly-bounded")
+
+
+def recovery_times(
+    write_times: Sequence[int], fault_time: int
+) -> List[Optional[int]]:
+    """Per-item recovery delays after a fault.
+
+    For each item written after ``fault_time``, the delay between the later
+    of (previous item's write, the fault) and its own write -- the series
+    plotted by experiment F2.
+    """
+    delays: List[Optional[int]] = []
+    previous = 0
+    for write in write_times:
+        if write > fault_time:
+            delays.append(write - max(previous, fault_time))
+        previous = write
+    return delays

@@ -1,0 +1,205 @@
+"""Decisive tuples (Definitions 1 and 3) and the proof's resource arithmetic.
+
+The impossibility proofs of Sections 3 and 4 run on two engines:
+
+* *decisive tuples* -- sets of fair runs with mutually distinct inputs
+  whose ``t``-th points the receiver cannot tell apart, while the sender
+  has already committed a set ``M`` of messages (with multiplicity at
+  least ``n`` in the deletion case);
+* a *resource recursion* ``delta_l`` quantifying how many spare copies the
+  adversary must bank to push the induction one more message (Lemma 4):
+
+      delta_m = c,    delta_l = delta_{l+1} * (1 + c*(m-l)*alpha(m-l))
+
+  with ``c = sum_{i=1..beta} f(i)`` derived from the boundedness function
+  and the identification index ``beta`` of the family.
+
+This module makes both first-class: decisive tuples are validated against
+actual traces (experiment A1 exhibits them in generated ensembles), and
+the recursion is computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.core.alpha import alpha
+from repro.core.sequences import identification_index
+from repro.knowledge.runs import Ensemble, Point, indistinguishable
+
+
+@dataclass(frozen=True)
+class DupDecisiveTuple:
+    """Definition 1: ``<R', t, M>`` for the duplication case.
+
+    ``points`` are the ``(r, t)`` points (all sharing the same ``t`` by
+    construction); ``messages`` is ``M``.
+    """
+
+    points: Tuple[Point, ...]
+    messages: FrozenSet
+
+    def violations(self) -> List[str]:
+        """All ways this tuple fails Definition 1 (empty list = valid).
+
+        Checks: (1) each message of ``M`` sent to ``R`` before each point
+        (``dlvrble_R = 1`` on the dup channel); (2) pairwise receiver
+        indistinguishability; (3) mutually distinct input sequences.
+        """
+        problems: List[str] = []
+        for point in self.points:
+            system = point.trace.system
+            if not system.channel_sr.can_duplicate():
+                problems.append("run uses a non-duplicating S->R channel")
+                continue
+            channel_state = point.config.chan_sr
+            for message in self.messages:
+                if system.channel_sr.dlvrble_count(channel_state, message) < 1:
+                    problems.append(
+                        f"message {message!r} not sent before point "
+                        f"(input {point.trace.input_sequence!r}, t={point.time})"
+                    )
+        for index, first in enumerate(self.points):
+            for second in self.points[index + 1 :]:
+                if not indistinguishable("R", first, second):
+                    problems.append(
+                        f"receiver distinguishes inputs "
+                        f"{first.trace.input_sequence!r} and "
+                        f"{second.trace.input_sequence!r}"
+                    )
+                if first.trace.input_sequence == second.trace.input_sequence:
+                    problems.append(
+                        f"duplicate input sequence {first.trace.input_sequence!r}"
+                    )
+        return problems
+
+    def is_valid(self) -> bool:
+        """True iff the tuple satisfies Definition 1."""
+        return not self.violations()
+
+
+@dataclass(frozen=True)
+class DelDecisiveTuple:
+    """Definition 3: ``<R', t, M, n>`` for the deletion case."""
+
+    points: Tuple[Point, ...]
+    messages: FrozenSet
+    copies: int
+
+    def violations(self) -> List[str]:
+        """All ways this tuple fails Definition 3 (empty list = valid)."""
+        problems: List[str] = []
+        if self.copies < 0:
+            problems.append(f"copy requirement n={self.copies} is negative")
+        for point in self.points:
+            system = point.trace.system
+            channel_state = point.config.chan_sr
+            for message in self.messages:
+                available = system.channel_sr.dlvrble_count(channel_state, message)
+                if available < self.copies:
+                    problems.append(
+                        f"only {available} undelivered copies of {message!r} "
+                        f"(need {self.copies}) at input "
+                        f"{point.trace.input_sequence!r}, t={point.time}"
+                    )
+        for index, first in enumerate(self.points):
+            for second in self.points[index + 1 :]:
+                if not indistinguishable("R", first, second):
+                    problems.append(
+                        f"receiver distinguishes inputs "
+                        f"{first.trace.input_sequence!r} and "
+                        f"{second.trace.input_sequence!r}"
+                    )
+                if first.trace.input_sequence == second.trace.input_sequence:
+                    problems.append(
+                        f"duplicate input sequence {first.trace.input_sequence!r}"
+                    )
+        return problems
+
+    def is_valid(self) -> bool:
+        """True iff the tuple satisfies Definition 3."""
+        return not self.violations()
+
+
+def beta_identification_index(family: Iterable[Sequence]) -> int:
+    """The paper's ``beta`` for a family ``X'``: the minimal prefix length
+    that uniquely identifies every sequence (Section 4)."""
+    return identification_index(family)
+
+
+def c_recovery_bound(f: Callable[[int], int], beta: int) -> int:
+    """``c = sum_{i=1}^{beta} f(i)``: steps within which an efficient
+    (beta-)extension lets ``R`` learn the first ``beta`` items."""
+    if beta < 0:
+        raise VerificationError(f"beta must be non-negative, got {beta}")
+    total = 0
+    for i in range(1, beta + 1):
+        value = f(i)
+        if value < 0:
+            raise VerificationError(f"f({i}) = {value} is negative")
+        total += value
+    return total
+
+
+def delta_schedule(m: int, c: int) -> List[int]:
+    """``[delta_0, ..., delta_m]`` from the Lemma 4 recursion.
+
+    ``delta_l`` is the number of banked copies of each of ``l`` captured
+    messages that suffices for the adversary to capture message ``l+1``
+    with ``delta_{l+1}`` copies.  The values grow super-factorially -- the
+    point of experiment A1 is to render that growth concrete.
+    """
+    if m < 0:
+        raise VerificationError(f"m must be non-negative, got {m}")
+    if c < 0:
+        raise VerificationError(f"c must be non-negative, got {c}")
+    deltas = [0] * (m + 1)
+    deltas[m] = c
+    for level in range(m - 1, -1, -1):
+        remaining = m - level
+        deltas[level] = deltas[level + 1] * (1 + c * remaining * alpha(remaining))
+    return deltas
+
+
+def find_dup_decisive_tuples(
+    ensemble: Ensemble,
+    size: int,
+    messages: FrozenSet,
+) -> List[DupDecisiveTuple]:
+    """Search an ensemble for valid dup-decisive tuples of the given size.
+
+    This is the constructive face of Lemma 2: for correct protocols on
+    overfull families, such tuples *must* exist in sufficiently deep
+    ensembles.  Points are grouped by receiver view (same ``t`` within a
+    group is not required by Definition 1's essence -- the paper fixes a
+    common ``t`` for bookkeeping -- but we require equal times to match the
+    definition literally).
+    """
+    if size < 1:
+        raise VerificationError("tuple size must be at least 1")
+    groups: dict = {}
+    for point in ensemble.points():
+        key = (point.time, point.view("R"))
+        groups.setdefault(key, []).append(point)
+    found: List[DupDecisiveTuple] = []
+    for group in groups.values():
+        qualifying: dict = {}
+        for point in group:
+            system = point.trace.system
+            state = point.config.chan_sr
+            if all(
+                system.channel_sr.dlvrble_count(state, message) >= 1
+                for message in messages
+            ):
+                qualifying.setdefault(point.trace.input_sequence, point)
+        if len(qualifying) >= size:
+            chosen = tuple(
+                qualifying[key]
+                for key in sorted(qualifying, key=lambda s: (len(s), repr(s)))[:size]
+            )
+            candidate = DupDecisiveTuple(points=chosen, messages=messages)
+            if candidate.is_valid():
+                found.append(candidate)
+    return found

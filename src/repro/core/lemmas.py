@@ -1,0 +1,234 @@
+"""The paper's lemmas as executable checks over run ensembles.
+
+The proof of Theorem 1 factors through three mechanically checkable
+statements; this module implements each as a predicate over concrete
+ensembles, so the *proof structure* (not just the theorem statements) is
+exercised by experiment A4:
+
+* **Lemma 1** -- for a dup-decisive tuple ``<R', t, M>`` with at least two
+  runs, any run whose input is not a prefix of all the others must
+  receive some message outside ``M`` at or after ``t`` *in any fair
+  continuation in which the receiver makes progress*.  Over a finite
+  ensemble we check the contrapositive the proof uses: along every
+  generated extension of the tuple's points in which the receiver only
+  ever receives messages from ``M``, the receiver's writes stay within
+  the longest common prefix of the tuple's inputs (it can never safely
+  commit past the point where the inputs diverge).
+
+* **Corollary 1 / Lemma 2 step** -- from a valid decisive tuple, extensions
+  exist in which all but one run has sent some message outside ``M``
+  while receiver indistinguishability is preserved; the checker searches
+  the ensemble for the extended tuple (the witness the induction needs).
+
+* **Corollary 2** -- with ``M = M^S`` and two indistinguishable runs, any
+  progress is a Safety violation; the checker confirms the violation
+  really occurs in the ensemble (or that progress never happens, which
+  for live protocols the attack synthesizer rules out separately).
+
+These checks are necessarily over *bounded* ensembles; they validate the
+lemmas' mechanics on real executions rather than re-proving them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.decisive import DupDecisiveTuple, find_dup_decisive_tuples
+from repro.core.sequences import is_prefix, longest_common_prefix
+from repro.kernel.errors import VerificationError
+from repro.knowledge.runs import Ensemble, Point
+
+
+@dataclass(frozen=True)
+class LemmaReport:
+    """Outcome of one executable-lemma check.
+
+    Attributes:
+        lemma: which statement was checked ("lemma1", "corollary1", ...).
+        holds: True iff no counterexample was found in the ensemble.
+        witnesses_checked: how many ensemble configurations were examined.
+        counterexample: human-readable description of a violation, if any.
+    """
+
+    lemma: str
+    holds: bool
+    witnesses_checked: int
+    counterexample: Optional[str] = None
+
+
+def check_lemma1(ensemble: Ensemble, decisive: DupDecisiveTuple) -> LemmaReport:
+    """Check Lemma 1's mechanism over the generated extensions.
+
+    For every ensemble run extending one of the tuple's points such that
+    every message delivered to ``R`` from the tuple's time onward lies in
+    ``M``, the receiver's output must remain a prefix of the *common*
+    prefix of the tuple's inputs extended by nothing the inputs disagree
+    on -- formally, of every tuple input.  A write beyond the inputs'
+    longest common prefix under M-only deliveries would contradict the
+    lemma's conclusion (the receiver would "know" something it cannot).
+    """
+    if len(decisive.points) < 2:
+        raise VerificationError("Lemma 1 requires a tuple with at least 2 runs")
+    if not decisive.is_valid():
+        raise VerificationError("Lemma 1 requires a valid dup-decisive tuple")
+    inputs = [point.trace.input_sequence for point in decisive.points]
+    common = longest_common_prefix(inputs)
+    base_views = {point.view("R") for point in decisive.points}
+    base_time = decisive.points[0].time
+    messages = decisive.messages
+
+    checked = 0
+    for trace in ensemble:
+        if trace.input_sequence not in inputs:
+            continue
+        if len(trace) < base_time:
+            continue
+        from repro.knowledge.history import receiver_view
+
+        if receiver_view(trace, base_time) not in base_views:
+            continue
+        # Does this run deliver only M-messages to R from base_time on?
+        later_deliveries = [
+            message
+            for time, message in trace.messages_delivered_to_receiver()
+            if time >= base_time
+        ]
+        if any(message not in messages for message in later_deliveries):
+            continue
+        checked += 1
+        for time in range(base_time, len(trace) + 1):
+            output = trace.config_at(time).output
+            if not is_prefix(output, common) and not all(
+                is_prefix(output, member) for member in inputs
+            ):
+                return LemmaReport(
+                    lemma="lemma1",
+                    holds=False,
+                    witnesses_checked=checked,
+                    counterexample=(
+                        f"under M-only deliveries the receiver wrote "
+                        f"{output!r}, beyond the common prefix {common!r} "
+                        f"of {inputs!r}"
+                    ),
+                )
+    return LemmaReport(lemma="lemma1", holds=True, witnesses_checked=checked)
+
+
+def check_corollary1(
+    ensemble: Ensemble, decisive: DupDecisiveTuple
+) -> LemmaReport:
+    """Check Corollary 1's existence claim in the ensemble.
+
+    Searches for a later decisive tuple over the same message set whose
+    runs extend the given tuple's inputs and in which at least
+    ``len(points) - 1`` runs have sent some message outside ``M``.
+    """
+    if len(decisive.points) < 2:
+        raise VerificationError("Corollary 1 requires at least 2 runs")
+    inputs = {point.trace.input_sequence for point in decisive.points}
+    target = len(decisive.points)
+    messages = decisive.messages
+    base_time = decisive.points[0].time
+
+    # Group candidate points by (time, receiver view), preferring per
+    # input the points where fresh (non-M) messages are deliverable --
+    # these are the extensions the corollary asserts exist.
+    groups: dict = {}
+    for point in ensemble.points():
+        if point.time < base_time:
+            continue
+        if point.trace.input_sequence not in inputs:
+            continue
+        system = point.trace.system
+        state = point.config.chan_sr
+        if any(
+            system.channel_sr.dlvrble_count(state, message) < 1
+            for message in messages
+        ):
+            continue
+        fresh = any(
+            message not in messages
+            for message in system.channel_sr.deliverable(state)
+        )
+        key = (point.time, point.view("R"))
+        per_input = groups.setdefault(key, {})
+        current = per_input.get(point.trace.input_sequence)
+        if current is None or (fresh and not current[1]):
+            per_input[point.trace.input_sequence] = (point, fresh)
+
+    checked = 0
+    for per_input in groups.values():
+        if set(per_input) != inputs:
+            continue
+        checked += 1
+        fresh_count = sum(1 for _, fresh in per_input.values() if fresh)
+        if fresh_count >= target - 1:
+            candidate = DupDecisiveTuple(
+                points=tuple(point for point, _ in per_input.values()),
+                messages=messages,
+            )
+            if candidate.is_valid():
+                return LemmaReport(
+                    lemma="corollary1",
+                    holds=True,
+                    witnesses_checked=checked,
+                )
+    return LemmaReport(
+        lemma="corollary1",
+        holds=False,
+        witnesses_checked=checked,
+        counterexample=(
+            "no extended decisive tuple with fresh messages committed was "
+            "found at this ensemble depth"
+        ),
+    )
+
+
+def check_corollary2(ensemble: Ensemble, full_alphabet: FrozenSet) -> LemmaReport:
+    """Check Corollary 2's endgame: a decisive tuple over all of ``M^S``
+    with two runs forces a Safety violation whenever progress happens.
+
+    Searches the ensemble for such tuples; for each, looks for an
+    extension in which the receiver writes past the inputs' common
+    prefix -- which must then be unsafe for one of the runs.
+    """
+    tuples = find_dup_decisive_tuples(ensemble, size=2, messages=full_alphabet)
+    checked = 0
+    for decisive in tuples:
+        inputs = [point.trace.input_sequence for point in decisive.points]
+        common = longest_common_prefix(inputs)
+        base_views = {point.view("R") for point in decisive.points}
+        base_time = decisive.points[0].time
+        for trace in ensemble:
+            if trace.input_sequence not in inputs or len(trace) < base_time:
+                continue
+            from repro.knowledge.history import receiver_view
+
+            if receiver_view(trace, base_time) not in base_views:
+                continue
+            checked += 1
+            final = trace.output()
+            if len(final) > len(common):
+                unsafe_for = [
+                    member for member in inputs if not is_prefix(final, member)
+                ]
+                if unsafe_for:
+                    return LemmaReport(
+                        lemma="corollary2",
+                        holds=True,
+                        witnesses_checked=checked,
+                        counterexample=(
+                            f"progress to {final!r} is unsafe for "
+                            f"{unsafe_for[0]!r} -- the forced violation"
+                        ),
+                    )
+    return LemmaReport(
+        lemma="corollary2",
+        holds=False,
+        witnesses_checked=checked,
+        counterexample=(
+            "no all-alphabet decisive tuple with progress was found at "
+            "this ensemble depth"
+        ),
+    )

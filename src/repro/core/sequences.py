@@ -1,0 +1,193 @@
+"""Repetition-free sequences and the prefix order.
+
+The tight-bound protocols hinge on two structural facts about sequences:
+
+* a duplicating channel makes repeated messages worthless, so useful
+  message sequences are *repetition-free*;
+* safety ties outputs to the *prefix* order on sequences.
+
+This module provides both as first-class utilities, plus the prefix tree
+of repetition-free sequences over a finite alphabet -- the combinatorial
+object whose node count is ``alpha(m)`` and whose leaf count is ``m!``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.kernel.errors import VerificationError
+
+
+def is_repetition_free(sequence: Sequence) -> bool:
+    """True if no element occurs twice.
+
+    >>> is_repetition_free("abc"), is_repetition_free("aba")
+    (True, False)
+    """
+    return len(set(sequence)) == len(sequence)
+
+
+def is_prefix(shorter: Sequence, longer: Sequence) -> bool:
+    """True if ``shorter`` is a (not necessarily proper) prefix of ``longer``."""
+    return len(shorter) <= len(longer) and tuple(longer[: len(shorter)]) == tuple(
+        shorter
+    )
+
+
+def is_proper_prefix(shorter: Sequence, longer: Sequence) -> bool:
+    """True if ``shorter`` is a strictly shorter prefix of ``longer``."""
+    return len(shorter) < len(longer) and is_prefix(shorter, longer)
+
+
+def longest_common_prefix(sequences: Iterable[Sequence]) -> Tuple:
+    """The longest tuple that is a prefix of every given sequence.
+
+    Raises :class:`VerificationError` on an empty collection (the lcp of
+    nothing is ill-defined: it would be "every sequence").
+    """
+    iterator = iter(sequences)
+    try:
+        first = tuple(next(iterator))
+    except StopIteration:
+        raise VerificationError(
+            "longest_common_prefix of an empty collection is undefined"
+        ) from None
+    prefix = first
+    for sequence in iterator:
+        sequence = tuple(sequence)
+        limit = min(len(prefix), len(sequence))
+        cut = 0
+        while cut < limit and prefix[cut] == sequence[cut]:
+            cut += 1
+        prefix = prefix[:cut]
+        if not prefix:
+            break
+    return prefix
+
+
+def repetition_free_sequences(
+    alphabet: Sequence, max_length: Optional[int] = None
+) -> Iterator[Tuple]:
+    """All repetition-free sequences over ``alphabet``, shortest first.
+
+    Without ``max_length`` the generator yields all ``alpha(len(alphabet))``
+    sequences (every repetition-free sequence has length at most
+    ``len(alphabet)``).  Elements must be distinct.
+
+    >>> sorted(repetition_free_sequences("ab"), key=len)
+    [(), ('a',), ('b',), ('a', 'b'), ('b', 'a')]
+    """
+    symbols = tuple(alphabet)
+    if len(set(symbols)) != len(symbols):
+        raise VerificationError(f"alphabet has repeated symbols: {symbols!r}")
+    limit = len(symbols) if max_length is None else min(max_length, len(symbols))
+
+    def extend(prefix: Tuple, remaining: Tuple) -> Iterator[Tuple]:
+        yield prefix
+        if len(prefix) >= limit:
+            return
+        for index, symbol in enumerate(remaining):
+            yield from extend(
+                prefix + (symbol,), remaining[:index] + remaining[index + 1 :]
+            )
+
+    yield from extend((), symbols)
+
+
+def all_sequences(alphabet: Sequence, max_length: int) -> Iterator[Tuple]:
+    """All sequences (repetitions allowed) up to ``max_length``, by length."""
+    symbols = tuple(alphabet)
+    frontier: List[Tuple] = [()]
+    for _ in range(max_length + 1):
+        for sequence in frontier:
+            yield sequence
+        frontier = [seq + (s,) for seq in frontier for s in symbols]
+        if not frontier:
+            return
+
+
+class PrefixTree:
+    """The prefix tree (trie) of a finite family of sequences.
+
+    Stores the family's prefix-closure; distinguishes *member* nodes (in
+    the family) from internal padding nodes.  Used by the encoder builder
+    and by the knowledge machinery's identification index ``beta``.
+    """
+
+    def __init__(self, family: Iterable[Sequence]) -> None:
+        self._members: set = set()
+        self._children: Dict[Tuple, set] = {(): set()}
+        for sequence in family:
+            sequence = tuple(sequence)
+            self._members.add(sequence)
+            for cut in range(len(sequence)):
+                prefix = sequence[:cut]
+                child = sequence[: cut + 1]
+                self._children.setdefault(prefix, set()).add(child)
+                self._children.setdefault(child, set())
+
+    @property
+    def members(self) -> frozenset:
+        """The family itself, as a frozenset of tuples."""
+        return frozenset(self._members)
+
+    def nodes(self) -> Tuple[Tuple, ...]:
+        """Every prefix of every member, shortest first (deterministic)."""
+        return tuple(sorted(self._children, key=lambda node: (len(node), repr(node))))
+
+    def children(self, node: Tuple) -> Tuple[Tuple, ...]:
+        """Immediate extensions of ``node`` present in the prefix closure."""
+        return tuple(
+            sorted(self._children.get(tuple(node), ()), key=repr)
+        )
+
+    def is_member(self, node: Sequence) -> bool:
+        """True if ``node`` is one of the family's sequences."""
+        return tuple(node) in self._members
+
+    def members_extending(self, prefix: Sequence) -> Tuple[Tuple, ...]:
+        """All members having ``prefix`` as a prefix, deterministic order."""
+        prefix = tuple(prefix)
+        return tuple(
+            sorted(
+                (member for member in self._members if is_prefix(prefix, member)),
+                key=lambda member: (len(member), repr(member)),
+            )
+        )
+
+    def is_antichain(self) -> bool:
+        """True if no member is a proper prefix of another member."""
+        return not any(
+            is_proper_prefix(a, b)
+            for a in self._members
+            for b in self._members
+            if a != b
+        )
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+def identification_index(family: Iterable[Sequence]) -> int:
+    """The paper's ``beta``: the minimal ``i`` such that every sequence in
+    the family is uniquely identified by its length-``i`` prefix.
+
+    For families containing one sequence that is a proper prefix of
+    another, no finite ``i`` separates them by equality of prefixes; the
+    paper's usage (Section 4) takes prefixes *as identifiers*, i.e. the
+    length-``i`` prefix of a shorter sequence is the sequence itself.  With
+    that reading, ``beta`` is the smallest ``i`` making the map
+    ``X -> X[:i]`` injective on the family.
+    """
+    sequences = [tuple(sequence) for sequence in family]
+    if len(set(sequences)) != len(sequences):
+        raise VerificationError("family contains duplicate sequences")
+    longest = max((len(sequence) for sequence in sequences), default=0)
+    for i in range(longest + 1):
+        prefixes = [sequence[:i] for sequence in sequences]
+        if len(set(prefixes)) == len(prefixes):
+            return i
+    raise VerificationError(
+        "no prefix length identifies the family "
+        "(a sequence equals another's truncation at every length)"
+    )

@@ -1,0 +1,13 @@
+"""The synthetic evaluation: every claim of the paper as an experiment.
+
+The paper has no tables or figures of its own (it is a bounds paper), so
+the evaluation here is defined by DESIGN.md section 4: each experiment
+checks one theorem, construction, or counterexample mechanically and
+renders a deterministic table or series.  One module per experiment; the
+registry maps experiment ids ("T1", "F2", ...) to their entry points so
+the CLI, the benchmark harness, and EXPERIMENTS.md all run the same code.
+"""
+
+from repro.experiments.base import ExperimentResult, registry, run_experiment
+
+__all__ = ["ExperimentResult", "registry", "run_experiment"]

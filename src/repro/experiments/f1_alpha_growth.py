@@ -1,0 +1,50 @@
+"""F1 (Figure 1): growth of ``alpha(m)`` against ``m!`` and ``e * m!``.
+
+The tight bound sits in a narrow band: ``m! <= alpha(m) < e * m!`` with
+``alpha(m)/m! -> e``.  The figure renders the ratio series; the checks
+confirm the band and the monotone convergence of the ratio toward ``e``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_series, render_table
+from repro.core.alpha import alpha
+from repro.experiments.base import ExperimentResult
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Build Figure 1."""
+    max_m = 8 if quick else 12
+    headers = ("m", "alpha(m)", "m!", "alpha/m!", "e - alpha/m!")
+    rows = []
+    in_band = True
+    gaps = []
+    for m in range(1, max_m + 1):
+        value = alpha(m)
+        factorial = math.factorial(m)
+        ratio = value / factorial
+        gap = math.e - ratio
+        rows.append((m, value, factorial, ratio, gap))
+        in_band = in_band and factorial <= value < math.e * factorial
+        gaps.append(gap)
+    decreasing = all(a > b >= 0 for a, b in zip(gaps, gaps[1:]))
+    series = render_series(
+        "F1: alpha(m)/m! converging to e",
+        "m",
+        "alpha/m!",
+        [(m, ratio) for m, _, _, ratio, _ in rows],
+    )
+    table = render_table(headers, rows, title="F1 data")
+    return ExperimentResult(
+        experiment_id="F1",
+        title="Growth of alpha(m): the m! <= alpha(m) < e*m! band",
+        rendered=series + "\n\n" + table,
+        headers=headers,
+        rows=tuple(rows),
+        checks={
+            "alpha_in_band_m!_to_e*m!": in_band,
+            "ratio_converges_monotonically_to_e": decreasing,
+        },
+    )

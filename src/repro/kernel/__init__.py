@@ -1,0 +1,71 @@
+"""Simulation kernel: deterministic substrate everything else runs on.
+
+The kernel deliberately knows nothing about the sequence transmission
+problem itself.  It provides:
+
+* :mod:`repro.kernel.types` -- immutable collections (``Multiset``) used as
+  channel state.
+* :mod:`repro.kernel.errors` -- the exception hierarchy.
+* :mod:`repro.kernel.rng` -- seeded, forkable randomness.
+* :mod:`repro.kernel.interfaces` -- the abstract protocol/channel contracts.
+* :mod:`repro.kernel.system` -- global configurations and the transition
+  relation of a (sender, receiver, channel, channel) system.
+* :mod:`repro.kernel.trace` -- recorded executions.
+* :mod:`repro.kernel.eventqueue` -- a timed event queue for latency models.
+* :mod:`repro.kernel.simulator` -- adversary-driven run loops.
+"""
+
+from repro.kernel.errors import (
+    KernelError,
+    ProtocolError,
+    ChannelError,
+    SimulationError,
+    AlphabetError,
+)
+from repro.kernel.types import Multiset
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.interfaces import (
+    Transition,
+    SenderProtocol,
+    ReceiverProtocol,
+    ChannelModel,
+)
+from repro.kernel.system import (
+    Configuration,
+    Event,
+    SENDER_STEP,
+    RECEIVER_STEP,
+    deliver_to_receiver,
+    deliver_to_sender,
+    System,
+)
+from repro.kernel.trace import Trace, TraceStep
+from repro.kernel.eventqueue import EventQueue, TimedEvent
+from repro.kernel.simulator import Simulator, SimulationResult
+
+__all__ = [
+    "KernelError",
+    "ProtocolError",
+    "ChannelError",
+    "SimulationError",
+    "AlphabetError",
+    "Multiset",
+    "DeterministicRNG",
+    "Transition",
+    "SenderProtocol",
+    "ReceiverProtocol",
+    "ChannelModel",
+    "Configuration",
+    "Event",
+    "SENDER_STEP",
+    "RECEIVER_STEP",
+    "deliver_to_receiver",
+    "deliver_to_sender",
+    "System",
+    "Trace",
+    "TraceStep",
+    "EventQueue",
+    "TimedEvent",
+    "Simulator",
+    "SimulationResult",
+]

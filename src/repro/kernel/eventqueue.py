@@ -1,0 +1,89 @@
+"""A timed event queue for latency-annotated simulation.
+
+The core reproduction uses untimed, adversary-scheduled steps (the paper's
+model is asynchronous).  For the message-complexity and latency experiments
+(Figure 3) it is convenient to also run protocols under a *timed* model in
+which each message is assigned a delivery delay; this module provides the
+standard discrete-event priority queue that backs that mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TimedEvent:
+    """An event scheduled at a virtual time.
+
+    Ordering is by ``(time, sequence_number)`` so ties break in insertion
+    order, keeping timed simulations deterministic.
+    """
+
+    time: float
+    sequence: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`TimedEvent`.
+
+    >>> q = EventQueue()
+    >>> q.schedule(2.0, "b"); q.schedule(1.0, "a")
+    TimedEvent(time=2.0, ...)
+    TimedEvent(time=1.0, ...)
+    >>> q.pop().payload
+    'a'
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The virtual time of the most recently popped event."""
+        return self._now
+
+    def schedule(self, time: float, payload: Any) -> TimedEvent:
+        """Schedule ``payload`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = TimedEvent(time=time, sequence=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, payload: Any) -> TimedEvent:
+        """Schedule ``payload`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, payload)
+
+    def pop(self) -> TimedEvent:
+        """Remove and return the earliest event, advancing virtual time."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek(self) -> Optional[TimedEvent]:
+        """The earliest event without removing it, or None if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[TimedEvent]:
+        """Pop events until the queue is empty."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,201 @@
+"""Abstract contracts for protocol automata and channel models.
+
+Protocols are *pure automata over hashable states*.  A protocol object holds
+no mutable execution state; instead it exposes an initial state and
+transition functions that map ``(state, stimulus)`` to a :class:`Transition`
+(a new state plus emitted messages and, for receivers, written data items).
+
+This one design decision is what lets a single protocol implementation be
+
+* simulated under randomized adversaries (:mod:`repro.kernel.simulator`),
+* exhaustively model checked (:mod:`repro.verify.explorer`),
+* attacked by the product-construction impossibility search
+  (:mod:`repro.verify.attack`), and
+* analyzed epistemically (:mod:`repro.knowledge`),
+
+with no adapters: every consumer just folds the transition functions.
+
+Channel models likewise operate on immutable states and implement exactly
+the paper's ``dlvrble`` bookkeeping (Section 2.2): the set or multiset of
+messages the environment may currently deliver.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Hashable, Tuple
+
+from repro.kernel.errors import AlphabetError, ChannelError
+
+State = Hashable
+Message = Hashable
+DataItem = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """The result of one automaton step.
+
+    Attributes:
+        state: the automaton's next local state (hashable).
+        sends: messages emitted into the outgoing channel, in order.
+        writes: data items appended to the output tape (receivers only).
+    """
+
+    state: State
+    sends: Tuple[Message, ...] = ()
+    writes: Tuple[DataItem, ...] = ()
+
+    @classmethod
+    def stay(cls, state: State) -> "Transition":
+        """A transition that changes nothing but the (unchanged) state."""
+        return cls(state=state)
+
+
+class SenderProtocol(ABC):
+    """The sender side of an STP protocol.
+
+    Subclasses must declare a finite message alphabet and implement the two
+    transition functions.  ``initial_state`` receives the entire input
+    sequence: the paper allows non-uniform senders (footnote 2: the input
+    tape may be built into the protocol), and uniform protocols simply treat
+    the sequence as a read-only tape consumed item by item.
+    """
+
+    @property
+    @abstractmethod
+    def message_alphabet(self) -> FrozenSet[Message]:
+        """The finite set ``M^S`` of messages this sender may emit."""
+
+    @abstractmethod
+    def initial_state(self, input_sequence: Tuple[DataItem, ...]) -> State:
+        """The sender's local state at time zero on the given input tape."""
+
+    @abstractmethod
+    def on_message(self, state: State, message: Message) -> Transition:
+        """React to a delivered message (an acknowledgement, usually)."""
+
+    @abstractmethod
+    def on_step(self, state: State) -> Transition:
+        """A spontaneous local step (initial send, retransmission, ...).
+
+        Must be idempotent in the sense that repeating it from the resulting
+        state is always allowed; adversaries may schedule it at any time.
+        """
+
+    def check_sends(self, transition: Transition) -> Transition:
+        """Validate that every emitted message is in the declared alphabet."""
+        for message in transition.sends:
+            if message not in self.message_alphabet:
+                raise AlphabetError(
+                    f"sender emitted {message!r} outside alphabet "
+                    f"{sorted(map(repr, self.message_alphabet))}"
+                )
+        return transition
+
+
+class ReceiverProtocol(ABC):
+    """The receiver side of an STP protocol.
+
+    The receiver starts in a single fixed initial state (Property 1a: ``R``
+    does not know the input sequence at the beginning of a run) and writes
+    data items via ``Transition.writes``.
+    """
+
+    @property
+    @abstractmethod
+    def message_alphabet(self) -> FrozenSet[Message]:
+        """The finite set ``M^R`` of messages this receiver may emit."""
+
+    @abstractmethod
+    def initial_state(self) -> State:
+        """The receiver's unique local state at time zero."""
+
+    @abstractmethod
+    def on_message(self, state: State, message: Message) -> Transition:
+        """React to a delivered message; may write items and send acks."""
+
+    @abstractmethod
+    def on_step(self, state: State) -> Transition:
+        """A spontaneous local step (periodic ack resend, ...)."""
+
+    def check_sends(self, transition: Transition) -> Transition:
+        """Validate that every emitted message is in the declared alphabet."""
+        for message in transition.sends:
+            if message not in self.message_alphabet:
+                raise AlphabetError(
+                    f"receiver emitted {message!r} outside alphabet "
+                    f"{sorted(map(repr, self.message_alphabet))}"
+                )
+        return transition
+
+
+class ChannelModel(ABC):
+    """A unidirectional unreliable channel, as immutable-state algebra.
+
+    The channel *model* is stateless; channel *states* are hashable values
+    produced and consumed by its methods.  The adversary (not the model)
+    chooses which deliverable message to deliver, which captures arbitrary
+    reordering; deletion is captured by messages that are simply never
+    delivered; duplication by models whose ``after_deliver`` does not
+    consume the message.
+    """
+
+    #: Human-readable channel family name ("dup", "del", "fifo", ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def empty(self) -> State:
+        """The channel state before anything has been sent."""
+
+    @abstractmethod
+    def after_send(self, state: State, message: Message) -> State:
+        """Channel state after the origin process sends ``message``."""
+
+    @abstractmethod
+    def deliverable(self, state: State) -> Tuple[Message, ...]:
+        """Distinct messages the environment may deliver now, canonical order.
+
+        This is the support of the paper's ``dlvrble`` vector at the point.
+        """
+
+    @abstractmethod
+    def after_deliver(self, state: State, message: Message) -> State:
+        """Channel state after the environment delivers one ``message``.
+
+        Raises :class:`repro.kernel.errors.ChannelError` if ``message`` is
+        not currently deliverable.
+        """
+
+    @abstractmethod
+    def dlvrble_count(self, state: State, message: Message) -> int:
+        """The ``dlvrble`` vector entry for ``message``.
+
+        For duplicating channels this is 0/1 ("was it ever sent"); for
+        deleting channels it is sent-minus-delivered copies.  Matches the
+        two definitions in Section 2.2 of the paper.
+        """
+
+    def can_duplicate(self) -> bool:
+        """True if a delivered message remains deliverable afterwards."""
+        return False
+
+    def can_delete(self) -> bool:
+        """True if fairness permits never delivering a sent message."""
+        return False
+
+    def droppable(self, state: State) -> Tuple[Message, ...]:
+        """Messages the environment may explicitly discard now.
+
+        Most channel families model deletion implicitly (a message is simply
+        never delivered), so the default is "nothing".  Lossy-FIFO channels
+        need explicit drops (a lost head would otherwise block the queue),
+        and deleting channels expose drops so exhaustive explorers can keep
+        their state spaces finite.
+        """
+        return ()
+
+    def after_drop(self, state: State, message: Message) -> State:
+        """Channel state after the environment discards one ``message``."""
+        raise ChannelError(f"channel {self.name!r} does not support drops")

@@ -1,0 +1,78 @@
+"""Deterministic, forkable randomness.
+
+Every stochastic component of the library (randomized adversaries, workload
+generators, fault injectors) draws from a :class:`DeterministicRNG` so that
+any experiment is reproducible from a single integer seed.  ``fork`` derives
+an independent child stream from a label, so components do not perturb each
+other's streams when the experiment configuration changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """A labelled, seedable random stream.
+
+    >>> rng = DeterministicRNG(42)
+    >>> child = rng.fork("adversary")
+    >>> isinstance(child.randint(0, 10), int)
+    True
+
+    Two RNGs built from the same seed and fork path produce identical
+    streams; forks with different labels are statistically independent.
+    """
+
+    def __init__(self, seed: int, path: str = "root") -> None:
+        self.seed = seed
+        self.path = path
+        digest = hashlib.sha256(f"{seed}:{path}".encode()).digest()
+        self._random = random.Random(int.from_bytes(digest[:8], "big"))
+
+    def fork(self, label: str) -> "DeterministicRNG":
+        """An independent child stream identified by ``label``."""
+        return DeterministicRNG(self.seed, f"{self.path}/{label}")
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Uniformly choose one element of a non-empty sequence."""
+        if not options:
+            raise IndexError("cannot choose from an empty sequence")
+        return options[self._random.randrange(len(options))]
+
+    def weighted_choice(self, options: Sequence[T], weights: Sequence[float]) -> T:
+        """Choose one element with the given (unnormalized) weights."""
+        if len(options) != len(weights):
+            raise ValueError("options and weights must have equal length")
+        return self._random.choices(list(options), weights=list(weights), k=1)[0]
+
+    def shuffle(self, items: Sequence[T]) -> list:
+        """A new list containing ``items`` in uniformly random order."""
+        result = list(items)
+        self._random.shuffle(result)
+        return result
+
+    def sample(self, items: Sequence[T], k: int) -> list:
+        """``k`` distinct elements drawn without replacement."""
+        return self._random.sample(list(items), k)
+
+    def coin(self, probability: float = 0.5) -> bool:
+        """True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        return self._random.random() < probability
+
+    def __repr__(self) -> str:
+        return f"DeterministicRNG(seed={self.seed}, path={self.path!r})"

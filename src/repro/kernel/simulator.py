@@ -1,0 +1,137 @@
+"""Adversary-driven run loops.
+
+The simulator repeatedly asks an *adversary* (any object with a
+``choose(system, trace, enabled)`` method; see
+:class:`repro.adversaries.base.Adversary`) which enabled event to schedule
+next, applies it, and records the trace.  It stops when the output tape is
+complete, when the adversary yields, or when a step limit is hit.
+
+Safety is checked after every step by default, so a single simulation both
+exercises a protocol and acts as a runtime verification oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.system import Configuration, Event, System
+from repro.kernel.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The outcome of one simulated run.
+
+    Attributes:
+        trace: the full recorded execution.
+        completed: True if the whole input sequence was written.
+        safe: True if Safety (``Y`` prefix of ``X``) held at every point.
+        steps: number of events scheduled.
+        stopped_by_adversary: True if the adversary yielded before
+            completion or the step limit.
+        first_violation_time: the earliest point at which Safety failed,
+            or None if it never did.
+    """
+
+    trace: Trace
+    completed: bool
+    safe: bool
+    steps: int
+    stopped_by_adversary: bool
+    first_violation_time: Optional[int]
+
+
+class Simulator:
+    """Runs one system to completion (or violation, or exhaustion).
+
+    Args:
+        system: the system to execute.
+        adversary: the delivery/step scheduler.
+        max_steps: hard limit on scheduled events.
+        stop_on_violation: stop as soon as Safety fails (the violation is
+            still recorded in the result).
+        stop_when_complete: stop once the output tape equals the input tape
+            (useful to keep message-count metrics comparable).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        adversary,
+        max_steps: int = 10_000,
+        stop_on_violation: bool = True,
+        stop_when_complete: bool = True,
+    ) -> None:
+        if max_steps <= 0:
+            raise SimulationError(f"max_steps must be positive, got {max_steps}")
+        self.system = system
+        self.adversary = adversary
+        self.max_steps = max_steps
+        self.stop_on_violation = stop_on_violation
+        self.stop_when_complete = stop_when_complete
+
+    def run(self) -> SimulationResult:
+        """Execute the run loop and return the result.
+
+        The adversary's per-run bookkeeping is reset first, so a single
+        adversary instance can drive many runs.
+        """
+        reset = getattr(self.adversary, "reset", None)
+        if reset is not None:
+            reset()
+        trace = Trace(self.system)
+        first_violation: Optional[int] = None
+        stopped_by_adversary = False
+
+        if not self.system.output_is_safe(trace.initial):
+            first_violation = 0
+
+        while len(trace) < self.max_steps:
+            if first_violation is not None and self.stop_on_violation:
+                break
+            if self.stop_when_complete and self.system.output_is_complete(trace.last):
+                break
+            enabled = self.system.enabled_events(trace.last)
+            event = self.adversary.choose(self.system, trace, enabled)
+            if event is None:
+                stopped_by_adversary = True
+                break
+            if event not in enabled:
+                raise SimulationError(
+                    f"adversary chose disabled event {event!r}; "
+                    f"enabled: {enabled!r}"
+                )
+            config = trace.extend(event)
+            if first_violation is None and not self.system.output_is_safe(config):
+                first_violation = len(trace)
+
+        return SimulationResult(
+            trace=trace,
+            completed=self.system.output_is_complete(trace.last),
+            safe=first_violation is None,
+            steps=len(trace),
+            stopped_by_adversary=stopped_by_adversary,
+            first_violation_time=first_violation,
+        )
+
+
+def run_protocol(
+    sender,
+    receiver,
+    channel_sr,
+    channel_rs,
+    input_sequence: Tuple,
+    adversary,
+    max_steps: int = 10_000,
+) -> SimulationResult:
+    """Convenience wrapper: build the system and run it once."""
+    system = System(
+        sender=sender,
+        receiver=receiver,
+        channel_sr=channel_sr,
+        channel_rs=channel_rs,
+        input_sequence=tuple(input_sequence),
+    )
+    return Simulator(system, adversary, max_steps=max_steps).run()

@@ -1,0 +1,208 @@
+"""Timed simulation: protocols under latency and loss models.
+
+The paper's model is untimed (adversary-scheduled), which is the right
+setting for possibility/impossibility.  For *performance* questions --
+experiment F5's throughput-versus-loss curves -- it is more natural to run
+the same protocol automata under a discrete-event clock:
+
+* each process takes a local step every ``step_period`` time units;
+* each sent message is independently lost with probability ``loss_rate``
+  or delivered after ``latency()`` time units;
+* with a constant latency the link is FIFO (what ABP/Go-Back-N assume);
+  jittered latencies yield natural reordering (only reordering-tolerant
+  protocols survive them).
+
+The timed driver deliberately bypasses the channel-state algebra: delays
+and losses fully determine deliveries, so in-flight messages live in the
+event queue itself.  Safety is still checked against the input tape after
+every write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.eventqueue import EventQueue
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol
+from repro.kernel.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Outcome of one timed run.
+
+    Attributes:
+        completed / safe: the STP requirements' verdicts.
+        virtual_time: clock value when the run ended.
+        output: the receiver's output tape.
+        write_times: virtual time of each write.
+        data_messages_sent / acks_sent: send counts per direction.
+        messages_lost: sends the loss model discarded.
+        goodput: items delivered per unit virtual time (None for empty
+            inputs or zero elapsed time).
+    """
+
+    completed: bool
+    safe: bool
+    virtual_time: float
+    output: Tuple
+    write_times: Tuple[float, ...]
+    data_messages_sent: int
+    acks_sent: int
+    messages_lost: int
+    goodput: Optional[float]
+
+
+class TimedSimulator:
+    """Runs one protocol pair under a latency/loss model.
+
+    Args:
+        sender / receiver: the protocol automata (unchanged from the
+            untimed world).
+        input_sequence: the tape to transmit.
+        rng: randomness for loss decisions (and stochastic latencies, if
+            the latency callable uses its own fork).
+        latency: callable returning the delay of each delivered message.
+        loss_rate: independent loss probability per message.
+        step_period: time between a process's local steps.
+        max_time: horizon after which the run is abandoned.
+    """
+
+    def __init__(
+        self,
+        sender: SenderProtocol,
+        receiver: ReceiverProtocol,
+        input_sequence: Tuple,
+        rng: DeterministicRNG,
+        latency: Callable[[], float],
+        loss_rate: float = 0.0,
+        step_period: float = 1.0,
+        max_time: float = 10_000.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate out of [0,1): {loss_rate}")
+        if step_period <= 0:
+            raise SimulationError("step_period must be positive")
+        self.sender = sender
+        self.receiver = receiver
+        self.input_sequence = tuple(input_sequence)
+        self.rng = rng
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self.step_period = step_period
+        self.max_time = max_time
+
+    def run(self) -> TimedResult:
+        """Execute to completion, violation, or the time horizon."""
+        queue = EventQueue()
+        sender_state = self.sender.initial_state(self.input_sequence)
+        receiver_state = self.receiver.initial_state()
+        output: List = []
+        write_times: List[float] = []
+        data_sent = 0
+        acks_sent = 0
+        lost = 0
+        safe = True
+
+        queue.schedule(0.0, ("step", "S"))
+        queue.schedule(self.step_period / 2, ("step", "R"))
+
+        def dispatch(messages, direction: str) -> None:
+            nonlocal data_sent, acks_sent, lost
+            for message in messages:
+                if direction == "SR":
+                    data_sent += 1
+                else:
+                    acks_sent += 1
+                if self.rng.coin(self.loss_rate):
+                    lost += 1
+                    continue
+                queue.schedule_after(
+                    max(self.latency(), 1e-9), ("deliver", direction, message)
+                )
+
+        while queue and queue.now <= self.max_time:
+            event = queue.pop()
+            kind = event.payload[0]
+            if kind == "step":
+                process = event.payload[1]
+                if process == "S":
+                    transition = self.sender.check_sends(
+                        self.sender.on_step(sender_state)
+                    )
+                    sender_state = transition.state
+                    dispatch(transition.sends, "SR")
+                else:
+                    transition = self.receiver.check_sends(
+                        self.receiver.on_step(receiver_state)
+                    )
+                    receiver_state = transition.state
+                    dispatch(transition.sends, "RS")
+                    for item in transition.writes:
+                        output.append(item)
+                        write_times.append(queue.now)
+                queue.schedule_after(self.step_period, event.payload)
+            elif kind == "deliver":
+                _, direction, message = event.payload
+                if direction == "SR":
+                    transition = self.receiver.check_sends(
+                        self.receiver.on_message(receiver_state, message)
+                    )
+                    receiver_state = transition.state
+                    dispatch(transition.sends, "RS")
+                    for item in transition.writes:
+                        output.append(item)
+                        write_times.append(queue.now)
+                else:
+                    transition = self.sender.check_sends(
+                        self.sender.on_message(sender_state, message)
+                    )
+                    sender_state = transition.state
+                    dispatch(transition.sends, "SR")
+            else:
+                raise SimulationError(f"unknown timed event {event.payload!r}")
+
+            if tuple(output) != self.input_sequence[: len(output)]:
+                safe = False
+                break
+            if tuple(output) == self.input_sequence:
+                break
+
+        completed = safe and tuple(output) == self.input_sequence
+        elapsed = queue.now
+        goodput = (
+            len(output) / elapsed if output and elapsed > 0 else None
+        )
+        return TimedResult(
+            completed=completed,
+            safe=safe,
+            virtual_time=elapsed,
+            output=tuple(output),
+            write_times=tuple(write_times),
+            data_messages_sent=data_sent,
+            acks_sent=acks_sent,
+            messages_lost=lost,
+            goodput=goodput,
+        )
+
+
+def constant_latency(value: float) -> Callable[[], float]:
+    """A degenerate latency model: every message takes ``value`` units.
+
+    Constant latency preserves send order end to end, so the link behaves
+    as a lossy FIFO -- the assumption ABP and Go-Back-N need.
+    """
+    if value <= 0:
+        raise SimulationError("latency must be positive")
+    return lambda: value
+
+
+def jittered_latency(
+    rng: DeterministicRNG, low: float, high: float
+) -> Callable[[], float]:
+    """Uniform latency in ``[low, high]``: natural reordering."""
+    if not 0 < low <= high:
+        raise SimulationError("need 0 < low <= high")
+    return lambda: low + (high - low) * rng.random()

@@ -1,0 +1,153 @@
+"""Recorded executions (the paper's *runs*, truncated to finite prefixes).
+
+A :class:`Trace` is the finite prefix of a run: the initial configuration
+followed by the scheduled events and the configurations they produce.  It is
+the interchange format between the simulator, the verification oracles, the
+metrics extractors, and the knowledge machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.kernel.system import Configuration, Event, System
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One transition in a trace: the event taken and the state it produced."""
+
+    event: Event
+    config: Configuration
+
+
+class Trace:
+    """A finite execution prefix of a :class:`~repro.kernel.system.System`.
+
+    Indexing convention follows the paper's points: ``trace.config_at(t)``
+    is the global state ``r(t)``; ``trace.config_at(0)`` is initial; the
+    event at position ``t`` leads from ``r(t)`` to ``r(t+1)``.
+    """
+
+    def __init__(self, system: System, initial: Optional[Configuration] = None) -> None:
+        self.system = system
+        self.initial = initial if initial is not None else system.initial()
+        self.steps: List[TraceStep] = []
+
+    @property
+    def input_sequence(self) -> Tuple:
+        """The input tape ``X`` of this run."""
+        return self.system.input_sequence
+
+    def extend(self, event: Event) -> Configuration:
+        """Apply ``event`` at the last configuration and record the result."""
+        new_config = self.system.apply(self.last, event)
+        self.steps.append(TraceStep(event=event, config=new_config))
+        return new_config
+
+    @property
+    def last(self) -> Configuration:
+        """The most recent configuration."""
+        return self.steps[-1].config if self.steps else self.initial
+
+    def __len__(self) -> int:
+        """Number of events taken so far."""
+        return len(self.steps)
+
+    def config_at(self, time: int) -> Configuration:
+        """The global state ``r(time)``; time 0 is the initial state."""
+        if time == 0:
+            return self.initial
+        return self.steps[time - 1].config
+
+    def configurations(self) -> Iterator[Configuration]:
+        """All configurations, starting from the initial one."""
+        yield self.initial
+        for step in self.steps:
+            yield step.config
+
+    def events(self) -> Tuple[Event, ...]:
+        """The schedule: the sequence of events taken."""
+        return tuple(step.event for step in self.steps)
+
+    def output(self) -> Tuple:
+        """The output tape ``Y`` at the end of the trace."""
+        return self.last.output
+
+    def write_times(self) -> List[int]:
+        """``write_times()[i]`` is the time just after item ``i+1`` is written.
+
+        Times follow the point convention: if the event at position ``t``
+        produced the write, the recorded time is ``t + 1`` (the first point
+        whose configuration contains the item).
+        """
+        times: List[int] = []
+        seen = len(self.initial.output)
+        for position, step in enumerate(self.steps):
+            while len(step.config.output) > seen:
+                times.append(position + 1)
+                seen += 1
+        return times
+
+    def messages_sent_to_receiver(self) -> List[Tuple[int, object]]:
+        """(time, message) pairs for every send on the S->R channel.
+
+        Reconstructed by diffing deliverable counts is fragile across channel
+        families, so instead we re-derive sends from sender transitions: an
+        event at position ``t`` that was a sender step or an RS delivery may
+        have sent messages.  We replay the sender automaton to recover them.
+        """
+        sends: List[Tuple[int, object]] = []
+        sender = self.system.sender
+        state = self.initial.sender_state
+        for position, step in enumerate(self.steps):
+            event = step.event
+            if event == ("step", "S"):
+                transition = sender.on_step(state)
+            elif event[0] == "deliver" and event[1] == "RS":
+                transition = sender.on_message(state, event[2])
+            else:
+                continue
+            for message in transition.sends:
+                sends.append((position, message))
+            state = transition.state
+        return sends
+
+    def messages_delivered_to_receiver(self) -> List[Tuple[int, object]]:
+        """(time, message) pairs for every S->R delivery event."""
+        return [
+            (position, step.event[2])
+            for position, step in enumerate(self.steps)
+            if step.event[0] == "deliver" and step.event[1] == "SR"
+        ]
+
+    def messages_delivered_to_sender(self) -> List[Tuple[int, object]]:
+        """(time, message) pairs for every R->S delivery event."""
+        return [
+            (position, step.event[2])
+            for position, step in enumerate(self.steps)
+            if step.event[0] == "deliver" and step.event[1] == "RS"
+        ]
+
+    def count_events(self, kind: str) -> int:
+        """Number of recorded events whose first component equals ``kind``."""
+        return sum(1 for step in self.steps if step.event[0] == kind)
+
+    def is_safe_throughout(self) -> bool:
+        """True if Safety held at every recorded point."""
+        return all(
+            self.system.output_is_safe(config) for config in self.configurations()
+        )
+
+    def replay(self, events: Sequence[Event]) -> "Trace":
+        """Extend this trace by a scheduled sequence of events (in place)."""
+        for event in events:
+            self.extend(event)
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(len={len(self)}, input={self.input_sequence!r}, "
+            f"output={self.output()!r})"
+        )

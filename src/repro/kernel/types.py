@@ -1,0 +1,145 @@
+"""Immutable value types used throughout the library.
+
+The central type is :class:`Multiset`, an immutable, hashable multiset.
+Channel states must be hashable so that global configurations can be used
+as keys in exhaustive state-space exploration; Python's ``collections.Counter``
+is mutable and unhashable, so we provide a frozen equivalent with the small
+set of operations channels need (add one copy, remove one copy, count,
+iterate support).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+Message = Any  # messages are arbitrary hashable values
+DataItem = Any  # data items are arbitrary hashable values
+
+
+class Multiset:
+    """An immutable multiset of hashable elements.
+
+    Internally stores a canonical sorted tuple of ``(element, count)`` pairs
+    (sorted by ``repr`` so heterogeneous elements still canonicalize), which
+    makes equality, hashing, and iteration deterministic.
+
+    >>> m = Multiset(["a", "b", "a"])
+    >>> m.count("a")
+    2
+    >>> m.add("c").count("c")
+    1
+    >>> m.remove("a").count("a")
+    1
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, elements: Iterable[Any] = ()) -> None:
+        counts: Dict[Any, int] = {}
+        for element in elements:
+            counts[element] = counts.get(element, 0) + 1
+        self._items: Tuple[Tuple[Any, int], ...] = self._canonicalize(counts)
+        self._hash = hash(self._items)
+
+    @staticmethod
+    def _canonicalize(counts: Mapping[Any, int]) -> Tuple[Tuple[Any, int], ...]:
+        pairs = [(el, n) for el, n in counts.items() if n > 0]
+        pairs.sort(key=lambda pair: repr(pair[0]))
+        return tuple(pairs)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Any, int]) -> "Multiset":
+        """Build a multiset directly from an ``element -> count`` mapping."""
+        for element, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for {element!r}: {count}")
+        result = cls.__new__(cls)
+        result._items = cls._canonicalize(counts)
+        result._hash = hash(result._items)
+        return result
+
+    def count(self, element: Any) -> int:
+        """Number of copies of ``element`` in the multiset."""
+        for el, n in self._items:
+            if el == element:
+                return n
+        return 0
+
+    def add(self, element: Any, copies: int = 1) -> "Multiset":
+        """A new multiset with ``copies`` more copies of ``element``."""
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        counts = dict(self._items)
+        counts[element] = counts.get(element, 0) + copies
+        return Multiset.from_counts(counts)
+
+    def remove(self, element: Any, copies: int = 1) -> "Multiset":
+        """A new multiset with ``copies`` fewer copies of ``element``.
+
+        Raises :class:`KeyError` if fewer than ``copies`` copies exist.
+        """
+        current = self.count(element)
+        if current < copies:
+            raise KeyError(
+                f"cannot remove {copies} copies of {element!r}; only {current} present"
+            )
+        counts = dict(self._items)
+        counts[element] = current - copies
+        return Multiset.from_counts(counts)
+
+    def support(self) -> Tuple[Any, ...]:
+        """Distinct elements present at least once, in canonical order."""
+        return tuple(el for el, _ in self._items)
+
+    def counts(self) -> Dict[Any, int]:
+        """A fresh mutable ``element -> count`` dictionary."""
+        return dict(self._items)
+
+    def total(self) -> int:
+        """Total number of copies across all elements."""
+        return sum(n for _, n in self._items)
+
+    def union_counts(self, other: "Multiset") -> "Multiset":
+        """Elementwise sum of two multisets."""
+        counts = self.counts()
+        for el, n in other._items:
+            counts[el] = counts.get(el, 0) + n
+        return Multiset.from_counts(counts)
+
+    def dominates(self, other: "Multiset") -> bool:
+        """True if every element occurs at least as often here as in ``other``.
+
+        This is the ``>=`` order the paper uses on ``dlvrble`` vectors
+        (Definition 2, requirement 2).
+        """
+        return all(self.count(el) >= n for el, n in other._items)
+
+    def __contains__(self, element: Any) -> bool:
+        return self.count(element) > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate elements with multiplicity, in canonical order."""
+        for el, n in self._items:
+            for _ in range(n):
+                yield el
+
+    def __len__(self) -> int:
+        return self.total()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{el!r}: {n}" for el, n in self._items)
+        return f"Multiset({{{inner}}})"
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+EMPTY_MULTISET = Multiset()

@@ -1,0 +1,81 @@
+"""The knowledge framework of Sections 2.2-2.4, executable.
+
+The paper derives all of its results "using formal reasoning about
+knowledge": facts, the knowledge operators ``K_S``/``K_R`` interpreted over
+indistinguishable points under the *complete history interpretation*, and
+the learning times ``t_i^r`` (the first time ``R`` knows the values of the
+first ``i`` data items).
+
+Here the same semantics is made mechanical:
+
+* :mod:`repro.knowledge.history` -- local views (complete histories) of a
+  process at a point of a trace;
+* :mod:`repro.knowledge.runs` -- points, run ensembles, and the
+  indistinguishability relations ``~_S`` / ``~_R``;
+* :mod:`repro.knowledge.formulas` -- the fact language (atoms ``x_i = d``,
+  Boolean connectives, ``K_p``) and its model checker over an ensemble;
+* :mod:`repro.knowledge.ensembles` -- generation of run ensembles, both
+  exhaustively (all schedules to a depth) and by seeded sampling;
+* :mod:`repro.knowledge.learning` -- the ``t_i^r`` learning times and
+  stability checks.
+
+Semantics caveat, stated once and honestly: ``K_p`` quantifies over the
+points *of the given ensemble*.  When the ensemble contains all runs of the
+system up to a depth (exhaustive generation), the checker is exact for the
+paper's semantics at points within that depth; for sampled ensembles it is
+an under-approximation of ignorance (more samples can only refute
+knowledge, never create it).
+"""
+
+from repro.knowledge.history import receiver_view, sender_view, view_of
+from repro.knowledge.runs import Point, Ensemble, indistinguishable
+from repro.knowledge.formulas import (
+    Fact,
+    atom,
+    output_len_at_least,
+    land,
+    lor,
+    lnot,
+    knows,
+    knows_value,
+    holds,
+)
+from repro.knowledge.ensembles import exhaustive_ensemble, sampled_ensemble
+from repro.knowledge.learning import learning_times, knowledge_is_stable
+from repro.knowledge.group import (
+    everyone_knows,
+    nested_everyone_knows,
+    knowledge_depth,
+    common_knowledge_points,
+    has_common_knowledge,
+)
+from repro.knowledge.kbp import KnowledgeBasedReceiver, knowledge_based_receiver_for
+
+__all__ = [
+    "receiver_view",
+    "sender_view",
+    "view_of",
+    "Point",
+    "Ensemble",
+    "indistinguishable",
+    "Fact",
+    "atom",
+    "output_len_at_least",
+    "land",
+    "lor",
+    "lnot",
+    "knows",
+    "knows_value",
+    "holds",
+    "exhaustive_ensemble",
+    "sampled_ensemble",
+    "learning_times",
+    "knowledge_is_stable",
+    "everyone_knows",
+    "nested_everyone_knows",
+    "knowledge_depth",
+    "common_knowledge_points",
+    "has_common_knowledge",
+    "KnowledgeBasedReceiver",
+    "knowledge_based_receiver_for",
+]

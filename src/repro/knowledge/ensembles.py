@@ -1,0 +1,119 @@
+"""Run-ensemble generation.
+
+Knowledge quantifies over runs, so before anything epistemic can be
+checked, a set of runs must exist.  Two generators are provided:
+
+* :func:`exhaustive_ensemble` -- every run of length ``depth`` for every
+  input, **up to observational equivalence**.  Because the protocol
+  automata are deterministic, a run's entire global configuration is a
+  function of ``(input, sender view, receiver view)``; two schedules with
+  identical final view pairs are point-for-point interchangeable for every
+  fact the checker can evaluate (each process's view at an intermediate
+  time is a prefix of its final view, and outputs are a function of the
+  receiver-view prefix).  The generator therefore deduplicates frontier
+  nodes by that signature at every level, which keeps the ensemble exact
+  for the paper's semantics while pruning the factorially many
+  interleavings that no observer can distinguish.
+* :func:`sampled_ensemble` -- seeded random runs.  Cheaper, and sound in
+  one direction: adding runs can only refute knowledge, so facts reported
+  as *not known* are definitely not known; facts reported known might be
+  artifacts of undersampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.system import System
+from repro.kernel.trace import Trace
+from repro.knowledge.history import receiver_view, sender_view
+from repro.knowledge.runs import Ensemble
+
+
+def exhaustive_ensemble(
+    make_system,
+    family: Iterable[Sequence],
+    depth: int,
+    include_drops: bool = False,
+    max_traces: int = 200_000,
+) -> Ensemble:
+    """All observationally distinct runs of length ``depth`` per input.
+
+    Args:
+        make_system: callable mapping an input tuple to a fresh
+            :class:`~repro.kernel.system.System`.
+        family: the allowable input sequences.
+        depth: exact schedule length explored (points at earlier times are
+            prefixes of the generated runs, so nothing is lost by fixing
+            the length).
+        include_drops: whether to explore explicit drop events.
+        max_traces: safety valve against state-space explosion, applied to
+            each level's frontier.
+    """
+    traces: List[Trace] = []
+    for input_sequence in family:
+        system = make_system(tuple(input_sequence))
+        frontier: Dict[Tuple, Trace] = {_signature(Trace(system)): Trace(system)}
+        for _ in range(depth):
+            next_frontier: Dict[Tuple, Trace] = {}
+            for trace in frontier.values():
+                enabled = system.enabled_events(trace.last)
+                if not include_drops:
+                    enabled = tuple(e for e in enabled if e[0] != "drop")
+                for event in enabled:
+                    branch = Trace(system)
+                    branch.replay(trace.events())
+                    branch.extend(event)
+                    key = _signature(branch)
+                    if key not in next_frontier:
+                        next_frontier[key] = branch
+                        if len(next_frontier) > max_traces:
+                            raise SimulationError(
+                                f"exhaustive ensemble frontier exceeded "
+                                f"{max_traces} runs; reduce depth or family"
+                            )
+            frontier = next_frontier
+        traces.extend(frontier.values())
+    return Ensemble(traces)
+
+
+def _signature(trace: Trace) -> Tuple:
+    """The observational identity of a run prefix."""
+    length = len(trace)
+    return (sender_view(trace, length), receiver_view(trace, length))
+
+
+def sampled_ensemble(
+    make_system,
+    make_adversary,
+    family: Iterable[Sequence],
+    runs_per_input: int,
+    max_steps: int = 2_000,
+) -> Ensemble:
+    """Seeded random runs: ``runs_per_input`` runs for each input.
+
+    Args:
+        make_system: input tuple -> fresh System.
+        make_adversary: (input tuple, run index) -> fresh adversary.
+        family: the allowable input sequences.
+        runs_per_input: number of runs sampled per input.
+        max_steps: step bound per run.
+    """
+    from repro.kernel.simulator import Simulator
+
+    traces: List[Trace] = []
+    for input_sequence in family:
+        input_sequence = tuple(input_sequence)
+        for run_index in range(runs_per_input):
+            system = make_system(input_sequence)
+            adversary = make_adversary(input_sequence, run_index)
+            result = Simulator(
+                system,
+                adversary,
+                max_steps=max_steps,
+                stop_when_complete=False,
+                stop_on_violation=False,
+            ).run()
+            traces.append(result.trace)
+    return Ensemble(traces)

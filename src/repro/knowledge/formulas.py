@@ -1,0 +1,127 @@
+"""The fact language of Section 2.3 and its model checker.
+
+Basic facts include ``x_i = d`` ("the i-th input item is d", 1-indexed as
+in the paper) and ``|Y| >= i``.  Facts close under Boolean connectives and
+the knowledge operators ``K_S`` / ``K_R``, with
+
+    (R, r, t) |= K_p phi   iff   (R, r', t') |= phi
+                                 for all points (r', t') ~_p (r, t).
+
+Facts are immutable trees evaluated by :func:`holds` against an
+:class:`~repro.knowledge.runs.Ensemble`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.knowledge.runs import Ensemble, Point
+
+
+@dataclass(frozen=True)
+class Fact:
+    """An immutable fact tree.
+
+    ``kind`` is one of ``"atom-x"``, ``"atom-ylen"``, ``"not"``, ``"and"``,
+    ``"or"``, ``"knows"``; ``payload`` carries the operands.
+    """
+
+    kind: str
+    payload: Tuple
+
+    def __str__(self) -> str:
+        if self.kind == "atom-x":
+            index, value = self.payload
+            return f"(x_{index} = {value!r})"
+        if self.kind == "atom-ylen":
+            (bound,) = self.payload
+            return f"(|Y| >= {bound})"
+        if self.kind == "not":
+            return f"~{self.payload[0]}"
+        if self.kind == "and":
+            return "(" + " & ".join(str(part) for part in self.payload) + ")"
+        if self.kind == "or":
+            return "(" + " | ".join(str(part) for part in self.payload) + ")"
+        if self.kind == "knows":
+            process, inner = self.payload
+            return f"K_{process} {inner}"
+        return f"Fact({self.kind}, {self.payload})"
+
+
+def atom(index: int, value) -> Fact:
+    """The basic fact ``x_index = value`` (1-indexed, as in the paper)."""
+    if index < 1:
+        raise VerificationError(f"data items are 1-indexed; got index {index}")
+    return Fact("atom-x", (index, value))
+
+
+def output_len_at_least(bound: int) -> Fact:
+    """The basic fact ``|Y| >= bound``."""
+    return Fact("atom-ylen", (bound,))
+
+
+def lnot(fact: Fact) -> Fact:
+    """Negation."""
+    return Fact("not", (fact,))
+
+
+def land(*facts: Fact) -> Fact:
+    """Conjunction (of one or more facts)."""
+    if not facts:
+        raise VerificationError("empty conjunction")
+    return Fact("and", tuple(facts))
+
+
+def lor(*facts: Fact) -> Fact:
+    """Disjunction (of one or more facts)."""
+    if not facts:
+        raise VerificationError("empty disjunction")
+    return Fact("or", tuple(facts))
+
+
+def knows(process: str, fact: Fact) -> Fact:
+    """``K_p fact`` for ``p`` in {"S", "R"}."""
+    if process not in ("S", "R"):
+        raise VerificationError(f"unknown process {process!r}")
+    return Fact("knows", (process, fact))
+
+
+def knows_value(process: str, index: int, domain) -> Fact:
+    """The paper's abbreviation ``K_p(x_i)``: p knows the value of item i,
+
+        K_p(x_i) = OR_{d in D} K_p(x_i = d).
+    """
+    return lor(*(knows(process, atom(index, value)) for value in domain))
+
+
+def holds(ensemble: Ensemble, point: Point, fact: Fact) -> bool:
+    """Evaluate ``(ensemble, point) |= fact``.
+
+    Atoms are read off the point's global state (the evaluation ``pi`` of
+    Section 2.3): ``x_i = d`` from the run's input tape, ``|Y| >= i`` from
+    the output tape.  ``K_p`` quantifies over the ensemble's points with
+    the same complete-history view.
+    """
+    kind = fact.kind
+    if kind == "atom-x":
+        index, value = fact.payload
+        input_sequence = point.trace.input_sequence
+        return index <= len(input_sequence) and input_sequence[index - 1] == value
+    if kind == "atom-ylen":
+        (bound,) = fact.payload
+        return len(point.config.output) >= bound
+    if kind == "not":
+        return not holds(ensemble, point, fact.payload[0])
+    if kind == "and":
+        return all(holds(ensemble, point, part) for part in fact.payload)
+    if kind == "or":
+        return any(holds(ensemble, point, part) for part in fact.payload)
+    if kind == "knows":
+        process, inner = fact.payload
+        return all(
+            holds(ensemble, other, inner)
+            for other in ensemble.points_indistinguishable_from(process, point)
+        )
+    raise VerificationError(f"unknown fact kind {fact.kind!r}")

@@ -1,0 +1,115 @@
+"""Group knowledge: ``E`` (everyone knows) and common knowledge ``C``.
+
+The paper works with individual knowledge, but its framework ([HM84],
+cited in Section 2.3) is the one in which Halpern and Moses proved the
+celebrated *coordinated attack* result: over unreliable channels, common
+knowledge of a new fact is unattainable.  Sequence transmission is a
+perfect stage for that phenomenon, so the reproduction includes the group
+operators and an experiment (F6) that watches the knowledge hierarchy
+
+    phi,  K_R phi,  K_S K_R phi,  K_R K_S K_R phi,  ...
+
+climb one level per acknowledgement round-trip while ``C phi`` stays
+false forever.
+
+Definitions over an ensemble (both processes, ``G = {S, R}``):
+
+* ``E phi  =  K_S phi  AND  K_R phi``;
+* ``E^k phi`` iterates ``E``;
+* ``C phi`` is the greatest fixpoint of ``X -> E(phi AND X)``, computed
+  here by fixpoint iteration over the ensemble's finite point set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.knowledge.formulas import Fact, holds, knows, land
+from repro.knowledge.runs import Ensemble, Point
+
+
+def everyone_knows(fact: Fact) -> Fact:
+    """``E phi``: both the sender and the receiver know ``phi``."""
+    return land(knows("S", fact), knows("R", fact))
+
+
+def nested_everyone_knows(fact: Fact, depth: int) -> Fact:
+    """``E^depth phi`` (``depth`` = 0 gives ``phi`` itself)."""
+    if depth < 0:
+        raise VerificationError(f"depth must be non-negative, got {depth}")
+    result = fact
+    for _ in range(depth):
+        result = everyone_knows(result)
+    return result
+
+
+def knowledge_depth(
+    ensemble: Ensemble, point: Point, fact: Fact, max_depth: int = 8
+) -> int:
+    """The largest ``k <= max_depth`` with ``E^k fact`` true at ``point``.
+
+    Returns -1 if even ``fact`` itself is false there.  Since ``E^k``
+    weakens monotonically in ``k``, the answer is well-defined by scanning
+    upward until the first failure.
+    """
+    if not holds(ensemble, point, fact):
+        return -1
+    depth = 0
+    current = fact
+    while depth < max_depth:
+        current = everyone_knows(current)
+        if not holds(ensemble, point, current):
+            return depth
+        depth += 1
+    return depth
+
+
+def common_knowledge_points(
+    ensemble: Ensemble, fact: Fact
+) -> Set[Tuple[int, int]]:
+    """All points where ``C fact`` holds, as ``(trace_index, time)`` pairs.
+
+    Computed as the greatest fixpoint: start from all points where
+    ``fact`` holds, repeatedly remove points from which some
+    ``~_S``- or ``~_R``-reachable point has already been removed (the
+    standard "reachability in the union of the indistinguishability
+    relations" characterization of common knowledge).
+    """
+    index_of: Dict[int, int] = {
+        id(trace): position for position, trace in enumerate(ensemble.traces)
+    }
+
+    def key(point: Point) -> Tuple[int, int]:
+        return (index_of[id(point.trace)], point.time)
+
+    candidates: Set[Tuple[int, int]] = {
+        key(point)
+        for point in ensemble.points()
+        if holds(ensemble, point, fact)
+    }
+    points_by_key = {key(point): point for point in ensemble.points()}
+
+    changed = True
+    while changed:
+        changed = False
+        for point_key in list(candidates):
+            point = points_by_key[point_key]
+            for process in ("S", "R"):
+                neighbours = ensemble.points_indistinguishable_from(
+                    process, point
+                )
+                if any(key(other) not in candidates for other in neighbours):
+                    candidates.discard(point_key)
+                    changed = True
+                    break
+    return candidates
+
+
+def has_common_knowledge(ensemble: Ensemble, point: Point, fact: Fact) -> bool:
+    """``(ensemble, point) |= C fact`` via the fixpoint computation."""
+    index_of = {
+        id(trace): position for position, trace in enumerate(ensemble.traces)
+    }
+    fixpoint = common_knowledge_points(ensemble, fact)
+    return (index_of[id(point.trace)], point.time) in fixpoint

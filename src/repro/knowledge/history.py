@@ -1,0 +1,83 @@
+"""Complete-history local views.
+
+Under the paper's *complete history interpretation* a process's local state
+at a point is its entire local history: everything it has observed and done
+up to that time.  Two points are indistinguishable to a process exactly
+when its views are equal.  The impossibility proofs assume this
+interpretation because it maximizes knowledge -- if even a complete-history
+process cannot distinguish two points, no implementation can.
+
+A view here is a tuple of observations:
+
+* ``("init",)`` -- the process's (common) initial observation; the sender's
+  additionally records its input tape, which it knows from time zero;
+* ``("recv", message)`` -- a delivery to the process;
+* ``("step",)`` -- one of the process's own local steps.
+
+Sends are *not* recorded separately: our protocol automata are
+deterministic, so the messages a process sent are a function of the
+observations above.  Including them would change nothing about the
+equivalence relation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.trace import Trace
+
+Observation = Tuple
+View = Tuple[Observation, ...]
+
+
+def receiver_view(trace: Trace, upto: int) -> View:
+    """``R``'s complete history at point ``(trace, upto)``.
+
+    The receiver's initial observation is the same in every run
+    (Property 1a: all initial states agree on ``s_R``).
+    """
+    _check_time(trace, upto)
+    observations: list = [("init",)]
+    for step in trace.steps[:upto]:
+        event = step.event
+        if event == ("step", "R"):
+            observations.append(("step",))
+        elif event[0] == "deliver" and event[1] == "SR":
+            observations.append(("recv", event[2]))
+    return tuple(observations)
+
+
+def sender_view(trace: Trace, upto: int) -> View:
+    """``S``'s complete history at point ``(trace, upto)``.
+
+    The sender reads the input tape, so its initial observation includes
+    the entire input sequence (the non-uniform setting of footnote 2; a
+    uniform sender knows no less at any point, so this only strengthens
+    the impossibility side).
+    """
+    _check_time(trace, upto)
+    observations: list = [("init", trace.input_sequence)]
+    for step in trace.steps[:upto]:
+        event = step.event
+        if event == ("step", "S"):
+            observations.append(("step",))
+        elif event[0] == "deliver" and event[1] == "RS":
+            observations.append(("recv", event[2]))
+    return tuple(observations)
+
+
+def view_of(process: str, trace: Trace, upto: int) -> View:
+    """The view of ``"S"`` or ``"R"`` at ``(trace, upto)``."""
+    if process == "R":
+        return receiver_view(trace, upto)
+    if process == "S":
+        return sender_view(trace, upto)
+    raise VerificationError(f"unknown process {process!r}; expected 'S' or 'R'")
+
+
+def _check_time(trace: Trace, upto: int) -> None:
+    if upto < 0 or upto > len(trace):
+        raise VerificationError(
+            f"time {upto} outside trace of length {len(trace)}"
+        )

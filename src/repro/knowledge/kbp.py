@@ -1,0 +1,123 @@
+"""Knowledge-based programs: the receiver that writes what it knows.
+
+The paper's methodological stance ("all of our results are derived using
+formal reasoning about knowledge") descends from [HZ87], where protocols
+are *derived* from knowledge-based programs -- code whose guards are
+knowledge tests, like
+
+    whenever K_R(x_{written+1} = d):  write d
+
+This module implements that receiver concretely.  Its local state is its
+own complete-history view; on every stimulus it computes the set of
+inputs consistent with that view (against a family and channel model)
+and writes the longest common prefix of the candidates beyond what it
+has written.  By construction it writes item ``i`` at exactly ``t_i`` --
+no implementation can write sooner and stay safe, and this one never
+writes later.
+
+Two facts worth testing fall out:
+
+* **safety is automatic**: the real input is always a candidate, so
+  writes never leave its prefix;
+* **the paper's Section 3 receiver implements the knowledge-based
+  program**: on duplicating channels with the no-repetition family, the
+  handshake receiver's writes coincide with the knowledge-based
+  receiver's (knowledge-optimality of the concrete protocol).
+
+The candidate computation quantifies over an exhaustive ensemble, so the
+receiver is built *relative to* a depth bound; within that bound its
+answers agree with the paper's semantics exactly (see
+:mod:`repro.knowledge.ensembles`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.sequences import longest_common_prefix
+from repro.kernel.errors import VerificationError
+from repro.kernel.interfaces import ReceiverProtocol, Transition
+from repro.knowledge.history import receiver_view
+from repro.knowledge.runs import Ensemble
+
+
+class KnowledgeBasedReceiver(ReceiverProtocol):
+    """Writes exactly what it knows; sends echoes like the handshake.
+
+    Local state: ``(view, written)`` where ``view`` is the receiver's own
+    complete history (the knowledge-based program's only legitimate
+    state).
+
+    Args:
+        ensemble: the run set defining the knowledge semantics; must be
+            generated for the same protocol/channel/family combination
+            the receiver will face.
+        echo: whether to acknowledge receptions by echoing the message
+            (needed to drive handshake-style senders; the knowledge
+            analysis itself does not require it).
+    """
+
+    def __init__(self, ensemble: Ensemble, echo: bool = True) -> None:
+        self.echo = echo
+        self._candidates: Dict[Tuple, FrozenSet[Tuple]] = {}
+        for trace in ensemble:
+            for time in range(len(trace) + 1):
+                view = receiver_view(trace, time)
+                existing = self._candidates.get(view, frozenset())
+                self._candidates[view] = existing | {trace.input_sequence}
+        alphabet = set()
+        for trace in ensemble:
+            for _, message in trace.messages_delivered_to_receiver():
+                alphabet.add(message)
+        self._alphabet = frozenset(alphabet)
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (((("init",),)), 0)
+
+    def _known_prefix(self, view: Tuple) -> Tuple:
+        candidates = self._candidates.get(view)
+        if not candidates:
+            raise VerificationError(
+                f"view {view!r} unreachable in the ensemble; regenerate it "
+                "for this protocol/channel/family at sufficient depth"
+            )
+        return longest_common_prefix(sorted(candidates, key=repr))
+
+    def on_step(self, state: Tuple) -> Transition:
+        view, written = state
+        new_view = view + (("step",),)
+        known = self._known_prefix(new_view)
+        writes = tuple(known[written:])
+        return Transition(
+            state=(new_view, written + len(writes)), writes=writes
+        )
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        view, written = state
+        new_view = view + (("recv", message),)
+        known = self._known_prefix(new_view)
+        writes = tuple(known[written:])
+        sends = (message,) if self.echo and message in self._alphabet else ()
+        return Transition(
+            state=(new_view, written + len(writes)),
+            sends=sends,
+            writes=writes,
+        )
+
+
+def knowledge_based_receiver_for(
+    make_system, family, depth: int, echo: bool = True
+) -> Tuple[KnowledgeBasedReceiver, Ensemble]:
+    """Convenience constructor: build the ensemble, then the receiver.
+
+    Returns the receiver together with the ensemble its knowledge is
+    defined against (useful for comparing its writes to ``t_i``).
+    """
+    from repro.knowledge.ensembles import exhaustive_ensemble
+
+    ensemble = exhaustive_ensemble(make_system, family, depth=depth)
+    return KnowledgeBasedReceiver(ensemble, echo=echo), ensemble

@@ -1,0 +1,91 @@
+"""Learning times ``t_i^r`` (Section 2.4) and stability of knowledge.
+
+The paper defines ``t_i^r`` as the minimal ``t`` with
+
+    (R, r, t) |= AND_{j=1..i} K_R(x_j)
+
+-- the first time the receiver *knows* the values of the first ``i`` data
+items -- and argues this, rather than "receives" or "writes", is the right
+notion of when ``R`` learns an item.  Under the complete history
+interpretation each ``K_R(x_i)`` is stable (knowledge, once gained, is
+never lost), which this module can also verify mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.trace import Trace
+from repro.knowledge.formulas import holds, knows_value, land
+from repro.knowledge.runs import Ensemble, Point
+
+
+def learning_times(
+    ensemble: Ensemble,
+    trace: Trace,
+    domain: Sequence,
+    upto_item: Optional[int] = None,
+) -> List[Optional[int]]:
+    """``[t_1^r, t_2^r, ...]`` for the given run, relative to the ensemble.
+
+    Entry ``i-1`` is the first time ``R`` knows the values of items
+    ``1..i``, or ``None`` if that never happens within the trace (the
+    paper's ``t_i = infinity``).
+
+    Args:
+        ensemble: the run set knowledge quantifies over (should contain
+            ``trace``'s points, typically because ``trace`` is one of its
+            runs).
+        trace: the run whose learning times are wanted.
+        domain: the data domain ``D`` (``K_R(x_i)`` is the disjunction of
+            ``K_R(x_i = d)`` over ``d in D``).
+        upto_item: compute times for items ``1..upto_item``; defaults to
+            the run's input length.
+    """
+    item_count = len(trace.input_sequence) if upto_item is None else upto_item
+    if item_count < 0:
+        raise VerificationError("upto_item must be non-negative")
+    times: List[Optional[int]] = []
+    time_cursor = 0
+    for item in range(1, item_count + 1):
+        fact = land(*(knows_value("R", j, domain) for j in range(1, item + 1)))
+        found: Optional[int] = None
+        # t_i is non-decreasing in i, so resume scanning from the previous time.
+        for t in range(time_cursor, len(trace) + 1):
+            if holds(ensemble, Point(trace, t), fact):
+                found = t
+                break
+        times.append(found)
+        if found is None:
+            # Later items cannot be known earlier; fill and stop scanning.
+            times.extend([None] * (item_count - item))
+            break
+        time_cursor = found
+    return times
+
+
+def knowledge_is_stable(
+    ensemble: Ensemble, trace: Trace, domain: Sequence, item: int
+) -> bool:
+    """Check stability of ``K_R(x_item)`` along ``trace``.
+
+    Returns True iff once ``K_R(x_item)`` holds at some point of the trace
+    it holds at every later point -- the property Section 2.3 derives from
+    the complete history interpretation.
+    """
+    fact = knows_value("R", item, domain)
+    seen = False
+    for t in range(len(trace) + 1):
+        now = holds(ensemble, Point(trace, t), fact)
+        if seen and not now:
+            return False
+        seen = seen or now
+    return True
+
+
+def write_times(trace: Trace) -> List[int]:
+    """Times at which items were written (1-indexed item ``i`` at entry
+    ``i-1``); convenience re-export for comparing against learning times:
+    knowledge precedes writing in any safe protocol."""
+    return trace.write_times()

@@ -1,0 +1,86 @@
+"""Points, run ensembles, and indistinguishability.
+
+A *point* ``(r, t)`` pairs a run with a time (Section 2.2).  An *ensemble*
+is the finite stand-in for the paper's system ``R``: a collection of traces
+over which knowledge quantifies.  Indistinguishability ``~_p`` compares
+complete-history views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.trace import Trace
+from repro.knowledge.history import View, view_of
+
+
+@dataclass(frozen=True)
+class Point:
+    """A run together with a time index into it."""
+
+    trace: Trace
+    time: int
+
+    def view(self, process: str) -> View:
+        """The complete-history view of ``process`` at this point."""
+        return view_of(process, self.trace, self.time)
+
+    @property
+    def config(self):
+        """The global state ``r(t)`` at this point."""
+        return self.trace.config_at(self.time)
+
+
+def indistinguishable(process: str, first: Point, second: Point) -> bool:
+    """The paper's ``(r,t) ~_p (r',t')``: equal complete-history views."""
+    return first.view(process) == second.view(process)
+
+
+class Ensemble:
+    """A finite set of runs with all their points, indexed by view.
+
+    The index makes ``K_p`` evaluation linear: all points sharing a view
+    are grouped once, up front.
+    """
+
+    def __init__(self, traces: Iterable[Trace]) -> None:
+        self.traces: List[Trace] = list(traces)
+        if not self.traces:
+            raise VerificationError("an ensemble must contain at least one run")
+        self._by_view: Dict[Tuple[str, View], List[Point]] = {}
+        for trace in self.traces:
+            for time in range(len(trace) + 1):
+                point = Point(trace, time)
+                for process in ("S", "R"):
+                    key = (process, point.view(process))
+                    self._by_view.setdefault(key, []).append(point)
+
+    def points(self) -> Iterator[Point]:
+        """Every point of every run, run-major order."""
+        for trace in self.traces:
+            for time in range(len(trace) + 1):
+                yield Point(trace, time)
+
+    def points_indistinguishable_from(self, process: str, point: Point) -> List[Point]:
+        """All ensemble points that ``process`` cannot tell apart from
+        ``point`` (including points of the same run, and the point itself
+        when it belongs to the ensemble)."""
+        key = (process, point.view(process))
+        return list(self._by_view.get(key, [])) or [point]
+
+    def input_sequences(self) -> Tuple[Tuple, ...]:
+        """The distinct input sequences appearing in the ensemble."""
+        return tuple(
+            sorted(
+                {trace.input_sequence for trace in self.traces},
+                key=lambda seq: (len(seq), repr(seq)),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)

@@ -1,0 +1,81 @@
+"""Protocol automata.
+
+Positive results (the tightness halves of Theorems 1 and 2):
+
+* :mod:`repro.protocols.handshake` -- the generic stop-and-wait protocol
+  over a prefix-monotone encoding; correct for STP(dup) and STP(del).
+* :mod:`repro.protocols.norepeat` -- the paper's Section 3 instance
+  (identity encoding, ``|X| = alpha(m)``).
+* :mod:`repro.protocols.norepeat_del` -- the Section 4 bounded variant,
+  with its ``f``-bound certificate.
+
+Baselines and separations:
+
+* :mod:`repro.protocols.trivial` -- streaming protocol for perfect FIFO.
+* :mod:`repro.protocols.abp` -- Alternating Bit Protocol (safe on lossy
+  FIFO, attackable under reordering: experiment T6).
+* :mod:`repro.protocols.gobackn` / :mod:`repro.protocols.selective` --
+  the sliding-window data-link classics (throughput experiment F5, same
+  reordering caveat as ABP).
+* :mod:`repro.protocols.stenning` -- Stenning's protocol (correct on all
+  channels here, but its alphabet grows with the sequence length -- the
+  "unbounded headers" the finite-alphabet results forbid).
+
+Section 5 machinery:
+
+* :mod:`repro.protocols.afwz` -- reverse-order suffix transmission, the
+  documented substitute for the unpublished [AFWZ89] component.
+* :mod:`repro.protocols.hybrid` -- the weakly-bounded-but-unbounded
+  counterexample (ABP interleaved with reverse transmission).
+
+Section 6 extension:
+
+* :mod:`repro.protocols.modulo` -- finite residue headers with a small
+  probability of failure, quantifying the paper's probabilistic outlook.
+"""
+
+from repro.protocols.handshake import (
+    HandshakeSender,
+    HandshakeReceiver,
+    handshake_protocol,
+    protocol_for_family,
+)
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.norepeat_del import bounded_del_protocol, f_bound
+from repro.protocols.trivial import StreamingSender, StreamingReceiver
+from repro.protocols.abp import ABPSender, ABPReceiver
+from repro.protocols.gobackn import GoBackNSender, GoBackNReceiver
+from repro.protocols.selective import (
+    SelectiveRepeatSender,
+    SelectiveRepeatReceiver,
+)
+from repro.protocols.stenning import StenningSender, StenningReceiver
+from repro.protocols.afwz import ReverseSender, ReverseReceiver
+from repro.protocols.hybrid import HybridSender, HybridReceiver
+from repro.protocols.modulo import ModuloSender, ModuloReceiver
+
+__all__ = [
+    "HandshakeSender",
+    "HandshakeReceiver",
+    "handshake_protocol",
+    "protocol_for_family",
+    "norepeat_protocol",
+    "bounded_del_protocol",
+    "f_bound",
+    "StreamingSender",
+    "StreamingReceiver",
+    "ABPSender",
+    "ABPReceiver",
+    "GoBackNSender",
+    "GoBackNReceiver",
+    "SelectiveRepeatSender",
+    "SelectiveRepeatReceiver",
+    "StenningSender",
+    "StenningReceiver",
+    "ReverseSender",
+    "ReverseReceiver",
+    "HybridSender",
+    "HybridReceiver",
+    "ModuloSender",
+    "ModuloReceiver",
+]

@@ -1,0 +1,116 @@
+"""The Alternating Bit Protocol (Bartlett-Scantlebury-Wilkinson [BSW69]).
+
+The classic one-bit-header stop-and-wait protocol.  Its role in the
+reproduction is the T6 separation: ABP is correct on a *lossy FIFO*
+channel (where its single bit suffices to pair retransmissions with
+acknowledgements), but under reordering its bit is reused and stale
+messages become indistinguishable from fresh ones -- the attack
+synthesizer produces a concrete safety-violating schedule.  This is the
+concrete face of why finite-alphabet reordering channels need the paper's
+``alpha(m)`` machinery rather than classical sequence-bit tricks.
+
+Message formats: data ``("data", bit, value)``, acks ``("ack", bit)``.
+The bit convention is positional parity (item ``i`` carries ``i % 2``), so
+both sides derive their bit from progress counters.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class ABPSender(SenderProtocol):
+    """Stop-and-wait with a one-bit header and timeout retransmission.
+
+    Local state: ``(items, index, tick)`` -- the bit is ``index % 2``; the
+    current item is (re)sent whenever ``tick`` wraps around the retransmit
+    interval, the standard timer discipline (retransmitting on *every*
+    step would flood an order-preserving channel with stale copies faster
+    than they can drain).
+    """
+
+    def __init__(self, domain: Sequence, retransmit_interval: int = 3) -> None:
+        if retransmit_interval < 1:
+            raise ValueError("retransmit_interval must be >= 1")
+        self._domain = tuple(domain)
+        self.retransmit_interval = retransmit_interval
+        self._alphabet = frozenset(
+            ("data", bit, value) for bit in (0, 1) for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, index, tick = state
+        if index >= len(items):
+            return Transition.stay(state)
+        next_tick = (tick + 1) % self.retransmit_interval
+        if tick == 0:
+            return Transition(
+                state=(items, index, next_tick),
+                sends=(("data", index % 2, items[index]),),
+            )
+        return Transition(state=(items, index, next_tick))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, index, tick = state
+        if message == ("ack", index % 2) and index < len(items):
+            return Transition(state=(items, index + 1, 0))
+        return Transition.stay(state)
+
+
+class ABPReceiver(ReceiverProtocol):
+    """Writes on the expected bit; re-acknowledges everything else.
+
+    Local state: ``(written, tick)`` -- the expected bit is
+    ``written % 2``; the last acknowledgement is kept warm against ack
+    loss on the same timer discipline as the sender.
+    """
+
+    def __init__(self, domain: Sequence, retransmit_interval: int = 3) -> None:
+        if retransmit_interval < 1:
+            raise ValueError("retransmit_interval must be >= 1")
+        self._domain = tuple(domain)
+        self.retransmit_interval = retransmit_interval
+        self._alphabet = frozenset(("ack", bit) for bit in (0, 1))
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        written, tick = state
+        if written == 0:
+            return Transition.stay(state)
+        next_tick = (tick + 1) % self.retransmit_interval
+        if tick == 0:
+            return Transition(
+                state=(written, next_tick), sends=(("ack", (written - 1) % 2),)
+            )
+        return Transition(state=(written, next_tick))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        written, tick = state
+        kind, bit, *rest = message
+        if kind != "data":
+            return Transition.stay(state)
+        if bit == written % 2:
+            return Transition(
+                state=(written + 1, tick), sends=(("ack", bit),), writes=(rest[0],)
+            )
+        return Transition(state=(written, tick), sends=(("ack", bit),))
+
+
+def abp_protocol(domain: Sequence) -> Tuple[ABPSender, ABPReceiver]:
+    """Both halves of the Alternating Bit Protocol."""
+    return ABPSender(domain), ABPReceiver(domain)

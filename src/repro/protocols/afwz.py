@@ -1,0 +1,135 @@
+"""Reverse-order suffix transmission (the [AFWZ89] stand-in).
+
+Section 5's counterexample interleaves the Alternating Bit Protocol with
+"the [AFWZ89] protocol", in which "S reads the whole input sequence and
+transmits the data items in *reverse* order.  Thus, after having learnt
+some prefix of the sequence, R starts to learn some of its suffix."  The
+[AFWZ89] manuscript is unpublished and unavailable, so per the
+reproduction ground rules we substitute the closest implementable
+equivalent and document the substitution (see DESIGN.md section 3):
+
+* like [AFWZ89], the sender knows the whole sequence and transmits it in
+  reverse, so the receiver accumulates a suffix it cannot write;
+* like [AFWZ89], the protocol is correct for STP(del) (and STP(dup)) but
+  **unbounded**: the receiver learns ``x_1`` only after the entire
+  sequence has crossed, so learning time grows with the sequence length
+  rather than with the item index -- exactly the property Section 5 needs;
+* unlike [AFWZ89], messages carry positions, so the alphabet grows with
+  the maximum sequence length.  The boundedness analysis (Definitions 2
+  and onward) never references alphabet size, so the Section 5 phenomena
+  are preserved.
+
+Message formats: data ``("rev", position, value)`` with 1-based positions
+sent from ``len(X)`` down to 1; acknowledgements ``("rack", position)``.
+The receiver buffers out-of-prefix items and flushes greedily: buffered
+position ``written + 1`` is always safe to write (the value is authentic
+and the position matches), so the flush preserves Safety by construction.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class ReverseSender(SenderProtocol):
+    """Transmits the input in reverse with per-position stop-and-wait.
+
+    Local state: ``(items, position)`` where ``position`` counts down from
+    ``len(items)``; 0 means done.
+    """
+
+    def __init__(self, domain: Sequence, max_length: int) -> None:
+        if max_length < 0:
+            raise ProtocolError("max_length must be non-negative")
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        self._alphabet = frozenset(
+            ("rev", position, value)
+            for position in range(1, max_length + 1)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        if len(input_sequence) > self.max_length:
+            raise ProtocolError(
+                f"input of length {len(input_sequence)} exceeds the declared "
+                f"maximum {self.max_length}"
+            )
+        return (tuple(input_sequence), len(input_sequence))
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, position = state
+        if position > 0:
+            return Transition(
+                state=state, sends=(("rev", position, items[position - 1]),)
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, position = state
+        if message == ("rack", position) and position > 0:
+            return Transition(state=(items, position - 1))
+        return Transition.stay(state)
+
+
+class ReverseReceiver(ReceiverProtocol):
+    """Buffers reverse-order items; flushes contiguously from the front.
+
+    Local state: ``(written, buffer)`` with ``buffer`` a sorted tuple of
+    ``(position, value)`` pairs beyond the written prefix.
+    """
+
+    def __init__(self, domain: Sequence, max_length: int) -> None:
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        self._alphabet = frozenset(
+            ("rack", position) for position in range(1, max_length + 1)
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, ())
+
+    def on_step(self, state: Tuple) -> Transition:
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        written, buffer = state
+        kind, position, *rest = message
+        if kind != "rev":
+            return Transition.stay(state)
+        if position > written and all(pos != position for pos, _ in buffer):
+            buffer = tuple(sorted(buffer + ((position, rest[0]),)))
+        new_written, buffer, writes = _flush(written, buffer)
+        return Transition(
+            state=(new_written, buffer),
+            sends=(("rack", position),),
+            writes=writes,
+        )
+
+
+def _flush(written: int, buffer: Tuple) -> Tuple[int, Tuple, Tuple]:
+    """Write every contiguous buffered item starting at ``written + 1``."""
+    writes = []
+    remaining = dict(buffer)
+    while written + 1 in remaining:
+        writes.append(remaining.pop(written + 1))
+        written += 1
+    return written, tuple(sorted(remaining.items())), tuple(writes)
+
+
+def reverse_protocol(
+    domain: Sequence, max_length: int
+) -> Tuple[ReverseSender, ReverseReceiver]:
+    """Both halves of the reverse-transmission protocol."""
+    return ReverseSender(domain, max_length), ReverseReceiver(domain, max_length)

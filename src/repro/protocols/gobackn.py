@@ -1,0 +1,149 @@
+"""Go-Back-N: the classic sliding-window data-link protocol.
+
+ABP is the window-1 degenerate case of Go-Back-N; real data-link layers
+(the [BSW69]/[Ste76] lineage the paper's introduction surveys) pipeline a
+window of ``N`` frames with sequence numbers modulo ``N + 1`` and
+cumulative acknowledgements.  Its role in the reproduction:
+
+* a richer FIFO baseline for the F5 throughput experiment (window size
+  versus goodput under loss);
+* the same cautionary tale as ABP at scale: the modulo sequence space is
+  sound **only** because FIFO order bounds how stale a frame can be; under
+  reordering the T6-style attack applies just as well.
+
+Message formats: data ``("data", seq mod M, value)`` with ``M = N + 1``;
+cumulative acknowledgements ``("ack", expected mod M)`` meaning "I hold
+everything below ``expected``".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class GoBackNSender(SenderProtocol):
+    """Pipelines up to ``window`` frames; goes back on timeout.
+
+    Local state: ``(items, base, next_index, tick)`` -- ``base`` is the
+    lowest unacknowledged item, ``next_index`` the next to transmit,
+    ``tick`` the steps since the window last moved.
+    """
+
+    def __init__(
+        self, domain: Sequence, window: int, timeout: int = 8
+    ) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        if timeout < 1:
+            raise ProtocolError("timeout must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self.timeout = timeout
+        self.modulus = window + 1
+        self._alphabet = frozenset(
+            ("data", seq, value)
+            for seq in range(self.modulus)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0, 0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, base, next_index, tick = state
+        if base >= len(items):
+            return Transition.stay(state)
+        if tick >= self.timeout:
+            # Timeout: go back to base and resend the window from there.
+            next_index = base
+            tick = 0
+        if next_index < min(base + self.window, len(items)):
+            frame = ("data", next_index % self.modulus, items[next_index])
+            return Transition(
+                state=(items, base, next_index + 1, tick + 1), sends=(frame,)
+            )
+        return Transition(state=(items, base, next_index, tick + 1))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, base, next_index, tick = state
+        if not (isinstance(message, tuple) and message[0] == "ack"):
+            return Transition.stay(state)
+        ack = message[1]
+        advance = (ack - base) % self.modulus
+        in_flight = next_index - base
+        if 1 <= advance <= in_flight:
+            return Transition(state=(items, base + advance, next_index, 0))
+        return Transition.stay(state)
+
+
+class GoBackNReceiver(ReceiverProtocol):
+    """Accepts in-order frames only; acknowledges cumulatively.
+
+    Local state: ``(expected, tick)``.
+    """
+
+    def __init__(
+        self, domain: Sequence, window: int, retransmit_interval: int = 3
+    ) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        if retransmit_interval < 1:
+            raise ProtocolError("retransmit_interval must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self.modulus = window + 1
+        self.retransmit_interval = retransmit_interval
+        self._alphabet = frozenset(("ack", seq) for seq in range(self.modulus))
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        expected, tick = state
+        if expected == 0:
+            return Transition.stay(state)
+        next_tick = (tick + 1) % self.retransmit_interval
+        if tick == 0:
+            return Transition(
+                state=(expected, next_tick),
+                sends=(("ack", expected % self.modulus),),
+            )
+        return Transition(state=(expected, next_tick))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        expected, tick = state
+        if not (isinstance(message, tuple) and message[0] == "data"):
+            return Transition.stay(state)
+        _, seq, value = message
+        if seq == expected % self.modulus:
+            expected += 1
+            return Transition(
+                state=(expected, tick),
+                sends=(("ack", expected % self.modulus),),
+                writes=(value,),
+            )
+        # Out-of-window or duplicate frame: re-acknowledge cumulatively.
+        return Transition(
+            state=state, sends=(("ack", expected % self.modulus),)
+        )
+
+
+def gobackn_protocol(
+    domain: Sequence, window: int, timeout: int = 8
+) -> Tuple[GoBackNSender, GoBackNReceiver]:
+    """Both halves of Go-Back-N with the given window."""
+    return (
+        GoBackNSender(domain, window, timeout=timeout),
+        GoBackNReceiver(domain, window),
+    )

@@ -1,0 +1,144 @@
+"""The generic tight-bound protocol: stop-and-wait over an encoding.
+
+This is the protocol sketched at the end of Section 3 (and adapted to
+deletion at the end of Section 4), generalized from the identity encoding
+to any prefix-monotone encoding ``mu``:
+
+* ``S`` computes ``mu(X)`` (a repetition-free message sequence) and sends
+  its elements one at a time, retransmitting the current element on every
+  local step and advancing only on the matching acknowledgement (an echo).
+* ``R`` ignores any message it has seen before; a *new* message is,
+  by the handshake discipline, necessarily the next element of ``mu(X)``.
+  It appends the element to its reconstructed prefix ``p``, writes
+  ``delta(p)`` beyond what it has already written, and echoes the element.
+  On local steps it re-echoes its latest element (needed for liveness on
+  deleting channels, harmless on duplicating ones).
+
+Why this is safe under duplication and reordering: because ``mu(X)`` is
+repetition-free, a stale copy is always *already seen* and thus ignored;
+the only message ``R`` can ever see that it has not seen before is the one
+``S`` is currently retransmitting.  Why it is live: fairness eventually
+delivers the current element and its echo.  Why writes are safe: ``delta``
+returns the longest common prefix of all inputs consistent with ``p``
+(see :meth:`repro.core.encoding.Encoding.decode_prefix`).
+
+Why it is *bounded* on deleting channels (Definition 2): from any point, a
+fresh-only extension needs only a constant number of steps per element of
+``mu(X)`` -- retransmission regenerates everything; no old message is
+needed.  Experiment T4 certifies this mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import (
+    ReceiverProtocol,
+    SenderProtocol,
+    Transition,
+)
+from repro.core.encoding import Encoding, build_prefix_monotone_encoding
+
+
+class HandshakeSender(SenderProtocol):
+    """Sender half of the handshake protocol.
+
+    Local state: ``(message_sequence, index)`` -- the encoded input and how
+    many elements have been acknowledged.
+    """
+
+    def __init__(self, encoding: Encoding) -> None:
+        self.encoding = encoding
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self.encoding.message_alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (self.encoding.encode(input_sequence), 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        message_sequence, index = state
+        if index < len(message_sequence):
+            return Transition(state=state, sends=(message_sequence[index],))
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        message_sequence, index = state
+        if index < len(message_sequence) and message == message_sequence[index]:
+            return Transition(state=(message_sequence, index + 1))
+        return Transition.stay(state)  # stale or foreign acknowledgement
+
+
+class HandshakeReceiver(ReceiverProtocol):
+    """Receiver half of the handshake protocol.
+
+    Local state: ``(reconstructed_prefix, written_count)``.
+    """
+
+    def __init__(self, encoding: Encoding) -> None:
+        self.encoding = encoding
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self.encoding.message_alphabet
+
+    def initial_state(self) -> Tuple:
+        return ((), 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        prefix, written = state
+        # Write anything already implied (a family-wide common prefix is
+        # known before any message arrives), then keep the latest echo warm
+        # for deleting channels.
+        decoded = self.encoding.decode_prefix(prefix)
+        writes = tuple(decoded[written:])
+        sends = (prefix[-1],) if prefix else ()
+        if writes or sends:
+            return Transition(
+                state=(prefix, written + len(writes)), sends=sends, writes=writes
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        prefix, written = state
+        if message in prefix:
+            # Stale copy (duplication or retransmission): just re-echo.
+            return Transition(state=state, sends=(message,))
+        new_prefix = prefix + (message,)
+        decoded = self.encoding.decode_prefix(new_prefix)
+        if tuple(decoded[:written]) != tuple(
+            self.encoding.decode_prefix(prefix)[:written]
+        ):
+            raise ProtocolError(
+                "encoding decode is not monotone along the reconstructed prefix"
+            )
+        writes = tuple(decoded[written:])
+        return Transition(
+            state=(new_prefix, written + len(writes)),
+            sends=(message,),
+            writes=writes,
+        )
+
+
+def handshake_protocol(
+    encoding: Encoding,
+) -> Tuple[HandshakeSender, HandshakeReceiver]:
+    """Both halves of the handshake protocol for one encoding."""
+    return HandshakeSender(encoding), HandshakeReceiver(encoding)
+
+
+def protocol_for_family(
+    family: Sequence, message_alphabet: Sequence
+) -> Tuple[HandshakeSender, HandshakeReceiver]:
+    """Build a correct ``X``-STP(dup)/STP(del) protocol for an arbitrary
+    family, when one exists.
+
+    Constructs a prefix-monotone encoding (raising
+    :class:`repro.kernel.errors.EncodingError` for overfull or structurally
+    unencodable families -- the impossibility half) and wraps it in the
+    handshake protocol (the possibility half).
+    """
+    encoding = build_prefix_monotone_encoding(family, message_alphabet)
+    return handshake_protocol(encoding)

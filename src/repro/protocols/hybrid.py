@@ -1,0 +1,203 @@
+"""Section 5's weakly-bounded-but-unbounded hybrid protocol.
+
+    "S transmits the data items in sequence and R writes and acknowledges
+    them using an Alternating Bit protocol (ABP), until one of the
+    processors fails to receive a message in time.  [...]  This processor
+    then starts to execute the [AFWZ89] protocol, using a different
+    message alphabet [...].  S reads the whole input sequence and
+    transmits the data items in reverse order.  [...]  If the old lost
+    message is delivered, the processors resume executions of the original
+    protocol."
+
+Realization notes (all substitutions documented in DESIGN.md):
+
+* the paper assumes "some global clock and known message delivery times";
+  we realize this with step-count timeouts on the sender and run the
+  protocol on channels where ABP is sound (lossy FIFO) or under
+  disciplined adversaries on deleting channels;
+* the [AFWZ89] component is the reverse transmission of
+  :mod:`repro.protocols.afwz` (different message alphabet: ``rev``/``rack``
+  versus ``data``/``ack``, as the paper requires);
+* "resume on the old lost message" is implemented literally: a late
+  matching ``ack`` advances the ABP index even in reverse mode and
+  switches the sender back to ABP;
+* correctness domain, stated honestly: Safety holds on every channel in
+  this library, but Liveness needs the paper's timing assumptions -- on a
+  raw deleting channel with unrestricted reordering, a sufficiently stale
+  acknowledgement can convince the ABP component an item was delivered
+  when it was not (the classic reason ABP needs FIFO), stalling the run
+  without ever violating Safety.  The Section 5 experiments therefore run
+  on lossy FIFO, where the FIFO discipline realizes the known-delay
+  assumption.  The hazard is not folklore here: the liveness-trap
+  detector (:func:`repro.verify.deadlock.find_liveness_trap`) proves it,
+  exhibiting a 9-event schedule on a copy-capped deleting channel from
+  which no continuation completes.
+
+Why this is *weakly bounded but not bounded* (the paper's point): at a
+``t_i`` point the processors are in ABP mode and the next item is one
+handshake away -- a constant-budget extension exists, so the weak notion
+holds.  But at a point just after a fault, the sender is (or is about to
+be) in reverse mode, and no extension yields the next item before the
+whole remaining suffix crosses; the recovery budget depends on the
+sequence length, not on ``i``, so no single ``f`` works.  Experiment F2
+measures both facts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+from repro.protocols.afwz import _flush
+
+
+class HybridSender(SenderProtocol):
+    """ABP until a timeout, then reverse transmission, resuming on late acks.
+
+    Local state: ``(items, index, mode, silence, rev_position)`` where
+    ``mode`` is ``"abp"`` or ``"rev"``, ``silence`` counts local steps
+    since the last useful acknowledgement, and ``rev_position`` counts
+    down during reverse mode (0 when unused).
+    """
+
+    def __init__(self, domain: Sequence, max_length: int, timeout: int = 6) -> None:
+        if max_length < 0:
+            raise ProtocolError("max_length must be non-negative")
+        if timeout < 1:
+            raise ProtocolError("timeout must be >= 1")
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        self.timeout = timeout
+        data = {
+            ("data", bit, value) for bit in (0, 1) for value in self._domain
+        }
+        rev = {
+            ("rev", position, value)
+            for position in range(1, max_length + 1)
+            for value in self._domain
+        }
+        self._alphabet = frozenset(data | rev)
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        if len(input_sequence) > self.max_length:
+            raise ProtocolError(
+                f"input of length {len(input_sequence)} exceeds the declared "
+                f"maximum {self.max_length}"
+            )
+        return (tuple(input_sequence), 0, "abp", 0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, index, mode, silence, rev_position = state
+        if index >= len(items):
+            return Transition.stay(state)
+        if mode == "abp":
+            silence += 1
+            if silence > self.timeout:
+                # Fault detected: switch alphabets and transmit in reverse.
+                rev_position = len(items)
+                state = (items, index, "rev", 0, rev_position)
+                return Transition(
+                    state=state,
+                    sends=(("rev", rev_position, items[rev_position - 1]),),
+                )
+            return Transition(
+                state=(items, index, mode, silence, rev_position),
+                sends=(("data", index % 2, items[index]),),
+            )
+        # Reverse mode: retransmit the current reverse position.
+        if rev_position > index:
+            return Transition(
+                state=state, sends=(("rev", rev_position, items[rev_position - 1]),)
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, index, mode, silence, rev_position = state
+        kind = message[0]
+        if kind == "ack":
+            if message[1] == index % 2 and index < len(items):
+                # In ABP mode: normal progress.  In reverse mode: the "old
+                # lost message" case -- resume the original protocol.
+                return Transition(state=(items, index + 1, "abp", 0, 0))
+            return Transition.stay(state)
+        if kind == "rack" and mode == "rev":
+            if message[1] == rev_position and rev_position > index:
+                rev_position -= 1
+                if rev_position <= index:
+                    # Suffix fully transferred: the receiver can flush
+                    # everything; mark the run complete.
+                    return Transition(state=(items, len(items), "abp", 0, 0))
+                return Transition(state=(items, index, "rev", 0, rev_position))
+        return Transition.stay(state)
+
+
+class HybridReceiver(ReceiverProtocol):
+    """Handles both alphabets; buffers reverse items; flushes greedily.
+
+    Local state: ``(written, buffer)`` as in the reverse receiver; the ABP
+    expected bit is ``written % 2``.
+    """
+
+    def __init__(self, domain: Sequence, max_length: int) -> None:
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        acks = {("ack", bit) for bit in (0, 1)}
+        racks = {("rack", position) for position in range(1, max_length + 1)}
+        self._alphabet = frozenset(acks | racks)
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, ())
+
+    def on_step(self, state: Tuple) -> Transition:
+        # Deliberately no warm re-acknowledgement: in the paper's hybrid,
+        # ABP progress resumes only if the *old lost* acknowledgement
+        # surfaces (possible on deleting channels, impossible on lossy
+        # FIFO); liveness after any loss is the reverse path's job.  A
+        # regenerated ack would let the sender shortcut the reverse phase
+        # and mask the unbounded-recovery phenomenon Section 5 exhibits.
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        written, buffer = state
+        kind = message[0]
+        if kind == "data":
+            _, bit, value = message
+            if bit == written % 2:
+                written += 1
+                new_written, buffer, extra = _flush(written, buffer)
+                return Transition(
+                    state=(new_written, buffer),
+                    sends=(("ack", bit),),
+                    writes=(value,) + extra,
+                )
+            return Transition(state=state, sends=(("ack", bit),))
+        if kind == "rev":
+            _, position, value = message
+            if position > written and all(pos != position for pos, _ in buffer):
+                buffer = tuple(sorted(buffer + ((position, value),)))
+            new_written, buffer, writes = _flush(written, buffer)
+            return Transition(
+                state=(new_written, buffer),
+                sends=(("rack", position),),
+                writes=writes,
+            )
+        return Transition.stay(state)
+
+
+def hybrid_protocol(
+    domain: Sequence, max_length: int, timeout: int = 6
+) -> Tuple[HybridSender, HybridReceiver]:
+    """Both halves of the Section 5 hybrid protocol."""
+    return (
+        HybridSender(domain, max_length, timeout=timeout),
+        HybridReceiver(domain, max_length),
+    )

@@ -1,0 +1,114 @@
+"""Residue headers: a probabilistically-correct protocol (Section 6 outlook).
+
+Section 6 suggests that families beyond ``alpha(m)`` may still admit
+"solutions" with an acceptably low *probability* of failure.  This module
+provides the natural such protocol for quantifying that trade-off: a
+stop-and-wait protocol whose headers are positions **modulo a window W**.
+Its alphabet is finite (``W * |D|`` data messages) while the family it
+attempts is all sequences up to any length -- far beyond ``alpha(m)`` --
+so by Theorems 1/2 it *must* be attackable, and indeed a stale message
+whose position collides modulo ``W`` can be accepted as fresh.
+
+Experiment A3 measures the violation rate as a function of ``W`` under
+replay-heavy adversaries: the error probability decays with the window
+size while the alphabet stays finite, exactly the regime the paper's
+conclusion gestures at.
+
+Message formats: data ``("data", position % W, value)``, acknowledgements
+``("ack", position % W)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class ModuloSender(SenderProtocol):
+    """Stop-and-wait with residue headers; retransmits on every step.
+
+    Local state: ``(items, index)``; the header is ``index % window``.
+    """
+
+    def __init__(self, domain: Sequence, window: int) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self._alphabet = frozenset(
+            ("data", residue, value)
+            for residue in range(window)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, index = state
+        if index < len(items):
+            return Transition(
+                state=state,
+                sends=(("data", index % self.window, items[index]),),
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, index = state
+        if message == ("ack", index % self.window) and index < len(items):
+            return Transition(state=(items, index + 1))
+        return Transition.stay(state)
+
+
+class ModuloReceiver(ReceiverProtocol):
+    """Writes on the expected residue; acknowledges everything received.
+
+    Local state: ``written`` count; expected residue ``written % window``.
+    A stale data message whose position collides modulo the window is
+    indistinguishable from the expected one -- the designed-in failure
+    mode whose frequency A3 measures.
+    """
+
+    def __init__(self, domain: Sequence, window: int) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self._alphabet = frozenset(("ack", residue) for residue in range(window))
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> int:
+        return 0
+
+    def on_step(self, state: int) -> Transition:
+        if state > 0:
+            return Transition(
+                state=state, sends=(("ack", (state - 1) % self.window),)
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: int, message) -> Transition:
+        kind, residue, *rest = message
+        if kind != "data":
+            return Transition.stay(state)
+        if residue == state % self.window:
+            return Transition(
+                state=state + 1, sends=(("ack", residue),), writes=(rest[0],)
+            )
+        return Transition(state=state, sends=(("ack", residue),))
+
+
+def modulo_protocol(
+    domain: Sequence, window: int
+) -> Tuple[ModuloSender, ModuloReceiver]:
+    """Both halves of the residue-header protocol."""
+    return ModuloSender(domain, window), ModuloReceiver(domain, window)

@@ -1,0 +1,147 @@
+"""Optimistic transmission: the natural protocol that Theorem 1 dooms.
+
+What would a reasonable engineer try for a family *beyond* ``alpha(m)``?
+Reuse messages: encode inputs as message sequences that may repeat
+symbols, keep the stop-and-wait discipline, and have the receiver accept a
+message whenever it extends a consistent image prefix.  On an honest
+network this works -- every run under the eager adversary completes
+correctly (the protocol is live).  But messages now carry *identity* that
+the channel can counterfeit: a duplicated (or lingering deleted-channel)
+copy of an earlier symbol is indistinguishable from the fresh repetition
+the receiver is waiting for, and the attack synthesizer turns that
+ambiguity into a concrete Safety violation -- for every such protocol, as
+Theorem 1/2 say it must.
+
+With a mapping that happens to be repetition-free and prefix-monotone this
+degenerates to exactly the handshake protocol, which is the point: the
+*only* thing separating the correct protocol from the attackable one is
+the combinatorial structure of the encoding, and that structure caps the
+family at ``alpha(m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from repro.kernel.errors import EncodingError, ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+from repro.core.sequences import is_prefix, longest_common_prefix
+
+
+class OptimisticSender(SenderProtocol):
+    """Stop-and-wait over an arbitrary (possibly repeating) image table.
+
+    Local state: ``(image, index)``.
+    """
+
+    def __init__(self, mapping: Mapping[Tuple, Tuple]) -> None:
+        self._table: Dict[Tuple, Tuple] = {
+            tuple(member): tuple(image) for member, image in mapping.items()
+        }
+        if not self._table:
+            raise ProtocolError("mapping must be non-empty")
+        self._alphabet = frozenset(
+            message for image in self._table.values() for message in image
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        try:
+            return (self._table[tuple(input_sequence)], 0)
+        except KeyError:
+            raise ProtocolError(
+                f"{tuple(input_sequence)!r} is not in the protocol's family"
+            ) from None
+
+    def on_step(self, state: Tuple) -> Transition:
+        image, index = state
+        if index < len(image):
+            return Transition(state=state, sends=(image[index],))
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        image, index = state
+        if index < len(image) and message == image[index]:
+            return Transition(state=(image, index + 1))
+        return Transition.stay(state)
+
+
+class OptimisticReceiver(ReceiverProtocol):
+    """Accepts any message that extends a consistent image prefix.
+
+    Local state: ``(reconstructed_prefix, written_count)``.  The flaw is in
+    ``on_message``: "does some input's image continue with this message?"
+    cannot distinguish the sender's fresh symbol from a stale copy when
+    images repeat symbols.
+    """
+
+    def __init__(self, mapping: Mapping[Tuple, Tuple]) -> None:
+        self._table: Dict[Tuple, Tuple] = {
+            tuple(member): tuple(image) for member, image in mapping.items()
+        }
+        self._alphabet = frozenset(
+            message for image in self._table.values() for message in image
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return ((), 0)
+
+    def _decode(self, prefix: Tuple) -> Tuple:
+        candidates = [
+            member
+            for member, image in self._table.items()
+            if is_prefix(prefix, image)
+        ]
+        if not candidates:
+            raise EncodingError(
+                f"reconstructed prefix {prefix!r} matches no image"
+            )
+        return longest_common_prefix(candidates)
+
+    def on_step(self, state: Tuple) -> Transition:
+        prefix, written = state
+        decoded = self._decode(prefix)
+        writes = tuple(decoded[written:])
+        sends = (prefix[-1],) if prefix else ()
+        if writes or sends:
+            return Transition(
+                state=(prefix, written + len(writes)), sends=sends, writes=writes
+            )
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        prefix, written = state
+        extended = prefix + (message,)
+        extends_some_image = any(
+            is_prefix(extended, image) for image in self._table.values()
+        )
+        if extends_some_image:
+            decoded = self._decode(extended)
+            writes = tuple(decoded[written:])
+            return Transition(
+                state=(extended, written + len(writes)),
+                sends=(message,),
+                writes=writes,
+            )
+        # Not a plausible continuation: treat as stale and re-echo.
+        return Transition(state=state, sends=(message,))
+
+
+def identity_optimistic(
+    family: Sequence,
+) -> Tuple[OptimisticSender, OptimisticReceiver]:
+    """The naive candidate: each input is its own message sequence.
+
+    For families within ``alpha(m)`` whose members are repetition-free this
+    is the correct Section 3 protocol; for anything larger it is live but
+    attackable -- the standard subject of experiments T3 and T5.
+    """
+    mapping = {tuple(member): tuple(member) for member in family}
+    return OptimisticSender(mapping), OptimisticReceiver(mapping)

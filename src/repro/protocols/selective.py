@@ -1,0 +1,168 @@
+"""Selective Repeat: the buffering sliding-window protocol.
+
+Completes the classical data-link trio (stop-and-wait/ABP, Go-Back-N,
+Selective Repeat).  Unlike Go-Back-N, the receiver accepts any frame
+inside its window and buffers out-of-order arrivals, so a single loss
+costs one retransmission rather than a whole window.  Correctness on a
+FIFO channel requires the sequence space to be at least twice the window
+(``modulus = 2 * window``), the textbook condition -- and, like its
+siblings, the modulo arithmetic is unsound under reordering, which the
+attack synthesizer demonstrates on request.
+
+Message formats: data ``("data", seq mod 2W, value)``, per-frame
+acknowledgements ``("sack", seq mod 2W)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class SelectiveRepeatSender(SenderProtocol):
+    """Window of individually acknowledged, individually retimed frames.
+
+    Local state: ``(items, base, acked, tick)`` where ``acked`` is a
+    sorted tuple of acknowledged indices at or above ``base`` and ``tick``
+    drives the retransmission sweep.
+    """
+
+    def __init__(
+        self, domain: Sequence, window: int, timeout: int = 6
+    ) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        if timeout < 1:
+            raise ProtocolError("timeout must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self.timeout = timeout
+        self.modulus = 2 * window
+        self._alphabet = frozenset(
+            ("data", seq, value)
+            for seq in range(self.modulus)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0, (), 0)
+
+    def _unacked_in_window(self, items, base, acked) -> Tuple[int, ...]:
+        high = min(base + self.window, len(items))
+        return tuple(
+            index for index in range(base, high) if index not in acked
+        )
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, base, acked, tick = state
+        if base >= len(items):
+            return Transition.stay(state)
+        pending = self._unacked_in_window(items, base, acked)
+        if not pending:
+            return Transition(state=(items, base, acked, 0))
+        # Sweep: one pending frame per timeout period, cycling through the
+        # window.  Fresh frames (never sent) go out immediately because a
+        # window advance resets the tick.
+        period = max(self.timeout // len(pending), 1)
+        next_tick = (tick + 1) % (period * len(pending))
+        if tick % period != 0:
+            return Transition(state=(items, base, acked, next_tick))
+        choice = pending[(tick // period) % len(pending)]
+        frame = ("data", choice % self.modulus, items[choice])
+        return Transition(
+            state=(items, base, acked, next_tick),
+            sends=(frame,),
+        )
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, base, acked, tick = state
+        if not (isinstance(message, tuple) and message[0] == "sack"):
+            return Transition.stay(state)
+        seq = message[1]
+        high = min(base + self.window, len(items))
+        matching = [
+            index
+            for index in range(base, high)
+            if index % self.modulus == seq and index not in acked
+        ]
+        if not matching:
+            return Transition.stay(state)
+        acked = tuple(sorted(acked + (matching[0],)))
+        while acked and acked[0] == base:
+            base += 1
+            acked = acked[1:]
+        return Transition(state=(items, base, acked, 0))
+
+
+class SelectiveRepeatReceiver(ReceiverProtocol):
+    """Buffers in-window frames; writes contiguous runs; acks per frame.
+
+    Local state: ``(expected, buffer)`` with ``buffer`` a sorted tuple of
+    ``(absolute_index, value)`` pairs above ``expected``.
+    """
+
+    def __init__(self, domain: Sequence, window: int) -> None:
+        if window < 1:
+            raise ProtocolError("window must be >= 1")
+        self._domain = tuple(domain)
+        self.window = window
+        self.modulus = 2 * window
+        self._alphabet = frozenset(
+            ("sack", seq) for seq in range(self.modulus)
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, ())
+
+    def on_step(self, state: Tuple) -> Transition:
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        expected, buffer = state
+        if not (isinstance(message, tuple) and message[0] == "data"):
+            return Transition.stay(state)
+        _, seq, value = message
+        # Which absolute index inside [expected, expected + window) has
+        # this residue?  On FIFO with modulus 2W there is at most one.
+        candidates = [
+            index
+            for index in range(expected, expected + self.window)
+            if index % self.modulus == seq
+        ]
+        ack = (("sack", seq),)
+        if not candidates:
+            # Below the window: an old frame whose ack was lost.
+            return Transition(state=state, sends=ack)
+        index = candidates[0]
+        if all(pos != index for pos, _ in buffer):
+            buffer = tuple(sorted(buffer + ((index, value),)))
+        writes = []
+        remaining = dict(buffer)
+        while expected in remaining:
+            writes.append(remaining.pop(expected))
+            expected += 1
+        return Transition(
+            state=(expected, tuple(sorted(remaining.items()))),
+            sends=ack,
+            writes=tuple(writes),
+        )
+
+
+def selective_repeat_protocol(
+    domain: Sequence, window: int, timeout: int = 6
+) -> Tuple[SelectiveRepeatSender, SelectiveRepeatReceiver]:
+    """Both halves of Selective Repeat with the given window."""
+    return (
+        SelectiveRepeatSender(domain, window, timeout=timeout),
+        SelectiveRepeatReceiver(domain, window),
+    )

@@ -1,0 +1,109 @@
+"""Stenning's protocol [Ste76]: unbounded sequence numbers.
+
+Each data message carries its absolute position; each acknowledgement
+echoes the position.  This is correct on every channel family in this
+library -- reordering, duplication, and deletion are all neutralized by
+the unique headers -- but the message alphabet grows linearly with the
+longest sequence.  It is the baseline that shows *why* the paper's
+question is about **finite** alphabets: give up finiteness and STP is
+easy; keep it and ``alpha(m)`` is the wall.
+
+Message formats: data ``("data", position, value)``, acks
+``("ack", position)``; positions are 0-based.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class StenningSender(SenderProtocol):
+    """Stop-and-wait with absolute positions; retransmits on every step.
+
+    Args:
+        domain: the data domain.
+        max_length: alphabet sizing bound; inputs longer than this are
+            rejected at ``initial_state`` (the alphabet must be declared
+            finite up front, which is precisely Stenning's weakness).
+    """
+
+    def __init__(self, domain: Sequence, max_length: int) -> None:
+        if max_length < 0:
+            raise ProtocolError("max_length must be non-negative")
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        self._alphabet = frozenset(
+            ("data", position, value)
+            for position in range(max_length)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        if len(input_sequence) > self.max_length:
+            raise ProtocolError(
+                f"input of length {len(input_sequence)} exceeds the declared "
+                f"maximum {self.max_length}"
+            )
+        return (tuple(input_sequence), 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, index = state
+        if index < len(items):
+            return Transition(state=state, sends=(("data", index, items[index]),))
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, index = state
+        if message == ("ack", index) and index < len(items):
+            return Transition(state=(items, index + 1))
+        return Transition.stay(state)
+
+
+class StenningReceiver(ReceiverProtocol):
+    """Writes positions in order; acknowledges every data message."""
+
+    def __init__(self, domain: Sequence, max_length: int) -> None:
+        self._domain = tuple(domain)
+        self.max_length = max_length
+        self._alphabet = frozenset(
+            ("ack", position) for position in range(max_length)
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> int:
+        return 0
+
+    def on_step(self, state: int) -> Transition:
+        if state > 0:
+            return Transition(state=state, sends=(("ack", state - 1),))
+        return Transition.stay(state)
+
+    def on_message(self, state: int, message) -> Transition:
+        kind, position, *rest = message
+        if kind != "data":
+            return Transition.stay(state)
+        if position == state:
+            return Transition(
+                state=state + 1, sends=(("ack", position),), writes=(rest[0],)
+            )
+        if position < state:
+            return Transition(state=state, sends=(("ack", position),))
+        return Transition.stay(state)  # future position: cannot happen in
+        # stop-and-wait runs, ignored defensively
+
+
+def stenning_protocol(
+    domain: Sequence, max_length: int
+) -> Tuple[StenningSender, StenningReceiver]:
+    """Both halves of Stenning's protocol."""
+    return StenningSender(domain, max_length), StenningReceiver(domain, max_length)

@@ -1,0 +1,59 @@
+"""The perfect-channel streaming protocol (Section 1's trivial solution).
+
+    "Solving STP with a perfect channel [...] is trivial: the sender simply
+    sends each x_i in turn.  The receiver passively waits for each message
+    and processes it when it arrives."
+
+Included as the FIFO baseline -- and as a negative exhibit: under any
+reordering channel the attack synthesizer finds a safety violation against
+it immediately, which motivates everything else in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class StreamingSender(SenderProtocol):
+    """Sends each data item once, in order, one per local step."""
+
+    def __init__(self, domain: Sequence) -> None:
+        self._alphabet = frozenset(domain)
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, index = state
+        if index < len(items):
+            return Transition(state=(items, index + 1), sends=(items[index],))
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        return Transition.stay(state)  # the trivial protocol has no acks
+
+
+class StreamingReceiver(ReceiverProtocol):
+    """Writes every delivered message immediately."""
+
+    def __init__(self, domain: Sequence) -> None:
+        self._alphabet = frozenset(domain)
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return frozenset()  # the receiver never sends
+
+    def initial_state(self) -> Tuple:
+        return ()
+
+    def on_step(self, state: Tuple) -> Transition:
+        return Transition.stay(state)
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        return Transition(state=state, writes=(message,))

@@ -1,0 +1,141 @@
+"""Liveness-trap detection: states from which completion is unreachable.
+
+Safety violations are events; liveness violations are *absences*, which
+finite traces can only hint at.  For finite-state systems the hint can be
+made a proof: build the full reachability graph, mark the configurations
+whose output tape is complete, and compute the backward closure.  Any
+reachable configuration outside that closure is a **liveness trap** -- no
+continuation whatsoever completes the transmission, so every fair run
+through it violates Liveness.
+
+This is the formal face of the hybrid protocol's stale-acknowledgement
+hazard (see :mod:`repro.protocols.hybrid`): on a deleting channel a stale
+``ack`` can convince the ABP component an item was delivered when it was
+not, after which the sender never retransmits it -- a trap this module
+exhibits as a concrete shortest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import Configuration, Event, System
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Outcome of a liveness-trap search.
+
+    Attributes:
+        states: reachable configurations examined.
+        trap_found: True iff some reachable configuration cannot reach
+            completion.
+        trap_path: shortest event schedule into the earliest such
+            configuration (None when no trap exists).
+        completing_states: how many reachable configurations already have
+            the full output written.
+        truncated: the search hit its budget; verdicts are then only
+            valid for the explored region.
+    """
+
+    states: int
+    trap_found: bool
+    trap_path: Optional[Tuple[Event, ...]]
+    completing_states: int
+    truncated: bool
+
+
+def find_liveness_trap(
+    system: System,
+    max_states: int = 500_000,
+    include_drops: bool = True,
+) -> DeadlockReport:
+    """Exhaustively search for configurations that can never complete.
+
+    The system's channels must be finite-state (use capped deleting /
+    lossy-FIFO channels); exceeding ``max_states`` truncates the search
+    and is reported rather than silently trusted.
+    """
+    if max_states < 1:
+        raise VerificationError("max_states must be positive")
+    initial = system.initial()
+    parents: Dict[Configuration, Optional[Tuple[Configuration, Event]]] = {
+        initial: None
+    }
+    order: List[Configuration] = [initial]
+    edges: Dict[Configuration, List[Configuration]] = {}
+    truncated = False
+
+    frontier = [initial]
+    while frontier:
+        next_frontier: List[Configuration] = []
+        for config in frontier:
+            events = system.enabled_events(config)
+            if not include_drops:
+                events = tuple(e for e in events if e[0] != "drop")
+            successors: List[Configuration] = []
+            for event in events:
+                successor = system.apply(config, event)
+                successors.append(successor)
+                if successor not in parents:
+                    parents[successor] = (config, event)
+                    order.append(successor)
+                    next_frontier.append(successor)
+                    if len(parents) >= max_states:
+                        truncated = True
+                        next_frontier = []
+                        frontier = []
+                        break
+            edges[config] = successors
+            if truncated:
+                break
+        if truncated:
+            break
+        frontier = next_frontier
+
+    # Backward closure from completing configurations.
+    completing = {
+        config for config in parents if system.output_is_complete(config)
+    }
+    reverse: Dict[Configuration, List[Configuration]] = {}
+    for config, successors in edges.items():
+        for successor in successors:
+            reverse.setdefault(successor, []).append(config)
+    can_complete: Set[Configuration] = set(completing)
+    stack = list(completing)
+    while stack:
+        config = stack.pop()
+        for predecessor in reverse.get(config, ()):
+            if predecessor not in can_complete:
+                can_complete.add(predecessor)
+                stack.append(predecessor)
+
+    trap: Optional[Configuration] = None
+    if not truncated:
+        for config in order:  # BFS order: earliest trap first
+            if config in edges and config not in can_complete:
+                trap = config
+                break
+
+    trap_path: Optional[Tuple[Event, ...]] = None
+    if trap is not None:
+        path: List[Event] = []
+        cursor = trap
+        while True:
+            link = parents[cursor]
+            if link is None:
+                break
+            cursor, event = link
+            path.append(event)
+        path.reverse()
+        trap_path = tuple(path)
+
+    return DeadlockReport(
+        states=len(parents),
+        trap_found=trap is not None,
+        trap_path=trap_path,
+        completing_states=len(completing),
+        truncated=truncated,
+    )

@@ -1,0 +1,72 @@
+"""The Liveness oracle, relativized to bounded fairness.
+
+The paper's F-Liveness quantifies over infinite fair runs; on finite
+traces the checkable statement is: *under a fairness-enforcing adversary*
+(:class:`repro.adversaries.fair.AgingFairAdversary` or any completed fair
+schedule), every input item was eventually written.  The oracle therefore
+reports (a) whether the run completed and (b) whether its schedule was
+bounded-fair -- a non-completing fair run within a generous step budget is
+evidence of a genuine liveness defect, while a non-completing *unfair* run
+indicts only the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversaries.fairness import is_delivery_fair
+from repro.kernel.trace import Trace
+
+
+@dataclass(frozen=True)
+class LivenessVerdict:
+    """Outcome of a liveness check over one trace.
+
+    Attributes:
+        complete: every input item was written by the end of the trace.
+        fair: the schedule was bounded-fair for the given patience.
+        live: the disjunction that matters: completed, or at least not
+            refuted by a fair schedule (incomplete-and-unfair is
+            inconclusive, reported as live=True with detail).
+        items_written / items_expected: progress accounting.
+        detail: human-readable explanation.
+    """
+
+    complete: bool
+    fair: bool
+    live: bool
+    items_written: int
+    items_expected: int
+    detail: str
+
+
+def check_liveness(trace: Trace, patience: int = 64) -> LivenessVerdict:
+    """Assess liveness evidence carried by one finite trace."""
+    expected = len(trace.input_sequence)
+    written = len(trace.output())
+    complete = written == expected
+    fair = is_delivery_fair(trace, patience)
+    if complete:
+        detail = "all items written"
+        live = True
+    elif fair:
+        detail = (
+            f"only {written}/{expected} items written under a bounded-fair "
+            f"schedule of {len(trace)} steps: liveness violation evidence"
+        )
+        live = False
+    else:
+        detail = (
+            f"only {written}/{expected} items written, but the schedule was "
+            f"not bounded-fair (patience {patience}); inconclusive"
+        )
+        live = True
+    return LivenessVerdict(
+        complete=complete,
+        fair=fair,
+        live=live,
+        items_written=written,
+        items_expected=expected,
+        detail=detail,
+    )

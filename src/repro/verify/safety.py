@@ -1,0 +1,65 @@
+"""The Safety oracle: ``Y`` is a prefix of ``X`` at every point.
+
+Section 2.4: "For every r in R and t >= 0, (R, r, t) |= (Y^r is a prefix
+of X^r)."  Over a finite trace this is decidable exactly; the oracle
+reports the earliest violating point and what went wrong there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.kernel.trace import Trace
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Outcome of a safety check over one trace.
+
+    Attributes:
+        safe: True iff every point satisfied the prefix property.
+        violation_time: earliest violating point (None when safe).
+        output_at_violation: the offending output tape.
+        detail: human-readable explanation.
+    """
+
+    safe: bool
+    violation_time: Optional[int] = None
+    output_at_violation: Optional[Tuple] = None
+    detail: str = "safe"
+
+
+def check_safety(trace: Trace) -> SafetyVerdict:
+    """Check the prefix property at every point of ``trace``."""
+    input_sequence = trace.input_sequence
+    for time, config in enumerate(trace.configurations()):
+        output = config.output
+        if len(output) > len(input_sequence):
+            return SafetyVerdict(
+                safe=False,
+                violation_time=time,
+                output_at_violation=output,
+                detail=(
+                    f"output of length {len(output)} exceeds input of length "
+                    f"{len(input_sequence)} at time {time}"
+                ),
+            )
+        if tuple(output) != input_sequence[: len(output)]:
+            position = next(
+                index
+                for index, (got, expected) in enumerate(
+                    zip(output, input_sequence)
+                )
+                if got != expected
+            )
+            return SafetyVerdict(
+                safe=False,
+                violation_time=time,
+                output_at_violation=output,
+                detail=(
+                    f"output[{position}] = {output[position]!r} but "
+                    f"x_{position + 1} = {input_sequence[position]!r} at time {time}"
+                ),
+            )
+    return SafetyVerdict(safe=True)

@@ -1,0 +1,33 @@
+"""Workloads: the sequence families the experiments run on.
+
+``X``-STP is parameterized by the family ``X`` of allowable inputs; each
+generator here builds one of the families used in the evaluation:
+
+* :func:`repetition_free_family` -- the tight ``alpha(m)`` family of
+  Sections 3/4;
+* :func:`overfull_family` -- ``alpha(m) + 1`` sequences, the smallest
+  family the theorems make unsolvable;
+* :func:`bounded_length_family` -- all sequences up to a length (the
+  Section 5 countable-``X`` setting, truncated to finite);
+* :func:`prefix_chain_family` / :func:`antichain_family` -- the two
+  structural extremes for the encoding experiments (A2);
+* :func:`random_family` -- seeded random families.
+"""
+
+from repro.workloads.families import (
+    repetition_free_family,
+    overfull_family,
+    bounded_length_family,
+    prefix_chain_family,
+    antichain_family,
+    random_family,
+)
+
+__all__ = [
+    "repetition_free_family",
+    "overfull_family",
+    "bounded_length_family",
+    "prefix_chain_family",
+    "antichain_family",
+    "random_family",
+]

@@ -1,0 +1,108 @@
+"""Sequence-family generators.
+
+All generators return tuples of tuples in a deterministic order (shortest
+first, then lexicographic by repr), so experiment outputs are stable
+across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.kernel.errors import VerificationError
+from repro.kernel.rng import DeterministicRNG
+from repro.core.alpha import alpha
+from repro.core.sequences import all_sequences, repetition_free_sequences
+
+
+def _canonical(family) -> Tuple[Tuple, ...]:
+    return tuple(sorted(family, key=lambda seq: (len(seq), repr(seq))))
+
+
+def repetition_free_family(domain: Sequence) -> Tuple[Tuple, ...]:
+    """All repetition-free sequences over ``domain``: the tight family.
+
+    ``len(repetition_free_family(D)) == alpha(len(D))``.
+    """
+    return _canonical(repetition_free_sequences(domain))
+
+
+def overfull_family(domain: Sequence, alphabet_size: int) -> Tuple[Tuple, ...]:
+    """``alpha(alphabet_size) + 1`` sequences over ``domain``.
+
+    The family is all sequences over the domain in canonical order,
+    truncated to one more than the bound -- the smallest family Theorem 1
+    (or 2) renders unsolvable with ``alphabet_size`` messages.
+    """
+    target = alpha(alphabet_size) + 1
+    collected = []
+    max_length = 1
+    while len(collected) < target:
+        collected = list(all_sequences(domain, max_length))
+        if len(collected) >= target:
+            break
+        if len(collected) <= 1 and max_length > 1:
+            raise VerificationError(
+                f"domain {tuple(domain)!r} cannot produce {target} sequences"
+            )
+        max_length += 1
+    return _canonical(collected)[:target]
+
+
+def bounded_length_family(domain: Sequence, max_length: int) -> Tuple[Tuple, ...]:
+    """All sequences over ``domain`` of length at most ``max_length``.
+
+    The finite truncation of Section 5's countable family of all finite
+    sequences.
+    """
+    if max_length < 0:
+        raise VerificationError("max_length must be non-negative")
+    return _canonical(all_sequences(domain, max_length))
+
+
+def prefix_chain_family(domain: Sequence, length: int) -> Tuple[Tuple, ...]:
+    """The chain ``(), (d1), (d1, d2), ...`` of nested prefixes.
+
+    The structural extreme where prefix-monotone encodings are cheapest:
+    a chain of ``k + 1`` sequences embeds into a single repetition-free
+    path, needing only ``k`` messages.
+    """
+    symbols = tuple(domain)
+    if length > len(symbols):
+        raise VerificationError(
+            f"chain of length {length} needs {length} distinct symbols, "
+            f"domain has {len(symbols)}"
+        )
+    return tuple(symbols[:cut] for cut in range(length + 1))
+
+
+def antichain_family(
+    domain: Sequence, size: int, length: int
+) -> Tuple[Tuple, ...]:
+    """``size`` distinct sequences of exactly ``length`` items.
+
+    No member is a prefix of another (an antichain), the structural
+    extreme where encodings are most expensive (``m!`` is the ceiling).
+    """
+    collected = [
+        seq for seq in all_sequences(domain, length) if len(seq) == length
+    ]
+    if len(collected) < size:
+        raise VerificationError(
+            f"only {len(collected)} sequences of length {length} exist "
+            f"over this domain; {size} requested"
+        )
+    return _canonical(collected)[:size]
+
+
+def random_family(
+    rng: DeterministicRNG, domain: Sequence, size: int, max_length: int
+) -> Tuple[Tuple, ...]:
+    """``size`` distinct random sequences of length at most ``max_length``."""
+    universe = list(all_sequences(domain, max_length))
+    if len(universe) < size:
+        raise VerificationError(
+            f"only {len(universe)} sequences of length <= {max_length} exist; "
+            f"{size} requested"
+        )
+    return _canonical(rng.sample(universe, size))

@@ -1,0 +1,135 @@
+"""Tests for stats, metrics, and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adversaries import EagerAdversary
+from repro.analysis.metrics import measure_run, summarize
+from repro.analysis.stats import five_number, mean, median, percentile
+from repro.analysis.tables import format_cell, render_series, render_table
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import System
+from repro.protocols.norepeat import norepeat_protocol
+
+floats = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 3, 100]) == 2.5
+
+    def test_percentile_endpoints(self):
+        data = [5, 1, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            mean([])
+        with pytest.raises(VerificationError):
+            percentile([], 50)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(VerificationError):
+            percentile([1], 101)
+
+    @given(floats)
+    def test_five_number_ordering(self, values):
+        summary = five_number(values)
+        assert (
+            summary.minimum
+            <= summary.p25
+            <= summary.median
+            <= summary.p75
+            <= summary.maximum
+        )
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+    @given(floats)
+    def test_median_agrees_with_percentile(self, values):
+        assert median(values) == percentile(values, 50)
+
+
+class TestMetrics:
+    @pytest.fixture
+    def result(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a", "b")
+        )
+        return Simulator(system, EagerAdversary()).run()
+
+    def test_measure_run_fields(self, result):
+        metrics = measure_run(result)
+        assert metrics.completed and metrics.safe
+        assert metrics.items == 2
+        assert metrics.data_messages_sent >= 2
+        assert metrics.deliveries_to_receiver >= 2
+        assert metrics.messages_per_item == metrics.data_messages_sent / 2
+
+    def test_empty_input_has_no_per_item_ratio(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ()
+        )
+        metrics = measure_run(Simulator(system, EagerAdversary()).run())
+        assert metrics.messages_per_item is None
+
+    def test_summarize(self, result):
+        metrics = measure_run(result)
+        summary = summarize([metrics, metrics])
+        assert summary.runs == 2
+        assert summary.completed == 2 and summary.safe == 2
+        assert summary.steps.minimum == summary.steps.maximum == metrics.steps
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            summarize([])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(0.3333333) == "0.333"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [(1, 2), (33, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [(1, 2)])
+
+    def test_render_table_empty_rows(self):
+        text = render_table(("col",), [])
+        assert "col" in text
+
+    def test_render_series_has_bars(self):
+        text = render_series("S", "x", "y", [(1, 1.0), (2, 2.0)])
+        lines = text.splitlines()
+        assert lines[0] == "S"
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_render_series_handles_none(self):
+        text = render_series("S", "x", "y", [(1, None)])
+        assert "-" in text
+
+    def test_render_series_all_zero(self):
+        text = render_series("S", "x", "y", [(1, 0.0), (2, 0.0)])
+        assert "#" not in text

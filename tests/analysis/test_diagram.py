@@ -1,0 +1,59 @@
+"""Tests for the ASCII sequence-diagram renderer."""
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.analysis.diagram import sequence_diagram
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import SENDER_STEP, System, drop_from_sr
+from repro.protocols.norepeat import norepeat_protocol
+
+
+def completed_trace():
+    sender, receiver = norepeat_protocol("ab")
+    system = System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a", "b")
+    )
+    return Simulator(system, EagerAdversary()).run().trace
+
+
+class TestSequenceDiagram:
+    def test_contains_headers_and_io(self):
+        text = sequence_diagram(completed_trace())
+        assert "input:  ('a', 'b')" in text
+        assert "output: ('a', 'b')" in text
+        assert "channel" in text.splitlines()[2]
+
+    def test_shows_sends_deliveries_and_writes(self):
+        text = sequence_diagram(completed_trace())
+        assert "send 'a'" in text
+        assert "recv 'a'" in text
+        assert "WRITE 'a'" in text
+        assert "WRITE 'b'" in text
+
+    def test_shows_drops(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DeletingChannel(), DeletingChannel(), ("a",)
+        )
+        trace = (
+            Simulator(
+                system,
+                ScriptedAdversary([SENDER_STEP, drop_from_sr("a")]),
+                stop_when_complete=False,
+            )
+            .run()
+            .trace
+        )
+        text = sequence_diagram(trace)
+        assert "lost" in text
+
+    def test_truncates_long_traces(self):
+        trace = completed_trace()
+        text = sequence_diagram(trace, max_rows=2)
+        assert "more)" in text
+
+    def test_row_count_matches_events(self):
+        trace = completed_trace()
+        text = sequence_diagram(trace)
+        # 4 header/preamble lines plus one row per event.
+        assert len(text.splitlines()) == 4 + len(trace)

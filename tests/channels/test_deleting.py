@@ -1,0 +1,102 @@
+"""Tests for the reorder+delete channel (Section 4 semantics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels import DeletingChannel
+from repro.kernel.errors import ChannelError
+
+
+@pytest.fixture
+def channel():
+    return DeletingChannel()
+
+
+class TestSemantics:
+    def test_delivery_consumes_one_copy(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_send(state, "m")
+        state = channel.after_deliver(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+
+    def test_delivery_of_last_copy_empties(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_deliver(state, "m")
+        assert channel.deliverable(state) == ()
+
+    def test_cannot_deliver_more_than_sent(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_deliver(state, "m")
+        with pytest.raises(ChannelError):
+            channel.after_deliver(state, "m")
+
+    def test_dlvrble_counts_sent_minus_delivered(self, channel):
+        state = channel.empty()
+        for _ in range(5):
+            state = channel.after_send(state, "m")
+        for _ in range(2):
+            state = channel.after_deliver(state, "m")
+        assert channel.dlvrble_count(state, "m") == 3
+
+    def test_drop_consumes_a_copy(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        assert channel.droppable(state) == ("m",)
+        state = channel.after_drop(state, "m")
+        assert channel.deliverable(state) == ()
+
+    def test_drop_absent_raises(self, channel):
+        with pytest.raises(ChannelError):
+            channel.after_drop(channel.empty(), "m")
+
+    def test_capability_flags(self, channel):
+        assert channel.can_delete()
+        assert not channel.can_duplicate()
+
+
+class TestCopyCap:
+    def test_cap_deletes_excess_sends_on_entry(self):
+        channel = DeletingChannel(max_copies=2)
+        state = channel.empty()
+        for _ in range(5):
+            state = channel.after_send(state, "m")
+        assert channel.dlvrble_count(state, "m") == 2
+
+    def test_cap_is_per_message(self):
+        channel = DeletingChannel(max_copies=1)
+        state = channel.after_send(channel.empty(), "a")
+        state = channel.after_send(state, "b")
+        assert set(channel.deliverable(state)) == {"a", "b"}
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ChannelError):
+            DeletingChannel(max_copies=0)
+
+    def test_cap_frees_on_delivery(self):
+        channel = DeletingChannel(max_copies=1)
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_deliver(state, "m")
+        state = channel.after_send(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from("ab"), max_size=12))
+    def test_counts_match_send_multiset(self, sends):
+        channel = DeletingChannel()
+        state = channel.empty()
+        for message in sends:
+            state = channel.after_send(state, message)
+        for message in set(sends):
+            assert channel.dlvrble_count(state, message) == sends.count(message)
+
+    @given(st.lists(st.sampled_from("ab"), min_size=1, max_size=12))
+    def test_deliver_then_resend_restores_count(self, sends):
+        channel = DeletingChannel()
+        state = channel.empty()
+        for message in sends:
+            state = channel.after_send(state, message)
+        target = sends[0]
+        before = channel.dlvrble_count(state, target)
+        state = channel.after_deliver(state, target)
+        state = channel.after_send(state, target)
+        assert channel.dlvrble_count(state, target) == before

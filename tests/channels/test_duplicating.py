@@ -1,0 +1,81 @@
+"""Tests for the reorder+duplicate channel (Section 3 semantics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import ChannelError
+
+
+@pytest.fixture
+def channel():
+    return DuplicatingChannel()
+
+
+class TestSemantics:
+    def test_empty_has_nothing_deliverable(self, channel):
+        assert channel.deliverable(channel.empty()) == ()
+
+    def test_sent_message_becomes_deliverable(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        assert channel.deliverable(state) == ("m",)
+
+    def test_delivery_does_not_consume(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        after = channel.after_deliver(state, "m")
+        assert after == state
+        assert channel.deliverable(after) == ("m",)
+
+    def test_unlimited_redelivery(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        for _ in range(50):
+            state = channel.after_deliver(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+
+    def test_resend_is_idempotent_on_state(self, channel):
+        once = channel.after_send(channel.empty(), "m")
+        twice = channel.after_send(once, "m")
+        assert once == twice  # the set semantics of the paper
+
+    def test_deliver_never_sent_raises(self, channel):
+        with pytest.raises(ChannelError):
+            channel.after_deliver(channel.empty(), "ghost")
+
+    def test_dlvrble_vector_is_boolean(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_send(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+        assert channel.dlvrble_count(state, "other") == 0
+
+    def test_capability_flags(self, channel):
+        assert channel.can_duplicate()
+        assert not channel.can_delete()
+        assert channel.droppable(channel.after_send(channel.empty(), "m")) == ()
+
+    def test_no_drop_support(self, channel):
+        with pytest.raises(ChannelError):
+            channel.after_drop(channel.empty(), "m")
+
+    def test_deliverable_order_is_canonical(self, channel):
+        state = channel.empty()
+        for message in ("c", "a", "b"):
+            state = channel.after_send(state, message)
+        assert channel.deliverable(state) == ("a", "b", "c")
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from("abc"), max_size=10))
+    def test_deliverable_equals_distinct_sends(self, sends):
+        channel = DuplicatingChannel()
+        state = channel.empty()
+        for message in sends:
+            state = channel.after_send(state, message)
+        assert set(channel.deliverable(state)) == set(sends)
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=10))
+    def test_states_are_hashable_and_stable(self, sends):
+        channel = DuplicatingChannel()
+        state = channel.empty()
+        for message in sends:
+            state = channel.after_send(state, message)
+        assert hash(state) == hash(frozenset(sends))

@@ -1,0 +1,91 @@
+"""Tests for the order-preserving channels."""
+
+import pytest
+
+from repro.channels import FifoChannel, LossyFifoChannel
+from repro.kernel.errors import ChannelError
+
+
+class TestFifo:
+    def test_only_head_deliverable(self):
+        channel = FifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        assert channel.deliverable(state) == ("a",)
+
+    def test_delivery_advances_queue(self):
+        channel = FifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        state = channel.after_deliver(state, "a")
+        assert channel.deliverable(state) == ("b",)
+
+    def test_cannot_deliver_out_of_order(self):
+        channel = FifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        with pytest.raises(ChannelError):
+            channel.after_deliver(state, "b")
+
+    def test_duplicate_entries_queue_independently(self):
+        channel = FifoChannel()
+        state = channel.empty()
+        for message in ("m", "m", "n"):
+            state = channel.after_send(state, message)
+        assert channel.dlvrble_count(state, "m") == 2
+        state = channel.after_deliver(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+
+    def test_perfect_fifo_has_no_drops(self):
+        channel = FifoChannel()
+        state = channel.after_send(channel.empty(), "a")
+        assert channel.droppable(state) == ()
+        assert not channel.can_delete()
+
+    def test_empty_queue_deliverable_empty(self):
+        channel = FifoChannel()
+        assert channel.deliverable(channel.empty()) == ()
+
+
+class TestLossyFifo:
+    def test_head_is_droppable(self):
+        channel = LossyFifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        assert channel.droppable(state) == ("a",)
+
+    def test_drop_reveals_next(self):
+        channel = LossyFifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        state = channel.after_drop(state, "a")
+        assert channel.deliverable(state) == ("b",)
+
+    def test_cannot_drop_non_head(self):
+        channel = LossyFifoChannel()
+        state = channel.after_send(channel.after_send(channel.empty(), "a"), "b")
+        with pytest.raises(ChannelError):
+            channel.after_drop(state, "b")
+
+    def test_can_delete_flag(self):
+        assert LossyFifoChannel().can_delete()
+
+    def test_capacity_tail_drop(self):
+        channel = LossyFifoChannel(capacity=2)
+        state = channel.empty()
+        for message in ("a", "b", "c"):
+            state = channel.after_send(state, message)
+        assert state == ("a", "b")  # 'c' lost on entry
+
+    def test_capacity_frees_after_delivery(self):
+        channel = LossyFifoChannel(capacity=1)
+        state = channel.after_send(channel.empty(), "a")
+        state = channel.after_deliver(state, "a")
+        state = channel.after_send(state, "b")
+        assert channel.deliverable(state) == ("b",)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ChannelError):
+            LossyFifoChannel(capacity=0)
+
+    def test_uncapped_by_default(self):
+        channel = LossyFifoChannel()
+        state = channel.empty()
+        for index in range(100):
+            state = channel.after_send(state, index)
+        assert len(state) == 100

@@ -1,0 +1,37 @@
+"""Tests for the channel registry."""
+
+import pytest
+
+from repro.channels import (
+    DeletingChannel,
+    DuplicatingChannel,
+    channel_by_name,
+    channel_names,
+    register_channel,
+)
+from repro.kernel.errors import ChannelError
+
+
+class TestRegistry:
+    def test_builtin_names_present(self):
+        names = channel_names()
+        for expected in ("dup", "del", "reorder", "fifo", "lossy-fifo"):
+            assert expected in names
+
+    def test_lookup_returns_instances(self):
+        assert isinstance(channel_by_name("dup"), DuplicatingChannel)
+        assert isinstance(channel_by_name("del"), DeletingChannel)
+
+    def test_lookup_returns_fresh_instances(self):
+        assert channel_by_name("dup") is not channel_by_name("dup")
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ChannelError, match="dup"):
+            channel_by_name("quantum")
+
+    def test_custom_registration(self):
+        class Custom(DuplicatingChannel):
+            name = "custom-test"
+
+        register_channel("custom-test", Custom)
+        assert isinstance(channel_by_name("custom-test"), Custom)

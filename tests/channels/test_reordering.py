@@ -1,0 +1,41 @@
+"""Tests for the reorder-only channel."""
+
+import pytest
+
+from repro.channels import ReorderingChannel
+from repro.kernel.errors import ChannelError
+
+
+@pytest.fixture
+def channel():
+    return ReorderingChannel()
+
+
+class TestSemantics:
+    def test_any_in_flight_message_deliverable(self, channel):
+        state = channel.empty()
+        for message in ("a", "b", "c"):
+            state = channel.after_send(state, message)
+        assert set(channel.deliverable(state)) == {"a", "b", "c"}
+
+    def test_delivery_consumes_exactly_one_copy(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_send(state, "m")
+        state = channel.after_deliver(state, "m")
+        assert channel.dlvrble_count(state, "m") == 1
+
+    def test_no_duplication_no_deletion(self, channel):
+        assert not channel.can_duplicate()
+        assert not channel.can_delete()
+
+    def test_no_drop_support(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        assert channel.droppable(state) == ()
+        with pytest.raises(ChannelError):
+            channel.after_drop(state, "m")
+
+    def test_over_delivery_raises(self, channel):
+        state = channel.after_send(channel.empty(), "m")
+        state = channel.after_deliver(state, "m")
+        with pytest.raises(ChannelError):
+            channel.after_deliver(state, "m")

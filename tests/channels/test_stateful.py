@@ -1,0 +1,133 @@
+"""Hypothesis stateful (model-based) tests for channel semantics.
+
+Each channel family is driven through random send/deliver/drop command
+sequences against a trivial reference model (Python collections), so the
+immutable-state algebra is checked against an independent second
+implementation of the same semantics.
+"""
+
+from collections import Counter, deque
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.channels import DeletingChannel, DuplicatingChannel, LossyFifoChannel
+
+MESSAGES = st.sampled_from(["a", "b", "c"])
+
+
+class DuplicatingChannelMachine(RuleBasedStateMachine):
+    """Reference model: the set of ever-sent messages."""
+
+    def __init__(self):
+        super().__init__()
+        self.channel = DuplicatingChannel()
+        self.state = self.channel.empty()
+        self.model = set()
+
+    @rule(message=MESSAGES)
+    def send(self, message):
+        self.state = self.channel.after_send(self.state, message)
+        self.model.add(message)
+
+    @rule(message=MESSAGES)
+    def deliver_if_possible(self, message):
+        if message in self.model:
+            self.state = self.channel.after_deliver(self.state, message)
+            # Duplication: the model does not shrink.
+
+    @invariant()
+    def deliverable_matches_model(self):
+        assert set(self.channel.deliverable(self.state)) == self.model
+
+    @invariant()
+    def counts_are_boolean(self):
+        for message in ("a", "b", "c"):
+            expected = 1 if message in self.model else 0
+            assert self.channel.dlvrble_count(self.state, message) == expected
+
+
+class DeletingChannelMachine(RuleBasedStateMachine):
+    """Reference model: a Counter of in-flight copies."""
+
+    def __init__(self):
+        super().__init__()
+        self.channel = DeletingChannel()
+        self.state = self.channel.empty()
+        self.model = Counter()
+
+    @rule(message=MESSAGES)
+    def send(self, message):
+        self.state = self.channel.after_send(self.state, message)
+        self.model[message] += 1
+
+    @rule(message=MESSAGES)
+    def deliver_if_possible(self, message):
+        if self.model[message] > 0:
+            self.state = self.channel.after_deliver(self.state, message)
+            self.model[message] -= 1
+
+    @rule(message=MESSAGES)
+    def drop_if_possible(self, message):
+        if self.model[message] > 0:
+            self.state = self.channel.after_drop(self.state, message)
+            self.model[message] -= 1
+
+    @invariant()
+    def counts_match_model(self):
+        for message in ("a", "b", "c"):
+            assert (
+                self.channel.dlvrble_count(self.state, message)
+                == self.model[message]
+            )
+
+    @invariant()
+    def support_matches_model(self):
+        expected = {m for m, n in self.model.items() if n > 0}
+        assert set(self.channel.deliverable(self.state)) == expected
+
+
+class LossyFifoMachine(RuleBasedStateMachine):
+    """Reference model: a deque with capacity-3 tail drop."""
+
+    CAPACITY = 3
+
+    def __init__(self):
+        super().__init__()
+        self.channel = LossyFifoChannel(capacity=self.CAPACITY)
+        self.state = self.channel.empty()
+        self.model = deque()
+
+    @rule(message=MESSAGES)
+    def send(self, message):
+        self.state = self.channel.after_send(self.state, message)
+        if len(self.model) < self.CAPACITY:
+            self.model.append(message)
+
+    @rule()
+    def deliver_head_if_possible(self):
+        if self.model:
+            head = self.model[0]
+            self.state = self.channel.after_deliver(self.state, head)
+            self.model.popleft()
+
+    @rule()
+    def drop_head_if_possible(self):
+        if self.model:
+            head = self.model[0]
+            self.state = self.channel.after_drop(self.state, head)
+            self.model.popleft()
+
+    @invariant()
+    def queue_matches_model(self):
+        assert self.state == tuple(self.model)
+
+    @invariant()
+    def only_head_deliverable(self):
+        expected = (self.model[0],) if self.model else ()
+        assert self.channel.deliverable(self.state) == expected
+
+
+TestDuplicatingChannelStateful = DuplicatingChannelMachine.TestCase
+TestDeletingChannelStateful = DeletingChannelMachine.TestCase
+TestLossyFifoStateful = LossyFifoMachine.TestCase

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import EagerAdversary, RandomAdversary, AgingFairAdversary
+from repro.channels import (
+    DeletingChannel,
+    DuplicatingChannel,
+    FifoChannel,
+    LossyFifoChannel,
+    ReorderingChannel,
+)
+from repro.kernel.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    return DeterministicRNG(1234)
+
+
+@pytest.fixture
+def dup_channel() -> DuplicatingChannel:
+    return DuplicatingChannel()
+
+
+@pytest.fixture
+def del_channel() -> DeletingChannel:
+    return DeletingChannel()
+
+
+@pytest.fixture
+def fifo_channel() -> FifoChannel:
+    return FifoChannel()
+
+
+@pytest.fixture
+def lossy_fifo_channel() -> LossyFifoChannel:
+    return LossyFifoChannel()
+
+
+@pytest.fixture
+def reorder_channel() -> ReorderingChannel:
+    return ReorderingChannel()
+
+
+@pytest.fixture
+def eager() -> EagerAdversary:
+    return EagerAdversary()
+
+
+@pytest.fixture
+def fair_random(rng) -> AgingFairAdversary:
+    return AgingFairAdversary(RandomAdversary(rng.fork("adv")), patience=64)

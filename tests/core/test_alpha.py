@@ -1,0 +1,102 @@
+"""Tests for the alpha(m) combinatorics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.alpha import (
+    alpha,
+    alpha_floor_e_factorial,
+    alpha_recurrence,
+    alpha_series,
+    count_repetition_free,
+    max_family_size,
+)
+from repro.core.sequences import repetition_free_sequences
+from repro.kernel.errors import VerificationError
+
+
+KNOWN_VALUES = {0: 1, 1: 2, 2: 5, 3: 16, 4: 65, 5: 326, 6: 1957}
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("m,expected", sorted(KNOWN_VALUES.items()))
+    def test_known_values(self, m, expected):
+        assert alpha(m) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(VerificationError):
+            alpha(-1)
+
+    def test_exact_for_large_m(self):
+        # Integer arithmetic: no float rounding even at m = 50.
+        value = alpha(50)
+        assert value == sum(
+            math.factorial(50) // math.factorial(k) for k in range(51)
+        )
+
+
+class TestEquivalences:
+    @given(st.integers(min_value=0, max_value=30))
+    def test_recurrence_matches_closed_form(self, m):
+        assert alpha_recurrence(m) == alpha(m)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_floor_e_factorial_identity(self, m):
+        assert alpha_floor_e_factorial(m) == alpha(m)
+
+    def test_floor_identity_excluded_at_zero(self):
+        # floor(e * 0!) = 2 != alpha(0) = 1: the identity starts at m = 1.
+        with pytest.raises(VerificationError):
+            alpha_floor_e_factorial(0)
+
+    @pytest.mark.parametrize("m", range(0, 7))
+    def test_counts_repetition_free_sequences(self, m):
+        domain = tuple(range(m))
+        assert sum(1 for _ in repetition_free_sequences(domain)) == alpha(m)
+
+    def test_series_matches_pointwise(self):
+        assert alpha_series(6) == [alpha(m) for m in range(7)]
+
+    def test_series_negative_rejected(self):
+        with pytest.raises(VerificationError):
+            alpha_series(-1)
+
+
+class TestBand:
+    @given(st.integers(min_value=1, max_value=40))
+    def test_alpha_between_factorial_and_e_factorial(self, m):
+        factorial = math.factorial(m)
+        assert factorial <= alpha(m)
+        # alpha(m) < e * m! via the exact tail bound: the tail sum is < 1.
+        assert (alpha(m) - factorial * 2) < factorial  # alpha < 3 m! loose
+        assert alpha(m) * 1_000_000 < 2718282 * factorial
+
+    @given(st.integers(min_value=0, max_value=25))
+    def test_strictly_increasing(self, m):
+        assert alpha(m + 1) > alpha(m)
+
+
+class TestPerLength:
+    def test_count_repetition_free_exact_lengths(self):
+        assert count_repetition_free(3, 0) == 1
+        assert count_repetition_free(3, 1) == 3
+        assert count_repetition_free(3, 2) == 6
+        assert count_repetition_free(3, 3) == 6
+        assert count_repetition_free(3, 4) == 0
+
+    @given(st.integers(min_value=0, max_value=8))
+    def test_lengths_sum_to_alpha(self, m):
+        assert sum(count_repetition_free(m, k) for k in range(m + 1)) == alpha(m)
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(VerificationError):
+            count_repetition_free(-1, 0)
+        with pytest.raises(VerificationError):
+            count_repetition_free(3, -1)
+
+
+class TestMaxFamilySize:
+    def test_alias_of_alpha(self):
+        assert max_family_size(4) == alpha(4) == 65

@@ -1,0 +1,160 @@
+"""Tests for decisive tuples and the delta_l recursion."""
+
+import pytest
+
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.core.alpha import alpha
+from repro.core.decisive import (
+    DelDecisiveTuple,
+    DupDecisiveTuple,
+    beta_identification_index,
+    c_recovery_bound,
+    delta_schedule,
+    find_dup_decisive_tuples,
+)
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import SENDER_STEP, System
+from repro.kernel.trace import Trace
+from repro.knowledge.runs import Ensemble, Point
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+
+def streaming_system(input_sequence, channel_factory=DuplicatingChannel):
+    sender = StreamingSender("ab")
+    receiver = StreamingReceiver("ab")
+    return System(
+        sender, receiver, channel_factory(), channel_factory(), input_sequence
+    )
+
+
+def sent_trace(input_sequence, steps=2, channel_factory=DuplicatingChannel):
+    trace = Trace(streaming_system(input_sequence, channel_factory))
+    trace.replay([SENDER_STEP] * steps)
+    return trace
+
+
+class TestDupDecisiveTuple:
+    def test_valid_tuple(self):
+        first = sent_trace(("a",), steps=1)
+        second = sent_trace(("a", "b"), steps=1)
+        tup = DupDecisiveTuple(
+            points=(Point(first, 1), Point(second, 1)),
+            messages=frozenset({"a"}),
+        )
+        assert tup.is_valid()
+
+    def test_missing_message_invalidates(self):
+        first = sent_trace(("a",), steps=1)
+        second = sent_trace(("b",), steps=1)
+        tup = DupDecisiveTuple(
+            points=(Point(first, 1), Point(second, 1)),
+            messages=frozenset({"b"}),  # run 1 never sent 'b'
+        )
+        violations = tup.violations()
+        assert any("not sent" in violation for violation in violations)
+
+    def test_distinguishable_points_invalidate(self):
+        first = sent_trace(("a",), steps=1)
+        # Deliver the message so R's view differs.
+        second = Trace(streaming_system(("a", "b")))
+        second.replay([SENDER_STEP, ("deliver", "SR", "a")])
+        tup = DupDecisiveTuple(
+            points=(Point(first, 1), Point(second, 2)),
+            messages=frozenset({"a"}),
+        )
+        assert any("distinguishes" in v for v in tup.violations())
+
+    def test_duplicate_inputs_invalidate(self):
+        first = sent_trace(("a",), steps=1)
+        second = sent_trace(("a",), steps=1)
+        tup = DupDecisiveTuple(
+            points=(Point(first, 1), Point(second, 1)),
+            messages=frozenset({"a"}),
+        )
+        assert any("duplicate input" in v for v in tup.violations())
+
+    def test_non_dup_channel_flagged(self):
+        trace = sent_trace(("a",), steps=1, channel_factory=DeletingChannel)
+        tup = DupDecisiveTuple(points=(Point(trace, 1),), messages=frozenset())
+        assert any("non-duplicating" in v for v in tup.violations())
+
+
+class TestDelDecisiveTuple:
+    def test_counts_copies(self):
+        trace = sent_trace(("a", "a"), steps=2, channel_factory=DeletingChannel)
+        other = sent_trace(("a", "b"), steps=2, channel_factory=DeletingChannel)
+        tup = DelDecisiveTuple(
+            points=(Point(trace, 2), Point(other, 2)),
+            messages=frozenset({"a"}),
+            copies=1,
+        )
+        assert tup.is_valid()
+
+    def test_insufficient_copies_invalidate(self):
+        trace = sent_trace(("a",), steps=1, channel_factory=DeletingChannel)
+        other = sent_trace(("b",), steps=1, channel_factory=DeletingChannel)
+        tup = DelDecisiveTuple(
+            points=(Point(trace, 1), Point(other, 1)),
+            messages=frozenset({"a"}),
+            copies=2,
+        )
+        assert any("undelivered copies" in v for v in tup.violations())
+
+    def test_negative_copies_invalid(self):
+        trace = sent_trace(("a",), steps=1, channel_factory=DeletingChannel)
+        tup = DelDecisiveTuple(
+            points=(Point(trace, 1),), messages=frozenset(), copies=-1
+        )
+        assert not tup.is_valid()
+
+
+class TestSearcher:
+    def test_finds_tuples_at_time_zero(self):
+        traces = [sent_trace(seq, steps=0) for seq in [(), ("a",), ("b",)]]
+        ensemble = Ensemble(traces)
+        found = find_dup_decisive_tuples(ensemble, size=3, messages=frozenset())
+        assert found and all(t.is_valid() for t in found)
+
+    def test_finds_tuples_with_captured_message(self):
+        traces = [sent_trace(seq, steps=2) for seq in [("a",), ("a", "b")]]
+        ensemble = Ensemble(traces)
+        found = find_dup_decisive_tuples(
+            ensemble, size=2, messages=frozenset({"a"})
+        )
+        assert found and all(t.is_valid() for t in found)
+
+    def test_size_validation(self):
+        ensemble = Ensemble([sent_trace(("a",), steps=0)])
+        with pytest.raises(VerificationError):
+            find_dup_decisive_tuples(ensemble, size=0, messages=frozenset())
+
+
+class TestRecursion:
+    def test_delta_base_case(self):
+        assert delta_schedule(0, 7) == [7]
+
+    def test_delta_known_values(self):
+        # m = 2, c = 1: delta_2 = 1; delta_1 = 1 * (1 + 1*1*alpha(1)) = 3;
+        # delta_0 = 3 * (1 + 1*2*alpha(2)) = 33.
+        assert delta_schedule(2, 1) == [33, 3, 1]
+
+    def test_delta_monotone_decreasing(self):
+        deltas = delta_schedule(4, 12)
+        assert all(a >= b for a, b in zip(deltas, deltas[1:]))
+
+    def test_delta_validation(self):
+        with pytest.raises(VerificationError):
+            delta_schedule(-1, 1)
+        with pytest.raises(VerificationError):
+            delta_schedule(1, -1)
+
+    def test_c_recovery_bound(self):
+        assert c_recovery_bound(lambda i: i, 4) == 10
+        assert c_recovery_bound(lambda i: 12, 0) == 0
+
+    def test_c_rejects_negative_f(self):
+        with pytest.raises(VerificationError):
+            c_recovery_bound(lambda i: -1, 2)
+
+    def test_beta_reexport(self):
+        assert beta_identification_index([("a",), ("b",)]) == 1

@@ -1,0 +1,110 @@
+"""Tests for the executable-lemma checks."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.core.decisive import DupDecisiveTuple, find_dup_decisive_tuples
+from repro.core.lemmas import check_corollary1, check_corollary2, check_lemma1
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import System
+from repro.knowledge import exhaustive_ensemble
+from repro.knowledge.runs import Point
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+from repro.workloads import overfull_family, repetition_free_family
+
+
+@pytest.fixture(scope="module")
+def correct_setup():
+    sender, receiver = norepeat_protocol("ab")
+
+    def make(input_sequence):
+        return System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    ensemble = exhaustive_ensemble(
+        make, repetition_free_family("ab"), depth=6
+    )
+    tuples = find_dup_decisive_tuples(ensemble, 2, frozenset({"a"}))
+    decisive = next(
+        t
+        for t in tuples
+        if {p.trace.input_sequence for p in t.points}
+        == {("a",), ("a", "b")}
+    )
+    return ensemble, decisive
+
+
+@pytest.fixture(scope="module")
+def doomed_setup():
+    sender, receiver = StreamingSender("a"), StreamingReceiver("a")
+
+    def make(input_sequence):
+        return System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    return exhaustive_ensemble(make, overfull_family("a", 1), depth=5)
+
+
+class TestLemma1:
+    def test_holds_for_correct_protocol(self, correct_setup):
+        ensemble, decisive = correct_setup
+        report = check_lemma1(ensemble, decisive)
+        assert report.holds
+        assert report.witnesses_checked > 0
+
+    def test_requires_two_runs(self, correct_setup):
+        ensemble, decisive = correct_setup
+        single = DupDecisiveTuple(
+            points=decisive.points[:1], messages=decisive.messages
+        )
+        with pytest.raises(VerificationError):
+            check_lemma1(ensemble, single)
+
+    def test_requires_valid_tuple(self, correct_setup):
+        ensemble, decisive = correct_setup
+        # Corrupt the message set so dlvrble checks fail.
+        invalid = DupDecisiveTuple(
+            points=decisive.points, messages=frozenset({"ghost"})
+        )
+        with pytest.raises(VerificationError):
+            check_lemma1(ensemble, invalid)
+
+
+class TestCorollary1:
+    def test_extension_found_for_correct_protocol(self, correct_setup):
+        ensemble, decisive = correct_setup
+        report = check_corollary1(ensemble, decisive)
+        assert report.holds
+
+    def test_requires_two_runs(self, correct_setup):
+        ensemble, decisive = correct_setup
+        single = DupDecisiveTuple(
+            points=decisive.points[:1], messages=decisive.messages
+        )
+        with pytest.raises(VerificationError):
+            check_corollary1(ensemble, single)
+
+
+class TestCorollary2:
+    def test_contradiction_found_for_doomed_protocol(self, doomed_setup):
+        report = check_corollary2(doomed_setup, frozenset("a"))
+        assert report.holds
+        assert "unsafe" in (report.counterexample or "")
+
+    def test_no_contradiction_for_correct_protocol(self, correct_setup):
+        ensemble, _ = correct_setup
+        # For the solving protocol the all-alphabet tuples never reach
+        # unsafe progress, so the search reports not-found.
+        report = check_corollary2(ensemble, frozenset("ab"))
+        assert not report.holds

@@ -1,0 +1,147 @@
+"""Tests for repetition-free sequences and the prefix order."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sequences import (
+    PrefixTree,
+    all_sequences,
+    identification_index,
+    is_prefix,
+    is_proper_prefix,
+    is_repetition_free,
+    longest_common_prefix,
+    repetition_free_sequences,
+)
+from repro.kernel.errors import VerificationError
+
+seqs = st.lists(st.sampled_from("abc"), max_size=6).map(tuple)
+
+
+class TestPredicates:
+    def test_is_repetition_free(self):
+        assert is_repetition_free("abc")
+        assert is_repetition_free(())
+        assert not is_repetition_free("aba")
+
+    def test_is_prefix_basics(self):
+        assert is_prefix((), ("a",))
+        assert is_prefix(("a",), ("a", "b"))
+        assert is_prefix(("a", "b"), ("a", "b"))
+        assert not is_prefix(("b",), ("a", "b"))
+        assert not is_prefix(("a", "b"), ("a",))
+
+    def test_is_proper_prefix(self):
+        assert is_proper_prefix(("a",), ("a", "b"))
+        assert not is_proper_prefix(("a",), ("a",))
+
+    @given(seqs, seqs)
+    def test_prefix_antisymmetry(self, first, second):
+        if is_prefix(first, second) and is_prefix(second, first):
+            assert first == second
+
+    @given(seqs, seqs, seqs)
+    def test_prefix_transitivity(self, a, b, c):
+        if is_prefix(a, b) and is_prefix(b, c):
+            assert is_prefix(a, c)
+
+
+class TestLcp:
+    def test_lcp_examples(self):
+        assert longest_common_prefix([("a", "b"), ("a", "c")]) == ("a",)
+        assert longest_common_prefix([("a", "b")]) == ("a", "b")
+        assert longest_common_prefix([("a",), ("b",)]) == ()
+
+    def test_lcp_empty_collection_rejected(self):
+        with pytest.raises(VerificationError):
+            longest_common_prefix([])
+
+    @given(st.lists(seqs, min_size=1, max_size=6))
+    def test_lcp_is_prefix_of_all(self, family):
+        prefix = longest_common_prefix(family)
+        assert all(is_prefix(prefix, member) for member in family)
+
+    @given(st.lists(seqs, min_size=1, max_size=6))
+    def test_lcp_is_maximal(self, family):
+        prefix = longest_common_prefix(family)
+        extended = {member[: len(prefix) + 1] for member in family}
+        if all(len(member) > len(prefix) for member in family):
+            assert len(extended) > 1  # no longer common prefix exists
+
+
+class TestEnumeration:
+    def test_repetition_free_over_two(self):
+        found = set(repetition_free_sequences("ab"))
+        assert found == {(), ("a",), ("b",), ("a", "b"), ("b", "a")}
+
+    def test_max_length_truncation(self):
+        found = set(repetition_free_sequences("abc", max_length=1))
+        assert found == {(), ("a",), ("b",), ("c",)}
+
+    def test_repeated_alphabet_rejected(self):
+        with pytest.raises(VerificationError):
+            list(repetition_free_sequences("aa"))
+
+    def test_all_sequences_counts(self):
+        found = list(all_sequences("ab", 2))
+        assert len(found) == 1 + 2 + 4
+
+    def test_all_sequences_by_length(self):
+        found = list(all_sequences("ab", 2))
+        assert [len(s) for s in found] == sorted(len(s) for s in found)
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_every_enumerated_sequence_is_repetition_free(self, m):
+        domain = tuple(range(m))
+        assert all(
+            is_repetition_free(seq) for seq in repetition_free_sequences(domain)
+        )
+
+
+class TestPrefixTree:
+    def test_members_and_nodes(self):
+        tree = PrefixTree([("a", "b"), ("a",)])
+        assert tree.members == {("a", "b"), ("a",)}
+        assert set(tree.nodes()) == {(), ("a",), ("a", "b")}
+
+    def test_children(self):
+        tree = PrefixTree([("a", "b"), ("a", "c")])
+        assert tree.children(("a",)) == (("a", "b"), ("a", "c"))
+
+    def test_is_member(self):
+        tree = PrefixTree([("a", "b")])
+        assert tree.is_member(("a", "b"))
+        assert not tree.is_member(("a",))  # internal node, not a member
+
+    def test_members_extending(self):
+        tree = PrefixTree([("a",), ("a", "b"), ("b",)])
+        assert tree.members_extending(("a",)) == (("a",), ("a", "b"))
+
+    def test_antichain_detection(self):
+        assert PrefixTree([("a",), ("b",)]).is_antichain()
+        assert not PrefixTree([("a",), ("a", "b")]).is_antichain()
+
+    def test_len_counts_members(self):
+        assert len(PrefixTree([("a",), ("b",)])) == 2
+
+
+class TestIdentificationIndex:
+    def test_beta_examples(self):
+        assert identification_index([("a",), ("b",)]) == 1
+        assert identification_index([("a", "a"), ("a", "b")]) == 2
+        assert identification_index([()]) == 0
+
+    def test_beta_with_prefix_chain(self):
+        # Truncation-as-identifier: the chain separates at full length.
+        assert identification_index([(), ("a",), ("a", "a")]) == 2
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(VerificationError):
+            identification_index([("a",), ("a",)])
+
+    @given(st.sets(seqs, min_size=1, max_size=8))
+    def test_beta_identifies_uniquely(self, family):
+        family = list(family)
+        beta = identification_index(family)
+        prefixes = [member[:beta] for member in family]
+        assert len(set(prefixes)) == len(family)

@@ -1,0 +1,127 @@
+"""Seeded fuzz sweeps: many random schedules, zero tolerated violations.
+
+These tests trade depth for breadth: dozens of seeded random runs per
+protocol/channel cell, asserting Safety in every single one (and
+Liveness where fairness is enforced).  They are the regression net for
+scheduling corner cases the targeted tests never thought to write.
+"""
+
+import pytest
+
+from repro.adversaries import (
+    AgingFairAdversary,
+    DroppingAdversary,
+    QuiescentBurstAdversary,
+    RandomAdversary,
+    ReplayFloodAdversary,
+)
+from repro.analysis.campaign import Campaign
+from repro.channels import DeletingChannel, DuplicatingChannel, LossyFifoChannel
+from repro.kernel.rng import DeterministicRNG
+from repro.protocols.abp import abp_protocol
+from repro.protocols.gobackn import gobackn_protocol
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.selective import selective_repeat_protocol
+from repro.protocols.stenning import stenning_protocol
+from repro.workloads import bounded_length_family, repetition_free_family
+
+RNG = DeterministicRNG(777, "fuzz")
+
+
+def fair_random(rng):
+    return AgingFairAdversary(
+        RandomAdversary(rng, deliver_weight=3.0), patience=96
+    )
+
+
+def fair_flood(rng):
+    return AgingFairAdversary(
+        ReplayFloodAdversary(rng, flood_factor=3), patience=96
+    )
+
+
+def fair_bursty(rng):
+    return AgingFairAdversary(
+        QuiescentBurstAdversary(rng, 5, 7), patience=96
+    )
+
+
+def fair_lossy(rng):
+    return AgingFairAdversary(
+        DroppingAdversary(
+            rng.fork("drop"), RandomAdversary(rng.fork("base")), 0.4
+        ),
+        patience=128,
+    )
+
+
+@pytest.mark.parametrize(
+    "adversary_factory", [fair_random, fair_flood, fair_bursty]
+)
+def test_norepeat_on_dup_fuzz(adversary_factory):
+    sender, receiver = norepeat_protocol("abc")
+    outcome = Campaign(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=DuplicatingChannel,
+        inputs=repetition_free_family("abc"),
+        adversary_factory=adversary_factory,
+        seeds=2,
+        max_steps=80_000,
+    ).run(RNG.fork(f"dup/{adversary_factory.__name__}"))
+    assert outcome.all_safe, outcome.failures
+    assert outcome.all_completed, outcome.failures
+
+
+@pytest.mark.parametrize("adversary_factory", [fair_random, fair_lossy])
+def test_norepeat_on_del_fuzz(adversary_factory):
+    sender, receiver = norepeat_protocol("ab")
+    outcome = Campaign(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=DeletingChannel,
+        inputs=repetition_free_family("ab"),
+        adversary_factory=adversary_factory,
+        seeds=4,
+        max_steps=100_000,
+    ).run(RNG.fork(f"del/{adversary_factory.__name__}"))
+    assert outcome.all_safe, outcome.failures
+    assert outcome.all_completed, outcome.failures
+
+
+def test_stenning_on_del_fuzz():
+    sender, receiver = stenning_protocol("ab", 3)
+    outcome = Campaign(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=DeletingChannel,
+        inputs=bounded_length_family("ab", 3),
+        adversary_factory=fair_lossy,
+        seeds=2,
+        max_steps=100_000,
+    ).run(RNG.fork("stenning"))
+    assert outcome.all_safe, outcome.failures
+    assert outcome.all_completed, outcome.failures
+
+
+@pytest.mark.parametrize(
+    "pair_factory",
+    [
+        lambda: abp_protocol("ab"),
+        lambda: gobackn_protocol("ab", 3, timeout=8),
+        lambda: selective_repeat_protocol("ab", 3, timeout=6),
+    ],
+)
+def test_window_protocols_on_lossy_fifo_fuzz(pair_factory):
+    sender, receiver = pair_factory()
+    outcome = Campaign(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=LossyFifoChannel,
+        inputs=[tuple("ab" * 2), tuple("ba" * 2), ("a", "a", "b")],
+        adversary_factory=fair_lossy,
+        seeds=4,
+        max_steps=100_000,
+    ).run(RNG.fork(type(sender).__name__))
+    assert outcome.all_safe, outcome.failures
+    assert outcome.all_completed, outcome.failures

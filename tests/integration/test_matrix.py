@@ -1,0 +1,173 @@
+"""Cross-module integration: the protocol x channel x adversary matrix.
+
+Each cell runs a protocol on a channel it claims to support under several
+adversaries, asserting Safety everywhere and Liveness under fairness.
+"""
+
+import pytest
+
+from repro.adversaries import (
+    AgingFairAdversary,
+    DroppingAdversary,
+    EagerAdversary,
+    QuiescentBurstAdversary,
+    RandomAdversary,
+    ReplayFloodAdversary,
+)
+from repro.channels import (
+    DeletingChannel,
+    DuplicatingChannel,
+    FifoChannel,
+    LossyFifoChannel,
+)
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import run_protocol
+from repro.protocols.abp import abp_protocol
+from repro.protocols.afwz import reverse_protocol
+from repro.protocols.hybrid import hybrid_protocol
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.stenning import stenning_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+RNG = DeterministicRNG(2024, "matrix")
+
+
+def adversaries(label):
+    yield EagerAdversary()
+    yield AgingFairAdversary(
+        RandomAdversary(RNG.fork(f"{label}/rand"), deliver_weight=3.0), patience=64
+    )
+    yield AgingFairAdversary(
+        QuiescentBurstAdversary(RNG.fork(f"{label}/qb"), 6, 6), patience=64
+    )
+
+
+CELLS = [
+    (
+        "norepeat/dup",
+        lambda: norepeat_protocol("abc"),
+        DuplicatingChannel,
+        ("c", "a", "b"),
+    ),
+    (
+        "norepeat/del",
+        lambda: norepeat_protocol("abc"),
+        DeletingChannel,
+        ("b", "c"),
+    ),
+    (
+        "stenning/dup",
+        lambda: stenning_protocol("ab", 4),
+        DuplicatingChannel,
+        ("a", "a", "b"),
+    ),
+    (
+        "stenning/del",
+        lambda: stenning_protocol("ab", 4),
+        DeletingChannel,
+        ("b", "a", "a"),
+    ),
+    (
+        "reverse/del",
+        lambda: reverse_protocol("ab", 4),
+        DeletingChannel,
+        ("a", "b", "b"),
+    ),
+    (
+        "reverse/dup",
+        lambda: reverse_protocol("ab", 4),
+        DuplicatingChannel,
+        ("b", "a"),
+    ),
+    (
+        "abp/lossy-fifo",
+        lambda: abp_protocol("ab"),
+        LossyFifoChannel,
+        ("a", "b", "a"),
+    ),
+    (
+        "hybrid/lossy-fifo",
+        lambda: hybrid_protocol("ab", 4, timeout=6),
+        LossyFifoChannel,
+        ("a", "b", "b", "a"),
+    ),
+    (
+        "streaming/fifo",
+        lambda: (StreamingSender("ab"), StreamingReceiver("ab")),
+        FifoChannel,
+        ("a", "b", "a"),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,make_pair,channel_factory,input_sequence", CELLS)
+def test_protocol_on_native_channel(name, make_pair, channel_factory, input_sequence):
+    sender, receiver = make_pair()
+    for adversary in adversaries(name):
+        result = run_protocol(
+            sender,
+            receiver,
+            channel_factory(),
+            channel_factory(),
+            input_sequence,
+            adversary,
+            max_steps=60_000,
+        )
+        assert result.safe, f"{name}: unsafe under {type(adversary).__name__}"
+        assert result.completed, (
+            f"{name}: incomplete under {type(adversary).__name__} "
+            f"({result.steps} steps, output {result.trace.output()!r})"
+        )
+
+
+@pytest.mark.parametrize("loss", [0.2, 0.5])
+def test_deletion_protocols_survive_loss(loss):
+    for name, make_pair in (
+        ("norepeat", lambda: norepeat_protocol("ab")),
+        ("stenning", lambda: stenning_protocol("ab", 3)),
+        ("reverse", lambda: reverse_protocol("ab", 3)),
+    ):
+        sender, receiver = make_pair()
+        adversary = AgingFairAdversary(
+            DroppingAdversary(
+                RNG.fork(f"loss/{name}/{loss}"),
+                RandomAdversary(RNG.fork(f"loss/{name}/{loss}/base")),
+                loss,
+            ),
+            patience=96,
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("a", "b"),
+            adversary,
+            max_steps=80_000,
+        )
+        assert result.completed and result.safe, name
+
+
+def test_replay_flood_matrix():
+    # Every dup-capable protocol shrugs off heavy replay.
+    for name, make_pair in (
+        ("norepeat", lambda: norepeat_protocol("abc")),
+        ("stenning", lambda: stenning_protocol("ab", 3)),
+        ("reverse", lambda: reverse_protocol("ab", 3)),
+    ):
+        sender, receiver = make_pair()
+        adversary = AgingFairAdversary(
+            ReplayFloodAdversary(RNG.fork(f"replay/{name}"), flood_factor=4),
+            patience=64,
+        )
+        input_sequence = ("a", "b") if name != "norepeat" else ("c", "a")
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+            adversary,
+            max_steps=60_000,
+        )
+        assert result.completed and result.safe, name

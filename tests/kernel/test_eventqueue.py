@@ -1,0 +1,74 @@
+"""Tests for the timed event queue."""
+
+import pytest
+
+from repro.kernel.eventqueue import EventQueue, TimedEvent
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "late")
+        q.schedule(1.0, "early")
+        q.schedule(2.0, "middle")
+        assert [q.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_ties_break_in_insertion_order(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_now_advances_with_pops(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_schedule_after_uses_current_time(self):
+        q = EventQueue()
+        q.schedule(2.0, "a")
+        q.pop()
+        event = q.schedule_after(3.0, "b")
+        assert event.time == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(2.0, "a")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, "too late")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, "x")
+
+
+class TestAccessors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, "x")
+        assert q and len(q) == 1
+
+    def test_drain_empties_queue(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.schedule(t, t)
+        assert [e.payload for e in q.drain()] == [1.0, 2.0, 3.0]
+        assert not q

@@ -1,0 +1,135 @@
+"""Tests for the protocol/channel contracts themselves."""
+
+import pytest
+
+from repro.kernel.errors import AlphabetError, ChannelError
+from repro.kernel.interfaces import (
+    ChannelModel,
+    ReceiverProtocol,
+    SenderProtocol,
+    Transition,
+)
+
+
+class MinimalSender(SenderProtocol):
+    @property
+    def message_alphabet(self):
+        return frozenset({"m"})
+
+    def initial_state(self, input_sequence):
+        return ()
+
+    def on_message(self, state, message):
+        return Transition.stay(state)
+
+    def on_step(self, state):
+        return Transition(state=state, sends=("m",))
+
+
+class MinimalReceiver(ReceiverProtocol):
+    @property
+    def message_alphabet(self):
+        return frozenset({"ack"})
+
+    def initial_state(self):
+        return ()
+
+    def on_message(self, state, message):
+        return Transition(state=state, sends=("ack",), writes=(message,))
+
+    def on_step(self, state):
+        return Transition.stay(state)
+
+
+class MinimalChannel(ChannelModel):
+    name = "minimal"
+
+    def empty(self):
+        return ()
+
+    def after_send(self, state, message):
+        return state + (message,)
+
+    def deliverable(self, state):
+        return tuple(sorted(set(state), key=repr))
+
+    def after_deliver(self, state, message):
+        index = state.index(message)
+        return state[:index] + state[index + 1 :]
+
+    def dlvrble_count(self, state, message):
+        return sum(1 for m in state if m == message)
+
+
+class TestTransition:
+    def test_stay_preserves_state_and_sends_nothing(self):
+        transition = Transition.stay(("s",))
+        assert transition.state == ("s",)
+        assert transition.sends == () and transition.writes == ()
+
+    def test_transitions_are_immutable(self):
+        transition = Transition(state=1, sends=("m",))
+        with pytest.raises(AttributeError):
+            transition.state = 2
+
+
+class TestAlphabetEnforcement:
+    def test_sender_check_sends_accepts_declared(self):
+        sender = MinimalSender()
+        transition = sender.on_step(())
+        assert sender.check_sends(transition) is transition
+
+    def test_sender_check_sends_rejects_foreign(self):
+        sender = MinimalSender()
+        with pytest.raises(AlphabetError, match="sender emitted"):
+            sender.check_sends(Transition(state=(), sends=("other",)))
+
+    def test_receiver_check_sends_rejects_foreign(self):
+        receiver = MinimalReceiver()
+        with pytest.raises(AlphabetError, match="receiver emitted"):
+            receiver.check_sends(Transition(state=(), sends=("nack",)))
+
+
+class TestChannelDefaults:
+    def test_default_capabilities(self):
+        channel = MinimalChannel()
+        assert not channel.can_duplicate()
+        assert not channel.can_delete()
+
+    def test_default_droppable_is_empty(self):
+        channel = MinimalChannel()
+        assert channel.droppable(channel.after_send((), "m")) == ()
+
+    def test_default_after_drop_raises(self):
+        channel = MinimalChannel()
+        with pytest.raises(ChannelError, match="minimal"):
+            channel.after_drop((), "m")
+
+
+class TestEventHelpers:
+    def test_split_events_partitions(self):
+        from repro.adversaries.base import split_events
+
+        enabled = (
+            ("step", "S"),
+            ("deliver", "SR", "m"),
+            ("drop", "RS", "a"),
+            ("step", "R"),
+        )
+        steps, deliveries, drops = split_events(enabled)
+        assert steps == (("step", "S"), ("step", "R"))
+        assert deliveries == (("deliver", "SR", "m"),)
+        assert drops == (("drop", "RS", "a"),)
+
+    def test_event_constructors(self):
+        from repro.kernel.system import (
+            deliver_to_receiver,
+            deliver_to_sender,
+            drop_from_rs,
+            drop_from_sr,
+        )
+
+        assert deliver_to_receiver("m") == ("deliver", "SR", "m")
+        assert deliver_to_sender("a") == ("deliver", "RS", "a")
+        assert drop_from_sr("m") == ("drop", "SR", "m")
+        assert drop_from_rs("a") == ("drop", "RS", "a")

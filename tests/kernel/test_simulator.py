@@ -1,0 +1,142 @@
+"""Tests for the adversary-driven simulator."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.channels import DuplicatingChannel, ReorderingChannel
+from repro.kernel.errors import SimulationError
+from repro.kernel.simulator import Simulator, run_protocol
+from repro.kernel.system import SENDER_STEP, System, deliver_to_receiver
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+
+def norepeat_system(input_sequence=("a", "b")):
+    sender, receiver = norepeat_protocol("ab")
+    return System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), input_sequence
+    )
+
+
+class TestRunLoop:
+    def test_completes_under_eager(self):
+        result = Simulator(norepeat_system(), EagerAdversary()).run()
+        assert result.completed and result.safe
+        assert result.trace.output() == ("a", "b")
+
+    def test_stops_when_complete(self):
+        result = Simulator(norepeat_system(("a",)), EagerAdversary()).run()
+        assert result.completed
+        assert result.steps < 20  # did not run to the limit
+
+    def test_respects_max_steps(self):
+        result = Simulator(
+            norepeat_system(), EagerAdversary(), max_steps=3
+        ).run()
+        assert result.steps == 3 and not result.completed
+
+    def test_max_steps_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Simulator(norepeat_system(), EagerAdversary(), max_steps=0)
+
+    def test_adversary_can_stop_early(self):
+        result = Simulator(
+            norepeat_system(), ScriptedAdversary([SENDER_STEP])
+        ).run()
+        assert result.stopped_by_adversary
+        assert result.steps == 1
+
+    def test_disabled_event_from_adversary_rejected(self):
+        bad = ScriptedAdversary([deliver_to_receiver("a")], strict=False)
+        # With strict=False the scripted adversary skips it and stops,
+        # so build a directly-misbehaving adversary instead.
+        class Misbehaving:
+            def reset(self):
+                pass
+
+            def choose(self, system, trace, enabled):
+                return deliver_to_receiver("never-sent")
+
+        with pytest.raises(SimulationError):
+            Simulator(norepeat_system(), Misbehaving()).run()
+
+    def test_adversary_reset_called_per_run(self):
+        class Counting(EagerAdversary):
+            resets = 0
+
+            def reset(self):
+                super().reset()
+                type(self).resets += 1
+
+        adversary = Counting()
+        Simulator(norepeat_system(), adversary).run()
+        Simulator(norepeat_system(), adversary).run()
+        assert Counting.resets == 2
+
+
+class TestViolationDetection:
+    def violating_system(self):
+        sender = StreamingSender("ab")
+        receiver = StreamingReceiver("ab")
+        return System(
+            sender, receiver, ReorderingChannel(), ReorderingChannel(), ("a", "b")
+        )
+
+    def test_violation_detected_and_recorded(self):
+        script = [
+            SENDER_STEP,
+            SENDER_STEP,  # both items in flight
+            deliver_to_receiver("b"),  # reordering: writes 'b' first
+        ]
+        result = Simulator(
+            self.violating_system(), ScriptedAdversary(script)
+        ).run()
+        assert not result.safe
+        assert result.first_violation_time == 3
+
+    def test_stop_on_violation_halts(self):
+        script = [SENDER_STEP, SENDER_STEP, deliver_to_receiver("b"),
+                  deliver_to_receiver("a")]
+        result = Simulator(
+            self.violating_system(),
+            ScriptedAdversary(script),
+            stop_on_violation=True,
+        ).run()
+        assert result.steps == 3  # fourth event never ran
+
+    def test_violation_can_continue_when_requested(self):
+        script = [SENDER_STEP, SENDER_STEP, deliver_to_receiver("b"),
+                  deliver_to_receiver("a")]
+        result = Simulator(
+            self.violating_system(),
+            ScriptedAdversary(script),
+            stop_on_violation=False,
+            stop_when_complete=False,
+        ).run()
+        assert result.steps == 4
+
+
+class TestRunProtocolHelper:
+    def test_run_protocol_wires_everything(self):
+        sender, receiver = norepeat_protocol("ab")
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("b", "a"),
+            EagerAdversary(),
+        )
+        assert result.completed and result.trace.output() == ("b", "a")
+
+    def test_empty_input_is_trivially_complete(self):
+        sender, receiver = norepeat_protocol("ab")
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            (),
+            EagerAdversary(),
+        )
+        assert result.completed and result.steps == 0

@@ -1,0 +1,158 @@
+"""Tests for the global transition relation (System / Configuration)."""
+
+import pytest
+
+from repro.channels import DeletingChannel, DuplicatingChannel, LossyFifoChannel
+from repro.kernel.errors import SimulationError
+from repro.kernel.system import (
+    Configuration,
+    RECEIVER_STEP,
+    SENDER_STEP,
+    System,
+    deliver_to_receiver,
+    deliver_to_sender,
+    drop_from_sr,
+)
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+
+def make_system(input_sequence=("a", "b"), channel=None):
+    sender, receiver = norepeat_protocol("ab")
+    channel = channel or DuplicatingChannel()
+    return System(sender, receiver, channel, channel.__class__()
+                  if not isinstance(channel, DeletingChannel) else DeletingChannel(),
+                  input_sequence)
+
+
+class TestInitial:
+    def test_initial_output_empty(self):
+        assert make_system().initial().output == ()
+
+    def test_initial_channels_empty(self):
+        system = make_system()
+        config = system.initial()
+        assert system.channel_sr.deliverable(config.chan_sr) == ()
+        assert system.channel_rs.deliverable(config.chan_rs) == ()
+
+    def test_initial_receiver_state_input_independent(self):
+        # Property 1a: R starts identically in every run.
+        one = make_system(("a",)).initial()
+        two = make_system(("b", "a")).initial()
+        assert one.receiver_state == two.receiver_state
+
+    def test_initial_is_safe(self):
+        system = make_system()
+        assert system.output_is_safe(system.initial())
+
+
+class TestEnabledEvents:
+    def test_local_steps_always_enabled(self):
+        system = make_system()
+        events = system.enabled_events(system.initial())
+        assert SENDER_STEP in events and RECEIVER_STEP in events
+
+    def test_delivery_enabled_after_send(self):
+        system = make_system()
+        config = system.apply(system.initial(), SENDER_STEP)
+        assert deliver_to_receiver("a") in system.enabled_events(config)
+
+    def test_no_delivery_before_send(self):
+        system = make_system()
+        events = system.enabled_events(system.initial())
+        assert all(event[0] != "deliver" for event in events)
+
+    def test_drop_events_on_deleting_channel(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DeletingChannel(), DeletingChannel(), ("a",)
+        )
+        config = system.apply(system.initial(), SENDER_STEP)
+        assert drop_from_sr("a") in system.enabled_events(config)
+
+    def test_no_drop_events_on_dup_channel(self):
+        system = make_system()
+        config = system.apply(system.initial(), SENDER_STEP)
+        assert all(e[0] != "drop" for e in system.enabled_events(config))
+
+
+class TestApply:
+    def test_sender_step_sends_current_item(self):
+        system = make_system()
+        config = system.apply(system.initial(), SENDER_STEP)
+        assert system.deliverable_to_receiver(config) == ("a",)
+
+    def test_delivery_triggers_receiver_write(self):
+        system = make_system()
+        config = system.apply(system.initial(), SENDER_STEP)
+        config = system.apply(config, deliver_to_receiver("a"))
+        assert config.output == ("a",)
+
+    def test_receiver_ack_reaches_sender(self):
+        system = make_system()
+        config = system.apply(system.initial(), SENDER_STEP)
+        config = system.apply(config, deliver_to_receiver("a"))
+        assert system.deliverable_to_sender(config) == ("a",)
+        config = system.apply(config, deliver_to_sender("a"))
+        # Sender advanced: next step sends 'b'.
+        config = system.apply(config, SENDER_STEP)
+        assert "b" in system.deliverable_to_receiver(config)
+
+    def test_unknown_event_rejected(self):
+        system = make_system()
+        with pytest.raises(SimulationError):
+            system.apply(system.initial(), ("bogus",))
+
+    def test_configurations_are_hashable_values(self):
+        system = make_system()
+        one = system.apply(system.initial(), SENDER_STEP)
+        two = system.apply(system.initial(), SENDER_STEP)
+        assert one == two and hash(one) == hash(two)
+
+    def test_drop_removes_copy(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DeletingChannel(), DeletingChannel(), ("a",)
+        )
+        config = system.apply(system.initial(), SENDER_STEP)
+        config = system.apply(config, drop_from_sr("a"))
+        assert system.deliverable_to_receiver(config) == ()
+
+
+class TestSafetyPredicates:
+    def test_output_is_safe_prefix(self):
+        system = make_system(("a", "b"))
+        config = Configuration("s", "r", frozenset(), frozenset(), ("a",))
+        assert system.output_is_safe(config)
+
+    def test_output_is_unsafe_on_mismatch(self):
+        system = make_system(("a", "b"))
+        config = Configuration("s", "r", frozenset(), frozenset(), ("b",))
+        assert not system.output_is_safe(config)
+
+    def test_output_is_unsafe_on_overrun(self):
+        system = make_system(("a",))
+        config = Configuration("s", "r", frozenset(), frozenset(), ("a", "a"))
+        assert not system.output_is_safe(config)
+
+    def test_output_is_complete(self):
+        system = make_system(("a",))
+        done = Configuration("s", "r", frozenset(), frozenset(), ("a",))
+        assert system.output_is_complete(done)
+        assert not system.output_is_complete(system.initial())
+
+    def test_sender_write_is_rejected(self):
+        # A "sender" that writes output items is a driver bug.
+        class WritingSender(StreamingSender):
+            def on_step(self, state):
+                from repro.kernel.interfaces import Transition
+
+                return Transition(state=state, writes=("x",))
+
+        sender = WritingSender("ab")
+        receiver = StreamingReceiver("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a",)
+        )
+        with pytest.raises(SimulationError):
+            system.apply(system.initial(), SENDER_STEP)

@@ -1,0 +1,115 @@
+"""Tests for the timed (latency/loss) simulation mode."""
+
+import pytest
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.timed import (
+    TimedSimulator,
+    constant_latency,
+    jittered_latency,
+)
+from repro.protocols.abp import abp_protocol
+from repro.protocols.gobackn import gobackn_protocol
+from repro.protocols.norepeat import norepeat_protocol
+
+
+def timed(pair, input_sequence, seed=0, **kwargs):
+    sender, receiver = pair
+    defaults = dict(
+        rng=DeterministicRNG(seed, "timed-test"),
+        latency=constant_latency(3.0),
+        loss_rate=0.0,
+        max_time=50_000.0,
+    )
+    defaults.update(kwargs)
+    return TimedSimulator(sender, receiver, input_sequence, **defaults).run()
+
+
+class TestLossFree:
+    def test_abp_completes(self):
+        result = timed(abp_protocol("ab"), tuple("ab" * 3))
+        assert result.completed and result.safe
+        assert result.output == tuple("ab" * 3)
+
+    def test_write_times_are_increasing(self):
+        result = timed(abp_protocol("ab"), tuple("ab" * 3))
+        assert list(result.write_times) == sorted(result.write_times)
+
+    def test_goodput_reported(self):
+        result = timed(abp_protocol("ab"), ("a", "b"))
+        assert result.goodput is not None and result.goodput > 0
+
+    def test_empty_input_trivially_complete(self):
+        result = timed(abp_protocol("ab"), ())
+        assert result.completed and result.goodput is None
+
+    def test_deterministic_under_seed(self):
+        one = timed(abp_protocol("ab"), ("a", "b"), seed=9, loss_rate=0.3)
+        two = timed(abp_protocol("ab"), ("a", "b"), seed=9, loss_rate=0.3)
+        assert one.virtual_time == two.virtual_time
+        assert one.messages_lost == two.messages_lost
+
+
+class TestLoss:
+    @pytest.mark.parametrize("loss", [0.2, 0.5])
+    def test_retransmission_overcomes_loss(self, loss):
+        result = timed(
+            gobackn_protocol("ab", 4, timeout=10),
+            tuple("ab" * 4),
+            loss_rate=loss,
+        )
+        assert result.completed and result.safe
+        assert result.messages_lost > 0
+
+    def test_loss_increases_time(self):
+        clean = timed(abp_protocol("ab"), tuple("ab" * 4), loss_rate=0.0)
+        lossy = timed(abp_protocol("ab"), tuple("ab" * 4), loss_rate=0.5, seed=3)
+        assert lossy.virtual_time > clean.virtual_time
+
+    def test_pipelining_beats_stop_and_wait(self):
+        items = tuple("ab" * 6)
+        abp = timed(abp_protocol("ab"), items)
+        gbn = timed(gobackn_protocol("ab", 6, timeout=12), items)
+        assert gbn.goodput > abp.goodput
+
+
+class TestJitter:
+    def test_jitter_reorders_but_norepeat_survives(self):
+        domain = tuple(f"d{i}" for i in range(6))
+        rng = DeterministicRNG(11, "jitter")
+        result = timed(
+            norepeat_protocol(domain),
+            domain,
+            latency=jittered_latency(rng.fork("lat"), 1.0, 12.0),
+            loss_rate=0.2,
+            seed=11,
+        )
+        assert result.completed and result.safe
+
+    def test_latency_validation(self):
+        with pytest.raises(SimulationError):
+            constant_latency(0.0)
+        with pytest.raises(SimulationError):
+            jittered_latency(DeterministicRNG(0), 5.0, 2.0)
+
+
+class TestValidation:
+    def test_loss_rate_bounds(self):
+        with pytest.raises(SimulationError):
+            timed(abp_protocol("ab"), ("a",), loss_rate=1.0)
+
+    def test_step_period_positive(self):
+        with pytest.raises(SimulationError):
+            timed(abp_protocol("ab"), ("a",), step_period=0.0)
+
+    def test_horizon_abandons_incompletable_runs(self):
+        # 90%-ish loss with tiny horizon: should abandon, not hang.
+        result = timed(
+            abp_protocol("ab"),
+            tuple("ab" * 8),
+            loss_rate=0.95 - 1e-9,
+            max_time=50.0,
+        )
+        assert not result.completed
+        assert result.virtual_time <= 51.0

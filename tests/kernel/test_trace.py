@@ -1,0 +1,100 @@
+"""Tests for recorded executions (Trace)."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.system import (
+    RECEIVER_STEP,
+    SENDER_STEP,
+    System,
+    deliver_to_receiver,
+    deliver_to_sender,
+)
+from repro.kernel.trace import Trace
+from repro.protocols.norepeat import norepeat_protocol
+
+
+@pytest.fixture
+def system():
+    sender, receiver = norepeat_protocol("ab")
+    return System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a", "b")
+    )
+
+
+@pytest.fixture
+def completed_trace(system):
+    trace = Trace(system)
+    trace.replay(
+        [
+            SENDER_STEP,
+            deliver_to_receiver("a"),
+            deliver_to_sender("a"),
+            SENDER_STEP,
+            deliver_to_receiver("b"),
+        ]
+    )
+    return trace
+
+
+class TestIndexing:
+    def test_empty_trace(self, system):
+        trace = Trace(system)
+        assert len(trace) == 0
+        assert trace.last == trace.initial
+        assert trace.output() == ()
+
+    def test_config_at_zero_is_initial(self, completed_trace):
+        assert completed_trace.config_at(0) == completed_trace.initial
+
+    def test_config_at_follows_point_convention(self, completed_trace):
+        # r(t) is the state *after* t events.
+        assert completed_trace.config_at(2).output == ("a",)
+
+    def test_configurations_length(self, completed_trace):
+        assert len(list(completed_trace.configurations())) == len(completed_trace) + 1
+
+    def test_events_roundtrip(self, system, completed_trace):
+        replica = Trace(system)
+        replica.replay(completed_trace.events())
+        assert replica.last == completed_trace.last
+
+
+class TestDerivedData:
+    def test_output_complete(self, completed_trace):
+        assert completed_trace.output() == ("a", "b")
+
+    def test_write_times(self, completed_trace):
+        assert completed_trace.write_times() == [2, 5]
+
+    def test_messages_sent_to_receiver(self, completed_trace):
+        sends = completed_trace.messages_sent_to_receiver()
+        assert [message for _, message in sends] == ["a", "b"]
+
+    def test_messages_delivered_to_receiver(self, completed_trace):
+        delivered = completed_trace.messages_delivered_to_receiver()
+        assert [message for _, message in delivered] == ["a", "b"]
+
+    def test_messages_delivered_to_sender(self, completed_trace):
+        delivered = completed_trace.messages_delivered_to_sender()
+        assert [message for _, message in delivered] == ["a"]
+
+    def test_count_events(self, completed_trace):
+        assert completed_trace.count_events("step") == 2
+        assert completed_trace.count_events("deliver") == 3
+        assert completed_trace.count_events("drop") == 0
+
+    def test_is_safe_throughout(self, completed_trace):
+        assert completed_trace.is_safe_throughout()
+
+    def test_input_sequence_exposed(self, completed_trace):
+        assert completed_trace.input_sequence == ("a", "b")
+
+    def test_repr_is_informative(self, completed_trace):
+        text = repr(completed_trace)
+        assert "len=5" in text and "('a', 'b')" in text
+
+    def test_receiver_steps_do_not_produce_sends_records(self, system):
+        trace = Trace(system)
+        trace.replay([RECEIVER_STEP, RECEIVER_STEP])
+        assert trace.messages_sent_to_receiver() == []

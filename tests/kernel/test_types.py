@@ -1,0 +1,137 @@
+"""Unit and property tests for the immutable Multiset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.types import Multiset
+
+elements = st.lists(st.sampled_from("abcde"), max_size=12)
+
+
+class TestBasics:
+    def test_empty_multiset_is_falsy(self):
+        assert not Multiset()
+        assert len(Multiset()) == 0
+
+    def test_construction_counts_duplicates(self):
+        m = Multiset(["a", "b", "a", "a"])
+        assert m.count("a") == 3
+        assert m.count("b") == 1
+        assert m.count("missing") == 0
+
+    def test_add_returns_new_multiset(self):
+        base = Multiset(["x"])
+        grown = base.add("x")
+        assert base.count("x") == 1
+        assert grown.count("x") == 2
+
+    def test_add_multiple_copies(self):
+        assert Multiset().add("a", 5).count("a") == 5
+
+    def test_add_negative_copies_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset().add("a", -1)
+
+    def test_remove_decrements(self):
+        m = Multiset(["a", "a"]).remove("a")
+        assert m.count("a") == 1
+
+    def test_remove_to_zero_drops_element(self):
+        m = Multiset(["a"]).remove("a")
+        assert "a" not in m
+        assert m == Multiset()
+
+    def test_remove_more_than_present_raises(self):
+        with pytest.raises(KeyError):
+            Multiset(["a"]).remove("a", 2)
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            Multiset().remove("ghost")
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Multiset.from_counts({"a": -1})
+
+    def test_from_counts_skips_zeros(self):
+        m = Multiset.from_counts({"a": 0, "b": 2})
+        assert m.support() == ("b",)
+
+    def test_support_is_sorted_and_distinct(self):
+        m = Multiset(["c", "a", "c", "b"])
+        assert m.support() == ("a", "b", "c")
+
+    def test_total_counts_all_copies(self):
+        assert Multiset(["a", "a", "b"]).total() == 3
+
+    def test_iteration_yields_multiplicity(self):
+        assert sorted(Multiset(["b", "a", "b"])) == ["a", "b", "b"]
+
+    def test_contains(self):
+        m = Multiset(["a"])
+        assert "a" in m and "b" not in m
+
+    def test_union_counts(self):
+        left = Multiset(["a", "b"])
+        right = Multiset(["b", "c"])
+        union = left.union_counts(right)
+        assert union.counts() == {"a": 1, "b": 2, "c": 1}
+
+    def test_dominates(self):
+        big = Multiset(["a", "a", "b"])
+        small = Multiset(["a", "b"])
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_dominates_is_reflexive(self):
+        m = Multiset(["a", "b", "b"])
+        assert m.dominates(m)
+
+    def test_equality_ignores_insertion_order(self):
+        assert Multiset(["a", "b", "a"]) == Multiset(["b", "a", "a"])
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Multiset(["a", "b"])) == hash(Multiset(["b", "a"]))
+
+    def test_usable_as_dict_key(self):
+        table = {Multiset(["a"]): 1}
+        assert table[Multiset(["a"])] == 1
+
+    def test_repr_mentions_counts(self):
+        assert "2" in repr(Multiset(["a", "a"]))
+
+    def test_heterogeneous_elements_canonicalize(self):
+        m = Multiset([("tup", 1), "string", 3])
+        assert m.count(("tup", 1)) == 1
+        assert m == Multiset([3, "string", ("tup", 1)])
+
+
+class TestProperties:
+    @given(elements)
+    def test_total_equals_input_length(self, items):
+        assert Multiset(items).total() == len(items)
+
+    @given(elements, st.sampled_from("abcde"))
+    def test_add_then_remove_roundtrips(self, items, extra):
+        base = Multiset(items)
+        assert base.add(extra).remove(extra) == base
+
+    @given(elements)
+    def test_equality_invariant_under_permutation(self, items):
+        assert Multiset(items) == Multiset(list(reversed(items)))
+
+    @given(elements, elements)
+    def test_union_counts_is_commutative(self, first, second):
+        a, b = Multiset(first), Multiset(second)
+        assert a.union_counts(b) == b.union_counts(a)
+
+    @given(elements, elements)
+    def test_union_dominates_both_operands(self, first, second):
+        a, b = Multiset(first), Multiset(second)
+        union = a.union_counts(b)
+        assert union.dominates(a) and union.dominates(b)
+
+    @given(elements)
+    def test_counts_reconstruct_multiset(self, items):
+        m = Multiset(items)
+        assert Multiset.from_counts(m.counts()) == m

@@ -1,0 +1,122 @@
+"""Tests for the fact language and its model checker."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import SENDER_STEP, System, deliver_to_receiver
+from repro.kernel.trace import Trace
+from repro.knowledge.formulas import (
+    atom,
+    holds,
+    knows,
+    knows_value,
+    land,
+    lnot,
+    lor,
+    output_len_at_least,
+)
+from repro.knowledge.runs import Ensemble, Point
+from repro.protocols.norepeat import norepeat_protocol
+
+
+def build_trace(input_sequence, events):
+    sender, receiver = norepeat_protocol("ab")
+    system = System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), input_sequence
+    )
+    trace = Trace(system)
+    trace.replay(events)
+    return trace
+
+
+@pytest.fixture
+def ensemble():
+    # Two runs with different inputs; in both, nothing delivered yet, then
+    # in the ('a',) run the item is delivered.
+    quiet_a = build_trace(("a",), [SENDER_STEP])
+    quiet_b = build_trace(("b",), [SENDER_STEP])
+    delivered_a = build_trace(("a",), [SENDER_STEP, deliver_to_receiver("a")])
+    return Ensemble([quiet_a, quiet_b, delivered_a])
+
+
+class TestAtoms:
+    def test_atom_truth_from_input(self, ensemble):
+        run_a = ensemble.traces[0]
+        assert holds(ensemble, Point(run_a, 0), atom(1, "a"))
+        assert not holds(ensemble, Point(run_a, 0), atom(1, "b"))
+
+    def test_atom_beyond_input_length_false(self, ensemble):
+        run_a = ensemble.traces[0]
+        assert not holds(ensemble, Point(run_a, 0), atom(2, "a"))
+
+    def test_atom_one_indexed(self):
+        with pytest.raises(VerificationError):
+            atom(0, "a")
+
+    def test_output_len_atom(self, ensemble):
+        delivered = ensemble.traces[2]
+        assert not holds(ensemble, Point(delivered, 1), output_len_at_least(1))
+        assert holds(ensemble, Point(delivered, 2), output_len_at_least(1))
+
+
+class TestConnectives:
+    def test_negation(self, ensemble):
+        run_a = ensemble.traces[0]
+        assert holds(ensemble, Point(run_a, 0), lnot(atom(1, "b")))
+
+    def test_conjunction_and_disjunction(self, ensemble):
+        run_a = ensemble.traces[0]
+        point = Point(run_a, 0)
+        assert holds(ensemble, point, land(atom(1, "a"), lnot(atom(1, "b"))))
+        assert holds(ensemble, point, lor(atom(1, "b"), atom(1, "a")))
+        assert not holds(ensemble, point, land(atom(1, "a"), atom(1, "b")))
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(VerificationError):
+            land()
+        with pytest.raises(VerificationError):
+            lor()
+
+
+class TestKnowledge:
+    def test_receiver_ignorant_before_delivery(self, ensemble):
+        # At time 1 of the ('a',) run, R's view matches the ('b',) run, so
+        # R does not know x_1.
+        run_a = ensemble.traces[0]
+        assert not holds(ensemble, Point(run_a, 1), knows("R", atom(1, "a")))
+        assert not holds(ensemble, Point(run_a, 1), knows_value("R", 1, "ab"))
+
+    def test_receiver_knows_after_delivery(self, ensemble):
+        delivered = ensemble.traces[2]
+        assert holds(ensemble, Point(delivered, 2), knows("R", atom(1, "a")))
+        assert holds(ensemble, Point(delivered, 2), knows_value("R", 1, "ab"))
+
+    def test_sender_always_knows_input(self, ensemble):
+        # The sender reads the tape: its view determines the input.
+        for trace in ensemble.traces:
+            value = trace.input_sequence[0]
+            assert holds(ensemble, Point(trace, 0), knows("S", atom(1, value)))
+
+    def test_knowledge_implies_truth(self, ensemble):
+        # The S5 'knowledge axiom' holds by construction: K_p(phi) -> phi.
+        delivered = ensemble.traces[2]
+        point = Point(delivered, 2)
+        if holds(ensemble, point, knows("R", atom(1, "a"))):
+            assert holds(ensemble, point, atom(1, "a"))
+
+    def test_nested_knowledge_evaluates(self, ensemble):
+        delivered = ensemble.traces[2]
+        point = Point(delivered, 2)
+        nested = knows("S", knows("R", atom(1, "a")))
+        # Evaluates without error; its truth depends on S's view of acks.
+        assert isinstance(holds(ensemble, point, nested), bool)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(VerificationError):
+            knows("Z", atom(1, "a"))
+
+    def test_fact_rendering(self):
+        fact = knows("R", land(atom(1, "a"), output_len_at_least(1)))
+        text = str(fact)
+        assert "K_R" in text and "x_1" in text and "|Y| >= 1" in text

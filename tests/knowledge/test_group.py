@@ -1,0 +1,120 @@
+"""Tests for group knowledge: E, E^k, and common knowledge C."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import (
+    SENDER_STEP,
+    System,
+    deliver_to_receiver,
+    deliver_to_sender,
+)
+from repro.kernel.trace import Trace
+from repro.knowledge import atom, exhaustive_ensemble, holds
+from repro.knowledge.group import (
+    common_knowledge_points,
+    everyone_knows,
+    has_common_knowledge,
+    knowledge_depth,
+    nested_everyone_knows,
+)
+from repro.knowledge.runs import Ensemble, Point
+from repro.protocols.norepeat import norepeat_protocol
+from repro.workloads import repetition_free_family
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    sender, receiver = norepeat_protocol("ab")
+
+    def make(input_sequence):
+        return System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    return exhaustive_ensemble(make, repetition_free_family("ab"), depth=6)
+
+
+def find_run(ensemble, input_sequence, min_deliveries_r, min_deliveries_s):
+    for trace in ensemble.traces:
+        if trace.input_sequence != input_sequence:
+            continue
+        if (
+            len(trace.messages_delivered_to_receiver()) >= min_deliveries_r
+            and len(trace.messages_delivered_to_sender()) >= min_deliveries_s
+        ):
+            return trace
+    raise AssertionError("no such run in ensemble")
+
+
+class TestEverybodyKnows:
+    def test_e_requires_both(self, ensemble):
+        # Before delivery: S knows x_1, R does not, so E fails.
+        fact = atom(1, "a")
+        quiet = find_run(ensemble, ("a",), 0, 0)
+        point = Point(quiet, 0)
+        assert not holds(ensemble, point, everyone_knows(fact))
+
+    def test_e_holds_after_delivery(self, ensemble):
+        fact = atom(1, "a")
+        delivered = find_run(ensemble, ("a",), 1, 0)
+        time = delivered.messages_delivered_to_receiver()[0][0] + 1
+        assert holds(ensemble, Point(delivered, time), everyone_knows(fact))
+
+    def test_nested_depth_zero_is_fact(self, ensemble):
+        fact = atom(1, "a")
+        assert nested_everyone_knows(fact, 0) is fact
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(VerificationError):
+            nested_everyone_knows(atom(1, "a"), -1)
+
+
+class TestKnowledgeDepth:
+    def test_depth_minus_one_when_fact_false(self, ensemble):
+        run_b = find_run(ensemble, ("b",), 0, 0)
+        assert knowledge_depth(ensemble, Point(run_b, 0), atom(1, "a")) == -1
+
+    def test_depth_zero_before_delivery(self, ensemble):
+        quiet = find_run(ensemble, ("a",), 0, 0)
+        assert knowledge_depth(ensemble, Point(quiet, 0), atom(1, "a")) == 0
+
+    def test_depth_climbs_with_round_trips(self, ensemble):
+        # After data delivered AND its ack delivered, K_S K_R holds: depth 2.
+        exchanged = find_run(ensemble, ("a",), 1, 1)
+        final = Point(exchanged, len(exchanged))
+        assert knowledge_depth(ensemble, final, atom(1, "a")) >= 2
+
+    def test_depth_monotone_along_runs(self, ensemble):
+        exchanged = find_run(ensemble, ("a",), 1, 1)
+        depths = [
+            knowledge_depth(ensemble, Point(exchanged, t), atom(1, "a"))
+            for t in range(len(exchanged) + 1)
+        ]
+        assert depths == sorted(depths)
+
+
+class TestCommonKnowledge:
+    def test_no_common_knowledge_of_data(self, ensemble):
+        # The Halpern-Moses phenomenon: C(x_1 = a) is empty.
+        assert common_knowledge_points(ensemble, atom(1, "a")) == set()
+
+    def test_has_common_knowledge_wrapper(self, ensemble):
+        trace = find_run(ensemble, ("a",), 1, 1)
+        assert not has_common_knowledge(
+            ensemble, Point(trace, len(trace)), atom(1, "a")
+        )
+
+    def test_tautology_is_common_knowledge(self, ensemble):
+        # A fact true at every point survives the fixpoint everywhere.
+        from repro.knowledge.formulas import lor, lnot
+
+        fact = lor(atom(1, "a"), lnot(atom(1, "a")))
+        points = common_knowledge_points(ensemble, fact)
+        total = sum(len(trace) + 1 for trace in ensemble.traces)
+        assert len(points) == total

@@ -1,0 +1,110 @@
+"""Tests for complete-history views."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import (
+    RECEIVER_STEP,
+    SENDER_STEP,
+    System,
+    deliver_to_receiver,
+    deliver_to_sender,
+)
+from repro.kernel.trace import Trace
+from repro.knowledge.history import receiver_view, sender_view, view_of
+from repro.protocols.norepeat import norepeat_protocol
+
+
+@pytest.fixture
+def trace():
+    sender, receiver = norepeat_protocol("ab")
+    system = System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a", "b")
+    )
+    t = Trace(system)
+    t.replay(
+        [
+            SENDER_STEP,
+            deliver_to_receiver("a"),
+            RECEIVER_STEP,
+            deliver_to_sender("a"),
+        ]
+    )
+    return t
+
+
+class TestReceiverView:
+    def test_initial_observation_only(self, trace):
+        assert receiver_view(trace, 0) == (("init",),)
+
+    def test_records_receptions_and_own_steps(self, trace):
+        view = receiver_view(trace, 4)
+        assert view == (("init",), ("recv", "a"), ("step",))
+
+    def test_ignores_sender_events(self, trace):
+        # Times 0 and 1 differ only by a sender step: same receiver view.
+        assert receiver_view(trace, 0) == receiver_view(trace, 1)
+
+    def test_views_are_prefix_monotone_in_time(self, trace):
+        previous = receiver_view(trace, 0)
+        for time in range(1, len(trace) + 1):
+            current = receiver_view(trace, time)
+            assert current[: len(previous)] == previous
+            previous = current
+
+    def test_initial_view_is_input_independent(self):
+        # Property 1a.
+        sender, receiver = norepeat_protocol("ab")
+
+        def build(input_sequence):
+            system = System(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+            )
+            return Trace(system)
+
+        assert receiver_view(build(("a",)), 0) == receiver_view(build(("b",)), 0)
+
+
+class TestSenderView:
+    def test_initial_observation_includes_input(self, trace):
+        assert sender_view(trace, 0) == (("init", ("a", "b")),)
+
+    def test_records_ack_reception(self, trace):
+        view = sender_view(trace, 4)
+        assert view == (("init", ("a", "b")), ("step",), ("recv", "a"))
+
+    def test_differs_across_inputs(self):
+        sender, receiver = norepeat_protocol("ab")
+
+        def build(input_sequence):
+            system = System(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+            )
+            return Trace(system)
+
+        assert sender_view(build(("a",)), 0) != sender_view(build(("b",)), 0)
+
+
+class TestViewOf:
+    def test_dispatch(self, trace):
+        assert view_of("R", trace, 2) == receiver_view(trace, 2)
+        assert view_of("S", trace, 2) == sender_view(trace, 2)
+
+    def test_unknown_process_rejected(self, trace):
+        with pytest.raises(VerificationError):
+            view_of("Q", trace, 0)
+
+    def test_time_bounds_checked(self, trace):
+        with pytest.raises(VerificationError):
+            receiver_view(trace, len(trace) + 1)
+        with pytest.raises(VerificationError):
+            sender_view(trace, -1)

@@ -1,0 +1,120 @@
+"""Tests for the knowledge-based receiver ([HZ87]-style derivation)."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import System
+from repro.knowledge.kbp import KnowledgeBasedReceiver, knowledge_based_receiver_for
+from repro.knowledge.learning import learning_times
+from repro.protocols.norepeat import norepeat_protocol
+from repro.workloads import repetition_free_family
+
+DOMAIN = "ab"
+DEPTH = 7
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sender, handshake_receiver = norepeat_protocol(DOMAIN)
+    family = repetition_free_family(DOMAIN)
+
+    def make_system(input_sequence):
+        return System(
+            sender,
+            handshake_receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    kb_receiver, ensemble = knowledge_based_receiver_for(
+        make_system, family, depth=DEPTH
+    )
+    return sender, handshake_receiver, kb_receiver, ensemble, family
+
+
+class TestKnowledgeBasedReceiver:
+    def test_transmits_safely_and_completely(self, setup):
+        sender, _, kb_receiver, _, family = setup
+        for input_sequence in family:
+            system = System(
+                sender,
+                kb_receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+            )
+            result = Simulator(system, EagerAdversary(), max_steps=DEPTH).run()
+            assert result.safe
+            # Within the ensemble depth, the eager schedule completes the
+            # shorter inputs; longer ones at least make safe progress.
+            assert result.trace.output() == input_sequence[: len(result.trace.output())]
+
+    def test_writes_coincide_with_handshake_receiver(self, setup):
+        # The Section 3 receiver implements the knowledge-based program:
+        # identical write times on identical schedules.
+        sender, handshake_receiver, kb_receiver, _, family = setup
+        for input_sequence in family:
+            reference = System(
+                sender,
+                handshake_receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+            )
+            ref_run = Simulator(
+                reference, EagerAdversary(), max_steps=DEPTH,
+                stop_when_complete=False,
+            ).run()
+            kb_system = System(
+                sender,
+                kb_receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+            )
+            kb_run = Simulator(
+                kb_system,
+                ScriptedAdversary(ref_run.trace.events(), strict=False),
+                stop_when_complete=False,
+                max_steps=DEPTH,
+            ).run()
+            assert kb_run.trace.write_times() == ref_run.trace.write_times()
+
+    def test_writes_exactly_at_learning_times(self, setup):
+        sender, handshake_receiver, kb_receiver, ensemble, _ = setup
+        # Drive the ensemble's own generating protocol and compare t_i.
+        target = next(
+            trace
+            for trace in ensemble.traces
+            if trace.input_sequence == ("a", "b")
+            and trace.output() == ("a", "b")
+        )
+        times = learning_times(ensemble, target, DOMAIN)
+        kb_system = System(
+            sender,
+            kb_receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("a", "b"),
+        )
+        kb_run = Simulator(
+            kb_system,
+            ScriptedAdversary(target.events(), strict=False),
+            stop_when_complete=False,
+            max_steps=len(target),
+        ).run()
+        assert kb_run.trace.write_times() == times
+
+    def test_unreachable_view_raises(self, setup):
+        _, _, kb_receiver, _, _ = setup
+        state = kb_receiver.initial_state()
+        with pytest.raises(VerificationError):
+            kb_receiver.on_message(state, "never-a-message")
+
+    def test_alphabet_learned_from_ensemble(self, setup):
+        _, _, kb_receiver, _, _ = setup
+        assert kb_receiver.message_alphabet == frozenset(DOMAIN)

@@ -1,0 +1,92 @@
+"""Tests for learning times t_i and stability of knowledge."""
+
+import pytest
+
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import System
+from repro.knowledge.ensembles import exhaustive_ensemble
+from repro.knowledge.learning import (
+    knowledge_is_stable,
+    learning_times,
+    write_times,
+)
+from repro.protocols.norepeat import norepeat_protocol
+from repro.workloads import repetition_free_family
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sender, receiver = norepeat_protocol("ab")
+    family = repetition_free_family("ab")
+
+    def make(input_sequence):
+        return System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    ensemble = exhaustive_ensemble(make, family, depth=7)
+    return ensemble
+
+
+def completed_run(ensemble, input_sequence):
+    return next(
+        trace
+        for trace in ensemble.traces
+        if trace.input_sequence == input_sequence
+        and trace.output() == input_sequence
+    )
+
+
+class TestLearningTimes:
+    def test_learning_coincides_with_writes_for_norepeat(self, setup):
+        # The no-repetition receiver writes the moment it learns: t_i
+        # equals the write time on every completed run.
+        trace = completed_run(setup, ("a", "b"))
+        times = learning_times(setup, trace, "ab")
+        assert times == trace.write_times()
+
+    def test_learning_times_monotone(self, setup):
+        trace = completed_run(setup, ("b", "a"))
+        times = learning_times(setup, trace, "ab")
+        assert times[0] is not None and times[1] is not None
+        assert times[0] <= times[1]
+
+    def test_unlearned_items_reported_none(self, setup):
+        # A run that never delivers anything: nothing is ever learned.
+        quiet = next(
+            trace
+            for trace in setup.traces
+            if trace.input_sequence == ("a", "b") and not trace.output()
+            and not trace.messages_delivered_to_receiver()
+        )
+        times = learning_times(setup, quiet, "ab")
+        assert times == [None, None]
+
+    def test_upto_item_limits_computation(self, setup):
+        trace = completed_run(setup, ("a", "b"))
+        assert len(learning_times(setup, trace, "ab", upto_item=1)) == 1
+
+    def test_negative_upto_rejected(self, setup):
+        trace = setup.traces[0]
+        with pytest.raises(VerificationError):
+            learning_times(setup, trace, "ab", upto_item=-1)
+
+
+class TestStability:
+    def test_knowledge_is_stable_on_all_runs(self, setup):
+        # Section 2.3: under the complete history interpretation K_R(x_i)
+        # is stable.  Check a sample of runs for both items.
+        for trace in setup.traces[:40]:
+            for item in (1, 2):
+                assert knowledge_is_stable(setup, trace, "ab", item)
+
+
+class TestWriteTimes:
+    def test_write_times_reexport(self, setup):
+        trace = completed_run(setup, ("a", "b"))
+        assert write_times(trace) == trace.write_times()

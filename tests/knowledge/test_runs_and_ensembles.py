@@ -1,0 +1,158 @@
+"""Tests for points, ensembles, indistinguishability, and generation."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, RandomAdversary
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import SimulationError, VerificationError
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import SENDER_STEP, System, deliver_to_receiver
+from repro.kernel.trace import Trace
+from repro.knowledge.ensembles import exhaustive_ensemble, sampled_ensemble
+from repro.knowledge.runs import Ensemble, Point, indistinguishable
+from repro.protocols.norepeat import norepeat_protocol
+
+
+def make_system_factory(domain="ab"):
+    sender, receiver = norepeat_protocol(domain)
+
+    def make(input_sequence):
+        return System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+
+    return make
+
+
+class TestPoints:
+    def test_point_view_and_config(self):
+        make = make_system_factory()
+        trace = Trace(make(("a",)))
+        trace.replay([SENDER_STEP])
+        point = Point(trace, 1)
+        assert point.config.output == ()
+        assert point.view("R") == (("init",),)
+
+    def test_indistinguishable_across_inputs_before_delivery(self):
+        make = make_system_factory()
+        one = Trace(make(("a",)))
+        two = Trace(make(("b",)))
+        one.replay([SENDER_STEP])
+        two.replay([SENDER_STEP])
+        assert indistinguishable("R", Point(one, 1), Point(two, 1))
+        assert not indistinguishable("S", Point(one, 1), Point(two, 1))
+
+    def test_delivery_distinguishes(self):
+        make = make_system_factory()
+        one = Trace(make(("a",)))
+        one.replay([SENDER_STEP, deliver_to_receiver("a")])
+        two = Trace(make(("b",)))
+        two.replay([SENDER_STEP, deliver_to_receiver("b")])
+        assert not indistinguishable("R", Point(one, 2), Point(two, 2))
+
+
+class TestEnsemble:
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            Ensemble([])
+
+    def test_points_enumeration(self):
+        make = make_system_factory()
+        trace = Trace(make(("a",)))
+        trace.replay([SENDER_STEP])
+        ensemble = Ensemble([trace])
+        assert len(list(ensemble.points())) == 2  # times 0 and 1
+
+    def test_view_index_groups_points(self):
+        make = make_system_factory()
+        one = Trace(make(("a",)))
+        two = Trace(make(("b",)))
+        one.replay([SENDER_STEP])
+        two.replay([SENDER_STEP])
+        ensemble = Ensemble([one, two])
+        group = ensemble.points_indistinguishable_from("R", Point(one, 1))
+        # All four points (two per run) share R's empty view.
+        assert len(group) == 4
+
+    def test_input_sequences_deduplicated(self):
+        make = make_system_factory()
+        traces = [Trace(make(("a",))), Trace(make(("a",))), Trace(make(("b",)))]
+        ensemble = Ensemble(traces)
+        assert ensemble.input_sequences() == (("a",), ("b",))
+
+
+class TestExhaustiveGeneration:
+    def test_covers_all_inputs(self):
+        make = make_system_factory()
+        ensemble = exhaustive_ensemble(make, [("a",), ("b",)], depth=3)
+        assert set(ensemble.input_sequences()) == {("a",), ("b",)}
+
+    def test_all_runs_have_exact_depth(self):
+        make = make_system_factory()
+        ensemble = exhaustive_ensemble(make, [("a",)], depth=4)
+        assert all(len(trace) == 4 for trace in ensemble)
+
+    def test_observational_dedup_reduces_count(self):
+        make = make_system_factory()
+        ensemble = exhaustive_ensemble(make, [("a",)], depth=5)
+        # Naive schedule count would be hundreds; observational dedup
+        # collapses interleavings no observer can tell apart.
+        assert 1 < len(ensemble) < 100
+
+    def test_max_traces_guard(self):
+        make = make_system_factory()
+        with pytest.raises(SimulationError):
+            exhaustive_ensemble(
+                make, [("a", "b")], depth=6, max_traces=3
+            )
+
+    def test_deduped_runs_preserve_reachable_view_atom_pairs(self):
+        # Soundness of the dedup: every (receiver view, output) pair
+        # reachable by brute force appears in the deduped ensemble.
+        make = make_system_factory()
+        depth = 4
+        brute = set()
+        system = make(("a",))
+        stack = [Trace(system)]
+        while stack:
+            trace = stack.pop()
+            from repro.knowledge.history import receiver_view
+
+            brute.add((receiver_view(trace, len(trace)), trace.output()))
+            if len(trace) == depth:
+                continue
+            for event in system.enabled_events(trace.last):
+                branch = Trace(system)
+                branch.replay(trace.events())
+                branch.extend(event)
+                stack.append(branch)
+        ensemble = exhaustive_ensemble(make, [("a",)], depth=depth)
+        covered = set()
+        for trace in ensemble:
+            from repro.knowledge.history import receiver_view
+
+            for time in range(len(trace) + 1):
+                covered.add(
+                    (receiver_view(trace, time), trace.config_at(time).output)
+                )
+        assert brute <= covered
+
+
+class TestSampledGeneration:
+    def test_runs_per_input(self):
+        make = make_system_factory()
+
+        def make_adversary(input_sequence, run_index):
+            return RandomAdversary(
+                DeterministicRNG(run_index, repr(input_sequence))
+            )
+
+        ensemble = sampled_ensemble(
+            make, make_adversary, [("a",), ("b",)], runs_per_input=3,
+            max_steps=50,
+        )
+        assert len(ensemble) == 6

@@ -1,0 +1,191 @@
+"""Tests for reverse transmission and the Section 5 hybrid protocol."""
+
+import pytest
+
+from repro.adversaries import (
+    AgingFairAdversary,
+    EagerAdversary,
+    FaultInjectingAdversary,
+    RandomAdversary,
+)
+from repro.channels import DeletingChannel, DuplicatingChannel, LossyFifoChannel
+from repro.kernel.errors import ProtocolError
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import run_protocol
+from repro.protocols.afwz import ReverseReceiver, ReverseSender, reverse_protocol
+from repro.protocols.hybrid import HybridSender, hybrid_protocol
+
+
+class TestReverseProtocol:
+    @pytest.mark.parametrize(
+        "input_sequence", [(), ("a",), ("a", "b", "a"), ("b", "b", "a", "a")]
+    )
+    def test_correct_on_del(self, input_sequence):
+        sender, receiver = reverse_protocol("ab", 5)
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            input_sequence,
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_correct_on_dup(self):
+        sender, receiver = reverse_protocol("ab", 4)
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("a", "b", "b"),
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_all_writes_happen_at_the_end(self):
+        # The defining [AFWZ89] behaviour: R holds the suffix and writes
+        # everything when position 1 finally arrives.
+        sender, receiver = reverse_protocol("ab", 4)
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("a", "b", "a", "b"),
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        writes = result.trace.write_times()
+        assert len(set(writes)) == 1  # one burst
+
+    def test_learning_time_grows_with_length(self):
+        # t_1 (operationally: first write) scales with |X|, the
+        # unboundedness the Section 5 argument leans on.
+        first_writes = []
+        for length in (2, 4, 6):
+            sender, receiver = reverse_protocol("ab", length)
+            input_sequence = tuple("ab"[i % 2] for i in range(length))
+            result = run_protocol(
+                sender,
+                receiver,
+                DeletingChannel(),
+                DeletingChannel(),
+                input_sequence,
+                EagerAdversary(),
+                max_steps=5_000,
+            )
+            first_writes.append(result.trace.write_times()[0])
+        assert first_writes[0] < first_writes[1] < first_writes[2]
+
+    def test_length_cap_enforced(self):
+        sender, _ = reverse_protocol("ab", 2)
+        with pytest.raises(ProtocolError):
+            sender.initial_state(("a", "a", "a"))
+
+    def test_stale_rev_copies_are_harmless(self):
+        _, receiver = reverse_protocol("ab", 3)
+        state = receiver.initial_state()
+        first = receiver.on_message(state, ("rev", 3, "a"))
+        replay = receiver.on_message(first.state, ("rev", 3, "a"))
+        assert replay.writes == ()
+        assert replay.sends == (("rack", 3),)
+
+
+class TestHybridProtocol:
+    def test_fault_free_run_stays_in_abp(self):
+        sender, receiver = hybrid_protocol("ab", 6, timeout=6)
+        result = run_protocol(
+            sender,
+            receiver,
+            LossyFifoChannel(),
+            LossyFifoChannel(),
+            ("a", "b", "a"),
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+        sent = [m for _, m in result.trace.messages_sent_to_receiver()]
+        assert all(message[0] == "data" for message in sent)
+
+    def test_fault_triggers_reverse_mode(self):
+        length = 6
+        sender, receiver = hybrid_protocol("ab", length, timeout=4)
+        adversary = FaultInjectingAdversary(
+            EagerAdversary(), fault_time=9, outage_length=12
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            LossyFifoChannel(),
+            LossyFifoChannel(),
+            tuple("ab"[i % 2] for i in range(length)),
+            adversary,
+            max_steps=20_000,
+        )
+        assert result.completed and result.safe
+        sent = [m for _, m in result.trace.messages_sent_to_receiver()]
+        assert any(message[0] == "rev" for message in sent)
+
+    def test_recovery_grows_with_length(self):
+        recoveries = []
+        for length in (4, 8, 12):
+            sender, receiver = hybrid_protocol("ab", length, timeout=4)
+            adversary = FaultInjectingAdversary(
+                EagerAdversary(), fault_time=9, outage_length=12
+            )
+            result = run_protocol(
+                sender,
+                receiver,
+                LossyFifoChannel(),
+                LossyFifoChannel(),
+                tuple("ab"[i % 2] for i in range(length)),
+                adversary,
+                max_steps=50_000,
+            )
+            fault_at = adversary.fault_fired_at
+            next_write = next(
+                t for t in result.trace.write_times() if t > fault_at
+            )
+            recoveries.append(next_write - fault_at)
+        assert recoveries[0] < recoveries[1] < recoveries[2]
+
+    def test_safe_on_del_channel_with_random_adversary(self):
+        # On deleting channels stale acks can resume ABP mid-reverse (the
+        # paper's "old lost message" case).  Safety must survive arbitrary
+        # reordering; Liveness is only promised under the paper's timing
+        # assumptions (realized by the FIFO discipline) -- a sufficiently
+        # stale ack can convince the sender an item was delivered when it
+        # was not, a faithful rendition of why ABP needs FIFO.
+        sender, receiver = hybrid_protocol("ab", 4, timeout=5)
+        rng = DeterministicRNG(21)
+        completions = 0
+        for index in range(5):
+            adversary = AgingFairAdversary(
+                RandomAdversary(rng.fork(str(index)), deliver_weight=3.0),
+                patience=64,
+            )
+            result = run_protocol(
+                sender,
+                receiver,
+                DeletingChannel(),
+                DeletingChannel(),
+                ("a", "b", "b", "a"),
+                adversary,
+                max_steps=50_000,
+            )
+            assert result.safe
+            completions += result.completed
+        assert completions >= 3  # most schedules avoid the stale-ack trap
+
+    def test_parameter_validation(self):
+        with pytest.raises(ProtocolError):
+            HybridSender("ab", 4, timeout=0)
+        with pytest.raises(ProtocolError):
+            HybridSender("ab", -1)
+        sender, _ = hybrid_protocol("ab", 2)
+        with pytest.raises(ProtocolError):
+            sender.initial_state(("a", "a", "a"))

@@ -1,0 +1,168 @@
+"""Tests for the baseline protocols: trivial streaming, ABP, Stenning."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.channels import (
+    DeletingChannel,
+    DuplicatingChannel,
+    FifoChannel,
+    LossyFifoChannel,
+    ReorderingChannel,
+)
+from repro.kernel.errors import ProtocolError
+from repro.kernel.simulator import run_protocol
+from repro.kernel.system import SENDER_STEP, deliver_to_receiver
+from repro.protocols.abp import ABPReceiver, ABPSender, abp_protocol
+from repro.protocols.stenning import stenning_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+
+class TestStreaming:
+    def test_correct_on_perfect_fifo(self):
+        result = run_protocol(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            FifoChannel(),
+            FifoChannel(),
+            ("a", "b", "a"),
+            EagerAdversary(),
+        )
+        assert result.completed and result.safe
+
+    def test_unsafe_under_reordering(self):
+        script = [SENDER_STEP, SENDER_STEP, deliver_to_receiver("b")]
+        result = run_protocol(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            ReorderingChannel(),
+            ReorderingChannel(),
+            ("a", "b"),
+            ScriptedAdversary(script),
+        )
+        assert not result.safe
+
+    def test_sender_sends_each_item_once(self):
+        result = run_protocol(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            FifoChannel(),
+            FifoChannel(),
+            ("a", "b"),
+            EagerAdversary(),
+        )
+        assert len(result.trace.messages_sent_to_receiver()) == 2
+
+    def test_receiver_never_sends(self):
+        receiver = StreamingReceiver("ab")
+        assert receiver.message_alphabet == frozenset()
+
+
+class TestABP:
+    @pytest.mark.parametrize(
+        "input_sequence", [(), ("x",), ("x", "x"), ("x", "y", "x", "y")]
+    )
+    def test_correct_on_lossy_fifo(self, input_sequence):
+        sender, receiver = abp_protocol("xy")
+        result = run_protocol(
+            sender,
+            receiver,
+            LossyFifoChannel(),
+            LossyFifoChannel(),
+            input_sequence,
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_survives_head_loss(self):
+        sender, receiver = abp_protocol("xy")
+        # Drop the first data message, then let the eager schedule run.
+        from repro.adversaries import FaultInjectingAdversary
+
+        adversary = FaultInjectingAdversary(
+            EagerAdversary(), fault_time=1, outage_length=2
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            LossyFifoChannel(),
+            LossyFifoChannel(),
+            ("x", "y"),
+            adversary,
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_bit_is_positional_parity(self):
+        sender = ABPSender("xy")
+        state = sender.initial_state(("x", "y"))
+        transition = sender.on_step(state)
+        assert transition.sends == (("data", 0, "x"),)
+        advanced = sender.on_message(transition.state, ("ack", 0))
+        resend = sender.on_step(advanced.state)
+        assert resend.sends == (("data", 1, "y"),)
+
+    def test_receiver_reacks_stale_bit(self):
+        receiver = ABPReceiver("xy")
+        state = receiver.initial_state()
+        first = receiver.on_message(state, ("data", 0, "x"))
+        assert first.writes == ("x",)
+        stale = receiver.on_message(first.state, ("data", 0, "x"))
+        assert stale.writes == ()
+        assert stale.sends == (("ack", 0),)
+
+    def test_retransmit_interval_validation(self):
+        with pytest.raises(ValueError):
+            ABPSender("xy", retransmit_interval=0)
+        with pytest.raises(ValueError):
+            ABPReceiver("xy", retransmit_interval=0)
+
+    def test_retransmission_fires_on_timer(self):
+        sender = ABPSender("xy", retransmit_interval=2)
+        state = sender.initial_state(("x",))
+        first = sender.on_step(state)
+        assert first.sends  # tick 0 sends
+        second = sender.on_step(first.state)
+        assert not second.sends  # tick 1 waits
+        third = sender.on_step(second.state)
+        assert third.sends  # wrapped around
+
+
+class TestStenning:
+    @pytest.mark.parametrize("channel_factory", [DuplicatingChannel, DeletingChannel])
+    def test_correct_on_reordering_channels(self, channel_factory):
+        sender, receiver = stenning_protocol("ab", 4)
+        result = run_protocol(
+            sender,
+            receiver,
+            channel_factory(),
+            channel_factory(),
+            ("a", "a", "b"),
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_alphabet_grows_with_max_length(self):
+        small = stenning_protocol("ab", 2)[0]
+        large = stenning_protocol("ab", 10)[0]
+        assert len(large.message_alphabet) > len(small.message_alphabet)
+
+    def test_rejects_input_beyond_declared_length(self):
+        sender, _ = stenning_protocol("ab", 2)
+        with pytest.raises(ProtocolError):
+            sender.initial_state(("a", "b", "a"))
+
+    def test_max_length_validation(self):
+        with pytest.raises(ProtocolError):
+            stenning_protocol("ab", -1)
+
+    def test_duplicate_delivery_harmless(self):
+        # Replay the same position twice: the receiver re-acks, no write.
+        _, receiver = stenning_protocol("ab", 3)
+        state = receiver.initial_state()
+        first = receiver.on_message(state, ("data", 0, "a"))
+        assert first.writes == ("a",)
+        replay = receiver.on_message(first.state, ("data", 0, "a"))
+        assert replay.writes == () and replay.sends == (("ack", 0),)

@@ -1,0 +1,147 @@
+"""Tests for the deliberately attackable protocols: optimistic and modulo."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.kernel.errors import ProtocolError
+from repro.kernel.simulator import run_protocol
+from repro.kernel.system import SENDER_STEP, deliver_to_receiver, deliver_to_sender
+from repro.protocols.modulo import ModuloReceiver, ModuloSender, modulo_protocol
+from repro.protocols.optimistic import (
+    OptimisticReceiver,
+    OptimisticSender,
+    identity_optimistic,
+)
+from repro.workloads import overfull_family, repetition_free_family
+
+
+class TestOptimistic:
+    def test_live_on_honest_network(self):
+        family = overfull_family("ab", 2)
+        sender, receiver = identity_optimistic(family)
+        for input_sequence in family:
+            result = run_protocol(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+                EagerAdversary(),
+                max_steps=5_000,
+            )
+            assert result.completed and result.safe
+
+    def test_degenerates_to_handshake_on_valid_family(self):
+        family = repetition_free_family("ab")
+        sender, receiver = identity_optimistic(family)
+        for input_sequence in family:
+            result = run_protocol(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+                EagerAdversary(),
+                max_steps=5_000,
+            )
+            assert result.completed and result.safe
+
+    def test_manual_duplication_attack(self):
+        # X = ('a',): the sender sends one 'a'; replaying it makes the
+        # optimistic receiver accept a phantom second 'a'.
+        family = [(), ("a",), ("a", "a")]
+        sender, receiver = identity_optimistic(family)
+        script = [
+            SENDER_STEP,
+            deliver_to_receiver("a"),  # writes 'a'
+            deliver_to_receiver("a"),  # stale copy accepted: writes 'a' again
+        ]
+        from repro.kernel.simulator import Simulator
+        from repro.kernel.system import System
+
+        system = System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("a",),
+        )
+        result = Simulator(
+            system,
+            ScriptedAdversary(script),
+            stop_when_complete=False,  # the attack continues past "done"
+        ).run()
+        assert not result.safe
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ProtocolError):
+            OptimisticSender({})
+
+    def test_foreign_input_rejected(self):
+        sender, _ = identity_optimistic([("a",)])
+        with pytest.raises(ProtocolError):
+            sender.initial_state(("z",))
+
+    def test_implausible_message_reechoed(self):
+        _, receiver = identity_optimistic([("a",)])
+        transition = receiver.on_message(((), 0), "a")
+        assert transition.writes == ("a",)
+        # 'a' again is no longer a plausible continuation: re-echo only.
+        stale = receiver.on_message(transition.state, "a")
+        assert stale.writes == () and stale.sends == ("a",)
+
+
+class TestModulo:
+    @pytest.mark.parametrize("window", [1, 2, 4])
+    def test_live_on_honest_network(self, window):
+        sender, receiver = modulo_protocol("ab", window)
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("a", "b", "a", "b", "b"),
+            EagerAdversary(),
+            max_steps=5_000,
+        )
+        assert result.completed and result.safe
+
+    def test_manual_residue_collision_attack(self):
+        # W = 1: every residue is 0, so any stale copy is accepted.
+        sender, receiver = modulo_protocol("ab", 1)
+        script = [
+            SENDER_STEP,  # data (0, 'a')
+            SENDER_STEP,  # second copy in flight
+            deliver_to_receiver(("data", 0, "a")),  # writes 'a'
+            deliver_to_receiver(("data", 0, "a")),  # stale: writes 'a' again
+        ]
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("a", "b"),
+            ScriptedAdversary(script),
+            max_steps=10,
+        )
+        assert not result.safe
+
+    def test_window_validation(self):
+        with pytest.raises(ProtocolError):
+            ModuloSender("ab", 0)
+        with pytest.raises(ProtocolError):
+            ModuloReceiver("ab", 0)
+
+    def test_alphabet_scales_with_window(self):
+        small = ModuloSender("ab", 1)
+        large = ModuloSender("ab", 5)
+        assert len(large.message_alphabet) == 5 * len(small.message_alphabet)
+
+    def test_receiver_acks_stale_residues(self):
+        _, receiver = modulo_protocol("ab", 2)
+        state = receiver.initial_state()
+        first = receiver.on_message(state, ("data", 0, "a"))
+        stale = receiver.on_message(first.state, ("data", 0, "a"))
+        assert stale.writes == ()
+        assert stale.sends == (("ack", 0),)

@@ -1,0 +1,192 @@
+"""Tests for the generic handshake protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import (
+    AgingFairAdversary,
+    EagerAdversary,
+    RandomAdversary,
+    ReplayFloodAdversary,
+)
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.core.encoding import EncodingError, IdentityEncoding, TableEncoding
+from repro.kernel.errors import AlphabetError
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import run_protocol
+from repro.protocols.handshake import (
+    HandshakeReceiver,
+    HandshakeSender,
+    handshake_protocol,
+    protocol_for_family,
+)
+from repro.workloads import overfull_family
+
+
+@pytest.fixture
+def identity_pair():
+    return handshake_protocol(IdentityEncoding("abc"))
+
+
+class TestSenderAutomaton:
+    def test_initial_state_encodes_input(self, identity_pair):
+        sender, _ = identity_pair
+        assert sender.initial_state(("a", "c")) == (("a", "c"), 0)
+
+    def test_step_retransmits_current_element(self, identity_pair):
+        sender, _ = identity_pair
+        state = (("a", "c"), 0)
+        assert sender.on_step(state).sends == ("a",)
+        assert sender.on_step(state).sends == ("a",)  # pure: same again
+
+    def test_matching_ack_advances(self, identity_pair):
+        sender, _ = identity_pair
+        transition = sender.on_message((("a", "c"), 0), "a")
+        assert transition.state == (("a", "c"), 1)
+
+    def test_stale_ack_ignored(self, identity_pair):
+        sender, _ = identity_pair
+        state = (("a", "c"), 1)
+        assert sender.on_message(state, "a").state == state
+
+    def test_done_state_sends_nothing(self, identity_pair):
+        sender, _ = identity_pair
+        assert sender.on_step((("a",), 1)).sends == ()
+
+    def test_alphabet_enforced(self, identity_pair):
+        sender, _ = identity_pair
+        from repro.kernel.interfaces import Transition
+
+        with pytest.raises(AlphabetError):
+            sender.check_sends(Transition(state=(), sends=("zebra",)))
+
+
+class TestReceiverAutomaton:
+    def test_new_message_written_and_echoed(self, identity_pair):
+        _, receiver = identity_pair
+        transition = receiver.on_message(((), 0), "b")
+        assert transition.writes == ("b",)
+        assert transition.sends == ("b",)
+        assert transition.state == (("b",), 1)
+
+    def test_stale_message_only_reechoed(self, identity_pair):
+        _, receiver = identity_pair
+        transition = receiver.on_message((("b",), 1), "b")
+        assert transition.writes == ()
+        assert transition.sends == ("b",)
+        assert transition.state == (("b",), 1)
+
+    def test_step_reechoes_latest(self, identity_pair):
+        _, receiver = identity_pair
+        assert receiver.on_step((("b",), 1)).sends == ("b",)
+
+    def test_step_idle_initially(self, identity_pair):
+        _, receiver = identity_pair
+        transition = receiver.on_step(((), 0))
+        assert transition.sends == () and transition.writes == ()
+
+    def test_common_prefix_written_before_any_message(self):
+        # A family whose members all start with 'x': the receiver can
+        # safely write 'x' on its first step, before any delivery.
+        encoding = TableEncoding(
+            {("x", "y"): ("a",), ("x", "z"): ("b",)}
+        )
+        _, receiver = handshake_protocol(encoding)
+        transition = receiver.on_step(receiver.initial_state())
+        assert transition.writes == ("x",)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "input_sequence", [(), ("a",), ("c", "a"), ("a", "b", "c")]
+    )
+    def test_dup_channel_eager(self, identity_pair, input_sequence):
+        sender, receiver = identity_pair
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+            EagerAdversary(),
+        )
+        assert result.completed and result.safe
+
+    def test_dup_channel_under_replay_flood(self, identity_pair):
+        sender, receiver = identity_pair
+        rng = DeterministicRNG(11)
+        adversary = AgingFairAdversary(
+            ReplayFloodAdversary(rng, flood_factor=5), patience=48
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("c", "b", "a"),
+            adversary,
+            max_steps=50_000,
+        )
+        assert result.completed and result.safe
+
+    def test_del_channel_random(self, identity_pair):
+        sender, receiver = identity_pair
+        rng = DeterministicRNG(13)
+        adversary = AgingFairAdversary(RandomAdversary(rng), patience=64)
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("b", "c"),
+            adversary,
+            max_steps=50_000,
+        )
+        assert result.completed and result.safe
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        input_index=st.integers(min_value=0, max_value=15),
+    )
+    def test_fuzz_safety_and_liveness_on_dup(self, seed, input_index):
+        from repro.workloads import repetition_free_family
+
+        family = repetition_free_family("abc")
+        input_sequence = family[input_index % len(family)]
+        sender, receiver = handshake_protocol(IdentityEncoding("abc"))
+        adversary = AgingFairAdversary(
+            RandomAdversary(DeterministicRNG(seed)), patience=64
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+            adversary,
+            max_steps=50_000,
+        )
+        assert result.safe
+        assert result.completed
+
+
+class TestProtocolForFamily:
+    def test_builds_protocol_for_custom_family(self):
+        family = [("x",), ("y",), ("x", "y")]
+        sender, receiver = protocol_for_family(family, "ab")
+        for input_sequence in family:
+            result = run_protocol(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+                EagerAdversary(),
+            )
+            assert result.completed and result.safe
+
+    def test_rejects_overfull_family(self):
+        family = overfull_family("ab", 2)
+        with pytest.raises(EncodingError):
+            protocol_for_family(family, "ab")

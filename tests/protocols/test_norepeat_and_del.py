@@ -1,0 +1,114 @@
+"""Tests for the paper's two tight protocols (Sections 3 and 4)."""
+
+import pytest
+
+from repro.adversaries import (
+    AgingFairAdversary,
+    DroppingAdversary,
+    EagerAdversary,
+    RandomAdversary,
+)
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.core.alpha import alpha
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import run_protocol
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.norepeat_del import F_BOUND_CONSTANT, bounded_del_protocol, f_bound
+from repro.workloads import repetition_free_family
+
+
+class TestNoRepeatProtocol:
+    def test_family_size_is_alpha(self):
+        sender, _ = norepeat_protocol("abcd")
+        assert len(sender.encoding.family) == alpha(4)
+
+    def test_alphabets_equal_domain(self):
+        # The paper: M^S = M^R = D.
+        sender, receiver = norepeat_protocol("ab")
+        assert sender.message_alphabet == frozenset("ab")
+        assert receiver.message_alphabet == frozenset("ab")
+
+    def test_finite_state_on_dup_channel(self):
+        # "Note that the protocol is finite state": exhaustively explore
+        # and count.
+        from repro.kernel.system import System
+        from repro.verify import explore
+
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a", "b")
+        )
+        report = explore(system, max_states=100_000)
+        assert not report.truncated and report.states < 1000
+
+    @pytest.mark.parametrize("domain", ["a", "ab", "abc"])
+    def test_whole_family_transmits_on_dup(self, domain):
+        sender, receiver = norepeat_protocol(domain)
+        for input_sequence in repetition_free_family(domain):
+            result = run_protocol(
+                sender,
+                receiver,
+                DuplicatingChannel(),
+                DuplicatingChannel(),
+                input_sequence,
+                EagerAdversary(),
+            )
+            assert result.completed and result.safe
+
+
+class TestBoundedDelProtocol:
+    def test_same_automata_family(self):
+        # The Section 4 protocol is the Section 3 protocol with
+        # retransmission, which the handshake automata already do.
+        dup = norepeat_protocol("ab")
+        deletion = bounded_del_protocol("ab")
+        assert type(dup[0]) is type(deletion[0])
+        assert dup[0].encoding.family == deletion[0].encoding.family
+
+    def test_f_bound_is_constant(self):
+        assert f_bound(1) == f_bound(7) == F_BOUND_CONSTANT
+
+    def test_f_bound_one_indexed(self):
+        with pytest.raises(ValueError):
+            f_bound(0)
+
+    @pytest.mark.parametrize("loss", [0.0, 0.4, 0.8])
+    def test_survives_loss(self, loss):
+        sender, receiver = bounded_del_protocol("abc")
+        rng = DeterministicRNG(int(loss * 10) + 1)
+        adversary = AgingFairAdversary(
+            DroppingAdversary(
+                rng.fork("drop"),
+                RandomAdversary(rng.fork("base"), deliver_weight=3.0),
+                loss,
+            ),
+            patience=96,
+        )
+        result = run_protocol(
+            sender,
+            receiver,
+            DeletingChannel(),
+            DeletingChannel(),
+            ("c", "a", "b"),
+            adversary,
+            max_steps=80_000,
+        )
+        assert result.completed and result.safe
+
+    def test_whole_family_transmits_on_del(self):
+        sender, receiver = bounded_del_protocol("ab")
+        rng = DeterministicRNG(5)
+        for index, input_sequence in enumerate(repetition_free_family("ab")):
+            adversary = AgingFairAdversary(
+                RandomAdversary(rng.fork(str(index))), patience=64
+            )
+            result = run_protocol(
+                sender,
+                receiver,
+                DeletingChannel(),
+                DeletingChannel(),
+                input_sequence,
+                adversary,
+                max_steps=50_000,
+            )
+            assert result.completed and result.safe

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("T1", "T6", "F4", "A3"):
+            assert experiment_id in out
+
+
+class TestAlpha:
+    def test_prints_bound(self, capsys):
+        assert main(["alpha", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha(4) = 65" in out
+        assert "Theorems 1 and 2" in out
+
+
+class TestRun:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["run", "T1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha(m)" in out
+        assert "checks passed" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "f1", "--quick"]) == 0
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "T1", "F1", "--quick"]) == 0
+
+
+class TestSimulate:
+    def test_norepeat_on_dup(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "norepeat",
+                "--channel",
+                "dup",
+                "--input",
+                "b,a,c",
+                "--adversary",
+                "eager",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out and "safe: True" in out
+
+    def test_stenning_on_del(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "stenning",
+                "--channel",
+                "del",
+                "--input",
+                "a,a,b",
+            ]
+        )
+        assert code == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAttack:
+    def test_attack_prints_confirmed_witness(self, capsys):
+        code = main(["attack", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "victim input" in out
+        assert "replay-confirmed" in out
+
+    def test_attack_on_del_channel(self, capsys):
+        assert main(["attack", "1", "--channel", "del"]) == 0
+
+
+class TestTrap:
+    def test_norepeat_has_no_trap(self, capsys):
+        code = main(
+            [
+                "trap",
+                "--protocol",
+                "norepeat",
+                "--channel",
+                "del",
+                "--input",
+                "a,b",
+                "--cap",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "no liveness trap" in capsys.readouterr().out
+
+    def test_hybrid_trap_is_found(self, capsys):
+        code = main(
+            [
+                "trap",
+                "--protocol",
+                "hybrid",
+                "--channel",
+                "del",
+                "--input",
+                "a,b,a",
+                "--cap",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "LIVENESS TRAP" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_quick_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        code = main(["report", str(target), "--quick"])
+        assert code == 0
+        text = target.read_text()
+        assert "## T1" in text and "## A4" in text

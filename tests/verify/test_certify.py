@@ -1,0 +1,118 @@
+"""Tests for the one-call certification API."""
+
+import pytest
+
+from repro.channels import DeletingChannel, DuplicatingChannel, ReorderingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.rng import DeterministicRNG
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.norepeat_del import bounded_del_protocol, f_bound
+from repro.protocols.optimistic import identity_optimistic
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+from repro.verify.certify import certify_protocol
+from repro.workloads import overfull_family, repetition_free_family
+
+
+class TestCertifiesCorrectProtocols:
+    def test_norepeat_on_dup_fully_certified(self):
+        sender, receiver = norepeat_protocol("ab")
+        report = certify_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel,
+            repetition_free_family("ab"),
+            rng=DeterministicRNG(1),
+        )
+        assert report.certified, report.failures
+        assert set(report.stages_run) == {
+            "campaign",
+            "exploration",
+            "attack-search",
+        }
+        assert report.attack_witness is None
+        assert report.campaign.all_safe and report.campaign.all_completed
+        assert all(r.all_safe for r in report.explorations)
+
+    def test_bounded_del_protocol_with_boundedness_stage(self):
+        sender, receiver = bounded_del_protocol("ab")
+        report = certify_protocol(
+            sender,
+            receiver,
+            lambda: DeletingChannel(max_copies=2),
+            repetition_free_family("ab"),
+            rng=DeterministicRNG(2),
+            boundedness_f=f_bound,
+            # Definition 2 presumes the idealized (uncapped) channel.
+            boundedness_channel_factory=DeletingChannel,
+        )
+        assert report.certified, report.failures
+        assert "boundedness" in report.stages_run
+        assert report.boundedness.satisfied
+
+
+class TestRejectsBrokenProtocols:
+    def test_overfull_optimistic_fails_attack_stage(self):
+        family = overfull_family("a", 1)
+        sender, receiver = identity_optimistic(family)
+        report = certify_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel,
+            family,
+            rng=DeterministicRNG(3),
+            run_campaign=False,  # honest network would pass; attack won't
+            run_exploration=False,
+        )
+        assert not report.certified
+        assert report.attack_witness is not None
+        assert any("attack" in failure for failure in report.failures)
+
+    def test_streaming_on_reordering_fails_exploration(self):
+        sender = StreamingSender("ab")
+        receiver = StreamingReceiver("ab")
+        report = certify_protocol(
+            sender,
+            receiver,
+            ReorderingChannel,
+            [("a", "b")],
+            rng=DeterministicRNG(4),
+            run_campaign=False,
+            run_attack_search=False,
+        )
+        assert not report.certified
+        assert any("exploration" in failure for failure in report.failures)
+
+
+class TestStageSelection:
+    def test_stages_can_be_skipped(self):
+        sender, receiver = norepeat_protocol("ab")
+        report = certify_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel,
+            [("a",), ("b",)],
+            rng=DeterministicRNG(5),
+            run_campaign=False,
+            run_attack_search=False,
+        )
+        assert report.stages_run == ("exploration",)
+        assert report.campaign is None and report.attack_witness is None
+
+    def test_single_member_family_skips_attack(self):
+        sender, receiver = norepeat_protocol("ab")
+        report = certify_protocol(
+            sender,
+            receiver,
+            DuplicatingChannel,
+            [("a",)],
+            rng=DeterministicRNG(6),
+            run_campaign=False,
+            run_exploration=False,
+        )
+        assert report.stages_run == ()
+        assert report.certified  # vacuously: nothing requested failed
+
+    def test_empty_family_rejected(self):
+        sender, receiver = norepeat_protocol("ab")
+        with pytest.raises(VerificationError):
+            certify_protocol(sender, receiver, DuplicatingChannel, [])

@@ -1,0 +1,132 @@
+"""Tests for exhaustive state-space exploration."""
+
+import pytest
+
+from repro.channels import (
+    DeletingChannel,
+    DuplicatingChannel,
+    LossyFifoChannel,
+    ReorderingChannel,
+)
+from repro.kernel.errors import VerificationError
+from repro.kernel.system import System
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+from repro.verify import explore
+
+
+def norepeat_system(channel_factory, input_sequence=("a", "b"), **kwargs):
+    sender, receiver = norepeat_protocol("ab")
+    return System(
+        sender,
+        receiver,
+        channel_factory(**kwargs),
+        channel_factory(**kwargs),
+        input_sequence,
+    )
+
+
+class TestCorrectProtocol:
+    def test_norepeat_dup_fully_safe(self):
+        report = explore(norepeat_system(DuplicatingChannel))
+        assert report.all_safe
+        assert report.completion_reachable
+        assert not report.truncated
+        assert report.violation_path is None
+
+    def test_norepeat_del_fully_safe_with_cap(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            DeletingChannel(max_copies=2),
+            DeletingChannel(max_copies=2),
+            ("a", "b"),
+        )
+        report = explore(system)
+        assert report.all_safe and report.completion_reachable
+
+    def test_state_count_is_exact_and_stable(self):
+        first = explore(norepeat_system(DuplicatingChannel))
+        second = explore(norepeat_system(DuplicatingChannel))
+        assert first.states == second.states
+
+    def test_drops_can_be_excluded(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            DeletingChannel(max_copies=2),
+            DeletingChannel(max_copies=2),
+            ("a",),
+        )
+        with_drops = explore(system, include_drops=True)
+        without = explore(system, include_drops=False)
+        assert without.states <= with_drops.states
+
+
+class TestBrokenProtocol:
+    def test_streaming_reorder_violation_found(self):
+        system = System(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            ReorderingChannel(),
+            ReorderingChannel(),
+            ("a", "b"),
+        )
+        report = explore(system)
+        assert not report.all_safe
+        assert report.violation_path is not None
+
+    def test_violation_path_replays_to_violation(self):
+        system = System(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            ReorderingChannel(),
+            ReorderingChannel(),
+            ("a", "b"),
+        )
+        report = explore(system)
+        from repro.kernel.trace import Trace
+
+        trace = Trace(system)
+        trace.replay(report.violation_path)
+        assert not system.output_is_safe(trace.last)
+
+    def test_violation_path_is_shortest(self):
+        # BFS guarantee: reorder attack on streaming needs exactly 3 events
+        # (two sends, one out-of-order delivery).
+        system = System(
+            StreamingSender("ab"),
+            StreamingReceiver("ab"),
+            ReorderingChannel(),
+            ReorderingChannel(),
+            ("a", "b"),
+        )
+        report = explore(system)
+        assert len(report.violation_path) == 3
+
+
+class TestBudget:
+    def test_truncation_reported(self):
+        report = explore(norepeat_system(DuplicatingChannel), max_states=3)
+        assert report.truncated
+
+    def test_budget_validation(self):
+        with pytest.raises(VerificationError):
+            explore(norepeat_system(DuplicatingChannel), max_states=0)
+
+    def test_capped_lossy_fifo_is_finite(self):
+        from repro.protocols.abp import abp_protocol
+
+        sender, receiver = abp_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            LossyFifoChannel(capacity=2),
+            LossyFifoChannel(capacity=2),
+            ("a", "b"),
+        )
+        report = explore(system, max_states=500_000)
+        assert not report.truncated
+        assert report.all_safe and report.completion_reachable

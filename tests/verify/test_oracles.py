@@ -1,0 +1,97 @@
+"""Tests for the safety and liveness oracles."""
+
+import pytest
+
+from repro.adversaries import EagerAdversary, ScriptedAdversary
+from repro.channels import DuplicatingChannel, ReorderingChannel
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import SENDER_STEP, System, deliver_to_receiver
+from repro.kernel.trace import Trace
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.trivial import StreamingReceiver, StreamingSender
+from repro.verify import check_liveness, check_safety
+
+
+def good_trace(input_sequence=("a", "b")):
+    sender, receiver = norepeat_protocol("ab")
+    system = System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), input_sequence
+    )
+    return Simulator(system, EagerAdversary()).run().trace
+
+
+def violating_trace():
+    system = System(
+        StreamingSender("ab"),
+        StreamingReceiver("ab"),
+        ReorderingChannel(),
+        ReorderingChannel(),
+        ("a", "b"),
+    )
+    trace = Trace(system)
+    trace.replay([SENDER_STEP, SENDER_STEP, deliver_to_receiver("b")])
+    return trace
+
+
+class TestSafetyOracle:
+    def test_clean_run_is_safe(self):
+        verdict = check_safety(good_trace())
+        assert verdict.safe and verdict.violation_time is None
+
+    def test_wrong_value_detected_with_position(self):
+        verdict = check_safety(violating_trace())
+        assert not verdict.safe
+        assert verdict.violation_time == 3
+        assert "x_1" in verdict.detail
+        assert verdict.output_at_violation == ("b",)
+
+    def test_overrun_detected(self):
+        system = System(
+            StreamingSender("a"),
+            StreamingReceiver("a"),
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            ("a",),
+        )
+        trace = Trace(system)
+        trace.replay(
+            [SENDER_STEP, deliver_to_receiver("a"), deliver_to_receiver("a")]
+        )
+        verdict = check_safety(trace)
+        assert not verdict.safe and "exceeds input" in verdict.detail
+
+    def test_earliest_violation_reported(self):
+        trace = violating_trace()
+        trace.extend(deliver_to_receiver("a"))  # further damage later
+        verdict = check_safety(trace)
+        assert verdict.violation_time == 3
+
+
+class TestLivenessOracle:
+    def test_completed_run_is_live(self):
+        verdict = check_liveness(good_trace())
+        assert verdict.live and verdict.complete
+
+    def test_incomplete_fair_run_is_violation_evidence(self):
+        # Starve the receiver of one item under an otherwise fair schedule
+        # by simply never scheduling anything (empty trace, zero patience
+        # pressure): fair but incomplete.
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a",)
+        )
+        trace = Trace(system)  # nothing ever happens: trivially fair
+        verdict = check_liveness(trace, patience=4)
+        assert not verdict.live
+        assert verdict.items_written == 0 and verdict.items_expected == 1
+
+    def test_incomplete_unfair_run_is_inconclusive(self):
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender, receiver, DuplicatingChannel(), DuplicatingChannel(), ("a",)
+        )
+        trace = Trace(system)
+        trace.replay([SENDER_STEP] + [("step", "R")] * 30)  # starving schedule
+        verdict = check_liveness(trace, patience=5)
+        assert verdict.live and not verdict.complete and not verdict.fair
+        assert "inconclusive" in verdict.detail

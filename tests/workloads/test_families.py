@@ -1,0 +1,102 @@
+"""Tests for the sequence-family generators."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.alpha import alpha
+from repro.core.sequences import is_prefix, is_proper_prefix, is_repetition_free
+from repro.kernel.errors import VerificationError
+from repro.kernel.rng import DeterministicRNG
+from repro.workloads import (
+    antichain_family,
+    bounded_length_family,
+    overfull_family,
+    prefix_chain_family,
+    random_family,
+    repetition_free_family,
+)
+
+
+class TestRepetitionFree:
+    @given(st.integers(min_value=0, max_value=6))
+    def test_size_is_alpha(self, m):
+        domain = tuple(range(m))
+        assert len(repetition_free_family(domain)) == alpha(m)
+
+    def test_all_members_repetition_free(self):
+        assert all(
+            is_repetition_free(member)
+            for member in repetition_free_family("abcd")
+        )
+
+    def test_deterministic_order(self):
+        assert repetition_free_family("ab") == repetition_free_family("ab")
+
+
+class TestOverfull:
+    @given(st.integers(min_value=1, max_value=4))
+    def test_size_is_alpha_plus_one(self, m):
+        domain = "abcdef"[:m]
+        assert len(overfull_family(domain, m)) == alpha(m) + 1
+
+    def test_members_are_distinct(self):
+        family = overfull_family("ab", 2)
+        assert len(set(family)) == len(family)
+
+    def test_singleton_domain_unary_family(self):
+        family = overfull_family("a", 1)
+        assert family == ((), ("a",), ("a", "a"))
+
+
+class TestBoundedLength:
+    def test_counts(self):
+        assert len(bounded_length_family("ab", 2)) == 1 + 2 + 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(VerificationError):
+            bounded_length_family("ab", -1)
+
+    def test_sorted_shortest_first(self):
+        family = bounded_length_family("ab", 3)
+        lengths = [len(member) for member in family]
+        assert lengths == sorted(lengths)
+
+
+class TestChainAndAntichain:
+    def test_chain_is_nested(self):
+        family = prefix_chain_family("abc", 3)
+        assert len(family) == 4
+        for shorter, longer in zip(family, family[1:]):
+            assert is_proper_prefix(shorter, longer)
+
+    def test_chain_requires_enough_symbols(self):
+        with pytest.raises(VerificationError):
+            prefix_chain_family("ab", 3)
+
+    def test_antichain_is_antichain(self):
+        family = antichain_family("01", 5, 3)
+        assert len(family) == 5
+        assert not any(
+            is_prefix(a, b) for a in family for b in family if a != b
+        )
+
+    def test_antichain_capacity_check(self):
+        with pytest.raises(VerificationError):
+            antichain_family("01", 9, 3)  # only 8 binary length-3 strings
+
+
+class TestRandomFamily:
+    def test_seeded_reproducibility(self):
+        one = random_family(DeterministicRNG(4), "ab", 5, 3)
+        two = random_family(DeterministicRNG(4), "ab", 5, 3)
+        assert one == two
+
+    def test_distinct_members(self):
+        family = random_family(DeterministicRNG(4), "ab", 10, 3)
+        assert len(set(family)) == 10
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(VerificationError):
+            random_family(DeterministicRNG(0), "a", 10, 2)
