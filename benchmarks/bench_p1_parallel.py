@@ -1,0 +1,45 @@
+"""Benchmark: parallel campaign engine -- serial vs worker-pool sweep.
+
+Times the F5-style throughput grid (no-repetition protocol, duplicating
+channels, fair random adversary, every prefix length from 4 upward) once
+serially and once with a 4-process worker pool, and records both in the
+session perf report (``BENCH_PR1.json``).
+
+Two assertions:
+
+* the parallel outcome is **bit-identical** to the serial one -- always,
+  on any machine, because per-run randomness is derived from the run key
+  alone (see :mod:`repro.analysis.campaign`);
+* the sweep is at least 2x faster with 4 workers -- only asserted when
+  the host actually has >= 4 CPUs (a single-core runner can demonstrate
+  determinism but not speedup; the measured ratio is still recorded).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_campaign_speedup
+
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def test_bench_parallel_campaign(benchmark):
+    """Serial vs 4-worker F5 grid: identical outcomes, recorded speedup."""
+    comparison = benchmark.pedantic(
+        measure_campaign_speedup,
+        args=(perf_report(),),
+        kwargs={"workers": 4, "length": 12, "seeds": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert comparison["outcomes_identical"], (
+        "parallel campaign diverged from serial -- determinism contract broken"
+    )
+    cpus = os.cpu_count() or 1
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        assert comparison["speedup"] >= 2.0, (
+            f"expected >=2x speedup with 4 workers on {cpus} CPUs, "
+            f"got {comparison['speedup']:.2f}x"
+        )

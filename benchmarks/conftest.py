@@ -6,17 +6,33 @@ the rendered output, and asserts every reproduction check.  Timing is
 collected with pytest-benchmark in pedantic single-shot mode (the subject
 is the experiment, not microseconds); pass ``-s`` to see the tables inline,
 or read EXPERIMENTS.md for the archived copies.
+
+Every experiment timed here is also appended to a
+:class:`repro.analysis.perfreport.PerfReport`; at session end the report
+is written to ``BENCH_PR1.json`` at the repo root, the same artifact
+``stp-repro bench`` produces, so benchmark runs leave a diffable perf
+trail PR over PR.
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.analysis.perfreport import BENCH_FILENAME, PerfReport
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_REPORT = PerfReport(label="benchmarks")
 
 
 def run_and_report(benchmark, experiment_id: str, seed: int = 0, quick: bool = False):
     """Run one experiment under the benchmark clock and report it."""
     from repro.experiments import run_experiment
 
+    start = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
@@ -24,9 +40,27 @@ def run_and_report(benchmark, experiment_id: str, seed: int = 0, quick: bool = F
         rounds=1,
         iterations=1,
     )
+    _REPORT.add(
+        f"experiment:{experiment_id}",
+        time.perf_counter() - start,
+        runs=len(result.rows),
+        quick=quick,
+        checks_passed=result.all_checks_pass,
+    )
     print()
     print(result.rendered)
     if result.notes:
         print(f"notes: {result.notes}")
     result.assert_checks()
     return result
+
+
+def perf_report() -> PerfReport:
+    """The session-wide report (bench modules may append extra records)."""
+    return _REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the perf artifact once all benchmarks have run."""
+    if _REPORT.records:
+        _REPORT.write(REPO_ROOT / BENCH_FILENAME)

@@ -6,6 +6,8 @@
   use (mean, median, percentiles, min/max summaries).
 * :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
   the output format of every benchmark.
+* :mod:`repro.analysis.perfreport` -- wall-clock perf records and the
+  PR-over-PR ``BENCH_PR1.json`` artifact.
 """
 
 from repro.analysis.metrics import RunMetrics, measure_run, CampaignSummary, summarize
@@ -13,6 +15,7 @@ from repro.analysis.stats import mean, median, percentile, Summary, five_number
 from repro.analysis.tables import render_table, render_series, format_cell
 from repro.analysis.campaign import Campaign, CampaignOutcome
 from repro.analysis.diagram import sequence_diagram
+from repro.analysis.perfreport import PerfRecord, PerfReport, run_default_bench
 
 __all__ = [
     "RunMetrics",
@@ -30,4 +33,7 @@ __all__ = [
     "Campaign",
     "CampaignOutcome",
     "sequence_diagram",
+    "PerfRecord",
+    "PerfReport",
+    "run_default_bench",
 ]

@@ -15,11 +15,24 @@ API makes the same sweeps one-liners for downstream users:
     )
     outcome = campaign.run(DeterministicRNG(0))
     assert outcome.all_safe and outcome.all_completed
+
+Campaigns parallelize: ``Campaign(..., workers=4)`` shards the
+inputs x seeds grid over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Parallel outcomes are **bit-identical** to serial ones because every run's
+randomness derives solely from the campaign RNG and the run's own
+``(input, seed)`` key (never from execution order), and results are
+reassembled in grid order before aggregation.  The pool uses the ``fork``
+start method so arbitrary protocol objects, channel factories, and
+adversary-factory closures need never be pickled -- workers inherit the
+campaign by memory snapshot; platforms without ``fork`` fall back to the
+serial path (same results, no speedup).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import CampaignSummary, RunMetrics, measure_run, summarize
@@ -36,7 +49,9 @@ class CampaignOutcome:
 
     Attributes:
         summary: aggregate statistics over all runs.
-        metrics: the individual per-run measurements, in run order.
+        metrics: the individual per-run measurements, in run order
+            (input-major, then seed) -- the same order regardless of
+            ``workers``.
         failures: (input, seed) pairs of runs that were unsafe or
             incomplete -- empty for a fully successful campaign.
     """
@@ -56,6 +71,20 @@ class CampaignOutcome:
         return self.summary.completed == self.summary.runs
 
 
+# The campaign being executed by pool workers.  Set (with its RNG) just
+# before the fork-based pool spawns, inherited by the children's memory
+# snapshot, and cleared afterwards; worker tasks then only need the
+# picklable (input, seed) key.
+_WORKER_CONTEXT: Optional[Tuple["Campaign", DeterministicRNG]] = None
+
+
+def _pool_run(key: Tuple[Tuple, int]) -> RunMetrics:
+    """Execute one sharded run inside a pool worker."""
+    input_sequence, seed = key
+    campaign, rng = _WORKER_CONTEXT
+    return campaign._single_run(rng, input_sequence, seed)
+
+
 @dataclass
 class Campaign:
     """A declarative sweep specification.
@@ -69,6 +98,8 @@ class Campaign:
         adversary_factory: builds a fresh adversary from a forked RNG.
         seeds: number of repetitions per input.
         max_steps: per-run step budget.
+        workers: process count for the sweep; 1 (the default) runs
+            serially in-process.  Any value produces identical outcomes.
     """
 
     sender: SenderProtocol
@@ -78,6 +109,7 @@ class Campaign:
     adversary_factory: Callable[[DeterministicRNG], object]
     seeds: int = 1
     max_steps: int = 50_000
+    workers: int = 1
 
     def run(self, rng: DeterministicRNG) -> CampaignOutcome:
         """Execute the sweep and aggregate."""
@@ -85,30 +117,77 @@ class Campaign:
             raise VerificationError("seeds must be >= 1")
         if not self.inputs:
             raise VerificationError("campaign needs at least one input")
-        metrics: List[RunMetrics] = []
-        failures: List[Tuple[Tuple, int]] = []
-        for input_sequence in self.inputs:
-            input_sequence = tuple(input_sequence)
-            for seed in range(self.seeds):
-                adversary = self.adversary_factory(
-                    rng.fork(f"{input_sequence!r}/{seed}")
-                )
-                system = System(
-                    self.sender,
-                    self.receiver,
-                    self.channel_factory(),
-                    self.channel_factory(),
-                    input_sequence,
-                )
-                result = Simulator(
-                    system, adversary, max_steps=self.max_steps
-                ).run()
-                measured = measure_run(result)
-                metrics.append(measured)
-                if not (measured.safe and measured.completed):
-                    failures.append((input_sequence, seed))
+        if self.workers < 1:
+            raise VerificationError("workers must be >= 1")
+        keys: List[Tuple[Tuple, int]] = [
+            (tuple(input_sequence), seed)
+            for input_sequence in self.inputs
+            for seed in range(self.seeds)
+        ]
+        if self._effective_workers(len(keys)) > 1:
+            metrics = self._run_parallel(rng, keys)
+        else:
+            metrics = [
+                self._single_run(rng, input_sequence, seed)
+                for input_sequence, seed in keys
+            ]
+        failures = [
+            key
+            for key, measured in zip(keys, metrics)
+            if not (measured.safe and measured.completed)
+        ]
         return CampaignOutcome(
             summary=summarize(metrics),
             metrics=tuple(metrics),
             failures=tuple(failures),
         )
+
+    def _single_run(
+        self, rng: DeterministicRNG, input_sequence: Tuple, seed: int
+    ) -> RunMetrics:
+        """One run of the grid; the unit of parallel sharding.
+
+        The adversary stream is forked from the campaign RNG by the run's
+        own key alone, so this function is a pure function of
+        ``(rng.seed, rng.path, input_sequence, seed)`` -- the property
+        that makes parallel and serial execution bit-identical.
+        """
+        adversary = self.adversary_factory(
+            rng.fork(f"{input_sequence!r}/{seed}")
+        )
+        system = System(
+            self.sender,
+            self.receiver,
+            self.channel_factory(),
+            self.channel_factory(),
+            input_sequence,
+        )
+        result = Simulator(system, adversary, max_steps=self.max_steps).run()
+        return measure_run(result)
+
+    def _effective_workers(self, grid_size: int) -> int:
+        if self.workers <= 1 or grid_size <= 1:
+            return 1
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return 1
+        return min(self.workers, grid_size)
+
+    def _run_parallel(
+        self, rng: DeterministicRNG, keys: List[Tuple[Tuple, int]]
+    ) -> List[RunMetrics]:
+        global _WORKER_CONTEXT
+        workers = self._effective_workers(len(keys))
+        context = multiprocessing.get_context("fork")
+        # Keep pool-dispatch overhead low without starving workers at the
+        # tail of the grid.
+        chunksize = max(1, len(keys) // (workers * 4))
+        _WORKER_CONTEXT = (self, rng)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                # Executor.map preserves input order, so metrics come back
+                # in grid order no matter which worker ran which shard.
+                return list(pool.map(_pool_run, keys, chunksize=chunksize))
+        finally:
+            _WORKER_CONTEXT = None

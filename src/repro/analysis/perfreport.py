@@ -1,0 +1,262 @@
+"""Perf observability: timing records and the PR-over-PR BENCH file.
+
+Every performance claim in this repository flows through one artifact:
+``BENCH_PR1.json`` at the repo root, written by ``stp-repro bench`` and by
+the benchmark harness (``benchmarks/conftest.py``).  Tracking the file PR
+over PR turns "we made it faster" into a diffable trajectory.
+
+Schema (``repro-perf/1``)::
+
+    {
+      "schema": "repro-perf/1",
+      "label": "bench",
+      "python": "3.11.7",
+      "platform": "linux",
+      "cpu_count": 8,
+      "records": [
+        {
+          "name": "experiment:T2",
+          "wall_seconds": 1.83,
+          "runs": 40,                  # optional: simulation runs timed
+          "states": 5244,              # optional: explorer states discovered
+          "states_per_second": 34000.0,# optional: explorer throughput
+          "extra": {...}               # free-form details (speedups, grid
+        }                              # shapes, worker counts, ...)
+      ]
+    }
+
+All numbers are wall-clock; the subject is whole experiments and sweeps,
+not microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+BENCH_SCHEMA = "repro-perf/1"
+BENCH_FILENAME = "BENCH_PR1.json"
+
+
+@dataclass
+class PerfRecord:
+    """One timed unit of work.
+
+    Attributes:
+        name: stable identifier ("experiment:T2", "explore:t2-dup",
+            "campaign:f5-parallel").
+        wall_seconds: elapsed wall time.
+        runs: simulation runs executed under the clock, when meaningful.
+        states: explorer states discovered, when meaningful.
+        states_per_second: explorer expansion throughput, when meaningful.
+        extra: free-form JSON-serializable details.
+    """
+
+    name: str
+    wall_seconds: float
+    runs: Optional[int] = None
+    states: Optional[int] = None
+    states_per_second: Optional[float] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class PerfReport:
+    """An append-only collection of :class:`PerfRecord` with a JSON form."""
+
+    def __init__(self, label: str = "bench") -> None:
+        self.label = label
+        self.records: List[PerfRecord] = []
+
+    def add(
+        self,
+        name: str,
+        wall_seconds: float,
+        runs: Optional[int] = None,
+        states: Optional[int] = None,
+        states_per_second: Optional[float] = None,
+        **extra,
+    ) -> PerfRecord:
+        """Append one record and return it."""
+        record = PerfRecord(
+            name=name,
+            wall_seconds=wall_seconds,
+            runs=runs,
+            states=states,
+            states_per_second=states_per_second,
+            extra=extra,
+        )
+        self.records.append(record)
+        return record
+
+    def measure(self, name: str, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under the wall clock, record it, return its result."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.add(name, time.perf_counter() - start)
+        return result
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serializable form (see module docstring for schema)."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "label": self.label,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpu_count": os.cpu_count(),
+            "records": [asdict(record) for record in self.records],
+        }
+
+    def write(self, path=BENCH_FILENAME) -> Path:
+        """Write the report as pretty-printed JSON; returns the path."""
+        target = Path(path)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target
+
+    def render(self) -> str:
+        """A terminal-friendly summary table of the records."""
+        lines = [f"perf report [{self.label}]"]
+        name_width = max((len(r.name) for r in self.records), default=4)
+        for record in self.records:
+            parts = [f"{record.name:<{name_width}}  {record.wall_seconds:9.3f}s"]
+            if record.runs is not None:
+                parts.append(f"runs={record.runs}")
+            if record.states is not None:
+                parts.append(f"states={record.states}")
+            if record.states_per_second is not None:
+                parts.append(f"states/s={record.states_per_second:,.0f}")
+            for key, value in record.extra.items():
+                parts.append(f"{key}={value}")
+            lines.append("  " + "  ".join(parts))
+        return "\n".join(lines)
+
+
+def build_f5_campaign(length: int = 12, seeds: int = 4, workers: int = 1):
+    """The F5-style throughput workload as a campaign grid.
+
+    The handshake (no-repetition) protocol over ``length`` distinct items
+    -- F5's pipelining baseline input -- swept over every prefix length
+    from 4 to ``length`` under the fair random adversary.  The grid gives
+    a parallel sweep enough independent runs to shard.
+    """
+    from repro.adversaries import AgingFairAdversary, RandomAdversary
+    from repro.analysis.campaign import Campaign
+    from repro.channels import DuplicatingChannel
+    from repro.protocols.norepeat import norepeat_protocol
+
+    domain = tuple(f"d{index}" for index in range(length))
+    sender, receiver = norepeat_protocol(domain)
+    inputs = [domain[:cut] for cut in range(4, length + 1)]
+    return Campaign(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=DuplicatingChannel,
+        inputs=inputs,
+        adversary_factory=lambda rng: AgingFairAdversary(
+            RandomAdversary(rng, deliver_weight=3.0), patience=64
+        ),
+        seeds=seeds,
+        max_steps=50_000,
+        workers=workers,
+    )
+
+
+def measure_campaign_speedup(
+    report: PerfReport,
+    workers: int = 4,
+    length: int = 12,
+    seeds: int = 4,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time the F5 campaign grid serially and with ``workers`` processes.
+
+    Both outcomes must be identical (the parallel engine's determinism
+    contract); records ``campaign:f5-serial`` and ``campaign:f5-parallel``
+    and returns the comparison dict stored in the parallel record.
+    """
+    from dataclasses import replace
+
+    from repro.kernel.rng import DeterministicRNG
+
+    campaign = build_f5_campaign(length=length, seeds=seeds, workers=1)
+    start = time.perf_counter()
+    serial = campaign.run(DeterministicRNG(seed, "bench-f5"))
+    serial_seconds = time.perf_counter() - start
+
+    parallel_campaign = replace(campaign, workers=workers)
+    start = time.perf_counter()
+    parallel = parallel_campaign.run(DeterministicRNG(seed, "bench-f5"))
+    parallel_seconds = time.perf_counter() - start
+
+    comparison = {
+        "workers": workers,
+        "speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+        ),
+        "outcomes_identical": parallel.metrics == serial.metrics,
+        "grid": f"{length - 3}x{seeds}",
+    }
+    report.add(
+        "campaign:f5-serial", serial_seconds, runs=serial.summary.runs
+    )
+    report.add(
+        "campaign:f5-parallel",
+        parallel_seconds,
+        runs=parallel.summary.runs,
+        **comparison,
+    )
+    return comparison
+
+
+def measure_explorer(report: PerfReport) -> None:
+    """Record exhaustive-exploration throughput on the T2 dup system."""
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import explore
+
+    sender, receiver = norepeat_protocol("abc")
+    system = System(
+        sender,
+        receiver,
+        DuplicatingChannel(),
+        DuplicatingChannel(),
+        ("a", "b", "c"),
+    )
+    exploration = explore(system, store_parents=False)
+    report.add(
+        "explore:t2-dup-abc",
+        exploration.elapsed_seconds,
+        states=exploration.states,
+        states_per_second=exploration.states_per_second,
+        peak_frontier=exploration.peak_frontier,
+    )
+
+
+def run_default_bench(
+    experiment_ids: Tuple[str, ...] = ("T1", "T2", "F1", "F5"),
+    seed: int = 0,
+    quick: bool = True,
+    workers: int = 4,
+) -> PerfReport:
+    """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep."""
+    from repro.experiments import run_experiment
+
+    report = PerfReport(label="stp-repro bench")
+    for experiment_id in experiment_ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, seed=seed, quick=quick)
+        report.add(
+            f"experiment:{experiment_id}",
+            time.perf_counter() - start,
+            runs=len(result.rows),
+            checks_passed=result.all_checks_pass,
+        )
+    measure_explorer(report)
+    measure_campaign_speedup(report, workers=workers)
+    return report

@@ -14,7 +14,10 @@ Subcommands:
   candidate protocol on an overfull family and print the witness;
 * ``trap`` -- exhaustively search a protocol/channel combination for
   liveness traps (states from which completion is unreachable);
-* ``report`` -- regenerate EXPERIMENTS.md.
+* ``report`` -- regenerate EXPERIMENTS.md;
+* ``bench`` -- time experiments, exhaustive exploration, and the
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR1.json``
+  perf artifact tracked PR over PR.
 """
 
 from __future__ import annotations
@@ -45,7 +48,12 @@ def _cmd_run(args) -> int:
         ids = sorted(_MODULES)
     failures: List[str] = []
     for experiment_id in ids:
-        result = run_experiment(experiment_id, seed=args.seed, quick=args.quick)
+        result = run_experiment(
+            experiment_id,
+            seed=args.seed,
+            quick=args.quick,
+            workers=args.workers,
+        )
         print(result.rendered)
         if result.notes:
             print(f"notes: {result.notes}")
@@ -194,6 +202,24 @@ def _cmd_report(args) -> int:
     return 0 if generate(args.path, seed=args.seed, quick=args.quick) else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.perfreport import run_default_bench
+
+    experiment_ids = (
+        tuple(i.upper() for i in args.ids) if args.ids else ("T1", "T2", "F1", "F5")
+    )
+    report = run_default_bench(
+        experiment_ids=experiment_ids,
+        seed=args.seed,
+        quick=not args.full,
+        workers=args.workers,
+    )
+    print(report.render())
+    path = report.write(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``stp-repro``."""
     parser = argparse.ArgumentParser(
@@ -213,6 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--quick", action="store_true")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel campaign sweeps (identical results)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     alpha_parser = sub.add_parser("alpha", help="evaluate the tight bound")
@@ -265,6 +297,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--quick", action="store_true")
     report_parser.set_defaults(func=_cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench", help="time the perf suite and write BENCH_PR1.json"
+    )
+    bench_parser.add_argument(
+        "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
+    )
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--full", action="store_true", help="full (non-quick) experiment runs"
+    )
+    bench_parser.add_argument("--workers", type=int, default=4)
+    bench_parser.add_argument(
+        "--out", default="BENCH_PR1.json", help="output path for the perf JSON"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -20,11 +20,19 @@ enumeration for cross-checking (experiment T1).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Sequence
 
 from repro.kernel.errors import VerificationError
 
+# The alpha family is pure integer combinatorics evaluated over and over
+# by the experiments (every campaign/family size check calls alpha for
+# the same handful of m values), so each entry point is memoized.  The
+# caches are unbounded in principle but bounded in practice: callers pass
+# small m (state spaces at m = 20 are already astronomically beyond any
+# exploration budget).
 
+@lru_cache(maxsize=None)
 def alpha(m: int) -> int:
     """``alpha(m) = sum_{k=0}^m m!/k!`` in exact integer arithmetic.
 
@@ -37,6 +45,7 @@ def alpha(m: int) -> int:
     return sum(factorial_m // math.factorial(k) for k in range(m + 1))
 
 
+@lru_cache(maxsize=None)
 def alpha_recurrence(m: int) -> int:
     """``alpha`` via the recurrence ``a(0) = 1, a(m) = m*a(m-1) + 1``.
 
@@ -52,6 +61,7 @@ def alpha_recurrence(m: int) -> int:
     return value
 
 
+@lru_cache(maxsize=None)
 def alpha_floor_e_factorial(m: int) -> int:
     """``floor(e * m!)``, which equals ``alpha(m)`` for every ``m >= 1``.
 
@@ -90,10 +100,19 @@ def max_family_size(alphabet_size: int) -> int:
 
 
 def alpha_series(max_m: int) -> Sequence[int]:
-    """``[alpha(0), ..., alpha(max_m)]`` computed via the recurrence."""
+    """``[alpha(0), ..., alpha(max_m)]`` computed via the recurrence.
+
+    Returns a fresh list per call (callers may mutate it); the underlying
+    series is memoized as an immutable tuple.
+    """
+    return list(_alpha_series_cached(max_m))
+
+
+@lru_cache(maxsize=None)
+def _alpha_series_cached(max_m: int) -> Sequence[int]:
     if max_m < 0:
         raise VerificationError(f"max_m must be >= 0, got {max_m}")
     values = [1]
     for k in range(1, max_m + 1):
         values.append(k * values[-1] + 1)
-    return values
+    return tuple(values)

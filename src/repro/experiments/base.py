@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -77,13 +78,23 @@ def registry() -> Dict[str, Callable[..., ExperimentResult]]:
 
 
 def run_experiment(
-    experiment_id: str, seed: int = 0, quick: bool = False
+    experiment_id: str, seed: int = 0, quick: bool = False, workers: int = 1
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``workers`` requests process-parallel campaign sweeps; it is forwarded
+    to experiments whose entry point accepts it (results are identical at
+    any worker count -- see :mod:`repro.analysis.campaign`) and silently
+    ignored by purely combinatorial experiments that have no sweep to
+    shard.
+    """
     module_name = _MODULES.get(experiment_id.upper())
     if module_name is None:
         raise VerificationError(
             f"unknown experiment {experiment_id!r}; known: {sorted(_MODULES)}"
         )
     module = importlib.import_module(module_name)
-    return module.run(seed=seed, quick=quick)
+    kwargs = {"seed": seed, "quick": quick}
+    if workers != 1 and "workers" in inspect.signature(module.run).parameters:
+        kwargs["workers"] = workers
+    return module.run(**kwargs)

@@ -27,13 +27,13 @@ from repro.adversaries import (
     RandomAdversary,
     ReplayFloodAdversary,
 )
-from repro.analysis.metrics import measure_run, summarize
+from repro.analysis.campaign import Campaign
+from repro.analysis.metrics import summarize
 from repro.analysis.tables import render_table
 from repro.channels import DuplicatingChannel
 from repro.core.alpha import alpha
 from repro.experiments.base import ExperimentResult
 from repro.kernel.rng import DeterministicRNG
-from repro.kernel.simulator import Simulator
 from repro.kernel.system import System
 from repro.protocols import norepeat_protocol
 from repro.verify import explore, find_attack_on_family
@@ -42,23 +42,28 @@ from repro.workloads import repetition_free_family
 LETTERS = "abcdefgh"
 
 
-def _adversaries(rng: DeterministicRNG, label: str):
-    yield "eager", EagerAdversary()
-    yield "replay-flood", AgingFairAdversary(
-        ReplayFloodAdversary(rng.fork(f"{label}/flood"), flood_factor=4),
+def _adversary_factories():
+    """Named per-run adversary builders (fresh adversary per forked stream)."""
+    yield "eager", lambda stream: EagerAdversary()
+    yield "replay-flood", lambda stream: AgingFairAdversary(
+        ReplayFloodAdversary(stream.fork("flood"), flood_factor=4),
         patience=48,
     )
-    yield "quiescent-burst", AgingFairAdversary(
-        QuiescentBurstAdversary(rng.fork(f"{label}/quiet"), 8, 8), patience=64
+    yield "quiescent-burst", lambda stream: AgingFairAdversary(
+        QuiescentBurstAdversary(stream.fork("quiet"), 8, 8), patience=64
     )
-    yield "random", AgingFairAdversary(
-        RandomAdversary(rng.fork(f"{label}/random"), deliver_weight=3.0),
+    yield "random", lambda stream: AgingFairAdversary(
+        RandomAdversary(stream.fork("random"), deliver_weight=3.0),
         patience=64,
     )
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Build Table 2."""
+def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResult:
+    """Build Table 2.
+
+    ``workers`` shards the randomized campaigns over processes; the table
+    is identical at any worker count.
+    """
     rng = DeterministicRNG(seed, "t2")
     sizes = (1, 2) if quick else (1, 2, 3, 4)
     seeds = 1 if quick else 2
@@ -85,18 +90,18 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         sender, receiver = norepeat_protocol(domain)
 
         metrics = []
-        for input_sequence in family:
-            for adversary_name, adversary in _adversaries(rng, f"m{m}"):
-                for s in range(seeds):
-                    system = System(
-                        sender,
-                        receiver,
-                        DuplicatingChannel(),
-                        DuplicatingChannel(),
-                        input_sequence,
-                    )
-                    result = Simulator(system, adversary, max_steps=20_000).run()
-                    metrics.append(measure_run(result))
+        for adversary_name, adversary_factory in _adversary_factories():
+            outcome = Campaign(
+                sender=sender,
+                receiver=receiver,
+                channel_factory=DuplicatingChannel,
+                inputs=family,
+                adversary_factory=adversary_factory,
+                seeds=seeds,
+                max_steps=20_000,
+                workers=workers,
+            ).run(rng.fork(f"m{m}/{adversary_name}"))
+            metrics.extend(outcome.metrics)
         summary = summarize(metrics)
 
         explored_states: object = None

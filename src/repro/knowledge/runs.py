@@ -38,11 +38,44 @@ def indistinguishable(process: str, first: Point, second: Point) -> bool:
     return first.view(process) == second.view(process)
 
 
+def _views_by_time(trace: Trace) -> Tuple[List[View], List[View]]:
+    """``(sender_views, receiver_views)`` for every time in one pass.
+
+    Equivalent to ``[view_of(p, trace, t) for t in range(len(trace)+1)]``
+    (see :mod:`repro.knowledge.history` for the observation grammar) but
+    computed by extending the running observation lists step by step
+    rather than re-scanning the trace prefix per time.
+    """
+    sender: List = [("init", trace.input_sequence)]
+    receiver: List = [("init",)]
+    sender_views: List[View] = [tuple(sender)]
+    receiver_views: List[View] = [tuple(receiver)]
+    for step in trace.steps:
+        event = step.event
+        if event == ("step", "S"):
+            sender.append(("step",))
+        elif event == ("step", "R"):
+            receiver.append(("step",))
+        elif event[0] == "deliver":
+            if event[1] == "SR":
+                receiver.append(("recv", event[2]))
+            elif event[1] == "RS":
+                sender.append(("recv", event[2]))
+        sender_views.append(tuple(sender))
+        receiver_views.append(tuple(receiver))
+    return sender_views, receiver_views
+
+
 class Ensemble:
     """A finite set of runs with all their points, indexed by view.
 
     The index makes ``K_p`` evaluation linear: all points sharing a view
-    are grouped once, up front.
+    are grouped once, up front.  Views are computed *incrementally* while
+    indexing -- one pass over each trace's steps, extending the previous
+    time's observation list -- instead of replaying the trace prefix per
+    point (which costs O(steps^2) trace scans per run).  The computed
+    views are retained, so indistinguishability queries about ensemble
+    points are pure dictionary lookups with no view reconstruction.
     """
 
     def __init__(self, traces: Iterable[Trace]) -> None:
@@ -50,12 +83,19 @@ class Ensemble:
         if not self.traces:
             raise VerificationError("an ensemble must contain at least one run")
         self._by_view: Dict[Tuple[str, View], List[Point]] = {}
+        # (process, id(trace), time) -> view; traces are kept alive by
+        # self.traces, so identity keys are stable for the ensemble's life.
+        self._views: Dict[Tuple[str, int, int], View] = {}
         for trace in self.traces:
+            sender_views, receiver_views = _views_by_time(trace)
             for time in range(len(trace) + 1):
                 point = Point(trace, time)
-                for process in ("S", "R"):
-                    key = (process, point.view(process))
-                    self._by_view.setdefault(key, []).append(point)
+                for process, view in (
+                    ("S", sender_views[time]),
+                    ("R", receiver_views[time]),
+                ):
+                    self._views[(process, id(trace), time)] = view
+                    self._by_view.setdefault((process, view), []).append(point)
 
     def points(self) -> Iterator[Point]:
         """Every point of every run, run-major order."""
@@ -63,11 +103,18 @@ class Ensemble:
             for time in range(len(trace) + 1):
                 yield Point(trace, time)
 
+    def view_at(self, process: str, point: Point) -> View:
+        """``point``'s view for ``process``, from the precomputed index
+        when the point belongs to the ensemble (O(1)), recomputed from
+        the trace otherwise."""
+        cached = self._views.get((process, id(point.trace), point.time))
+        return cached if cached is not None else point.view(process)
+
     def points_indistinguishable_from(self, process: str, point: Point) -> List[Point]:
         """All ensemble points that ``process`` cannot tell apart from
         ``point`` (including points of the same run, and the point itself
         when it belongs to the ensemble)."""
-        key = (process, point.view(process))
+        key = (process, self.view_at(process, point))
         return list(self._by_view.get(key, [])) or [point]
 
     def input_sequences(self) -> Tuple[Tuple, ...]:

@@ -12,15 +12,27 @@ configurations yields:
   condition for Liveness);
 * the exact reachable-state count (reported by experiment T2's exhaustive
   columns).
+
+The search is *compact*: visited configurations are interned to dense
+integer ids keyed by collapse-compressed byte keys
+(:mod:`repro.verify.intern`), so the visited structure holds one 20-byte
+key per state and never retains
+:class:`~repro.kernel.system.Configuration` objects (only the current and
+next BFS layers are materialized).  With ``store_parents=False`` even the
+parent links are dropped; if a violation then surfaces, the search is
+re-run once with parents enabled -- BFS is deterministic, so the re-run
+reconstructs the same shortest violation path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.kernel.errors import VerificationError
 from repro.kernel.system import Configuration, Event, System
+from repro.verify.intern import ConfigurationInterner
 
 
 @dataclass(frozen=True)
@@ -28,14 +40,27 @@ class ExplorationReport:
     """Result of exhaustively exploring one system.
 
     Attributes:
-        states: number of distinct reachable configurations.
-        all_safe: True iff Safety held at every one of them.
+        states: number of distinct reachable configurations discovered.
+        all_safe: True iff Safety held at every *discovered* configuration.
+            When ``truncated`` is also True this means "no violation found
+            within the budget", **not** "the whole space is safe": states
+            beyond the expansion budget were never generated.
         violation_path: shortest event schedule to a violation (None when
             all_safe).
-        completion_reachable: some reachable configuration has the full
+        completion_reachable: some discovered configuration has the full
             output written.
-        truncated: the search hit ``max_states`` before exhausting the
-            space (reported results are then lower bounds / best effort).
+        truncated: the search stopped after expanding ``max_states``
+            configurations while unexpanded frontier states remained.
+            Reported results are then lower bounds / best effort.
+        expanded_states: configurations whose successors were generated.
+            The ``max_states`` budget counts these -- never states that
+            were merely discovered at the cut-off frontier.
+        peak_frontier: the largest BFS layer encountered (the working-set
+            high-water mark: only frontier layers hold Configuration
+            objects).
+        elapsed_seconds: wall time of the search.
+        states_per_second: expansion throughput (0.0 when too fast to
+            time).
     """
 
     states: int
@@ -43,30 +68,44 @@ class ExplorationReport:
     violation_path: Optional[Tuple[Event, ...]]
     completion_reachable: bool
     truncated: bool
+    expanded_states: int = 0
+    peak_frontier: int = 0
+    elapsed_seconds: float = 0.0
+    states_per_second: float = 0.0
 
 
 def explore(
     system: System,
     max_states: int = 1_000_000,
     include_drops: bool = True,
+    store_parents: bool = True,
 ) -> ExplorationReport:
     """Breadth-first search of every reachable global configuration.
 
     Args:
         system: the system under test.
-        max_states: exploration budget; exceeding it sets ``truncated``.
+        max_states: expansion budget.  The search stops -- setting
+            ``truncated`` -- once this many configurations have had their
+            successors generated with work still pending; states discovered
+            but never expanded do not consume budget.
         include_drops: whether the environment's explicit drop moves are
             part of the explored nondeterminism.
+        store_parents: keep parent links (one ``(int, event)`` pair per
+            state) for violation-path reconstruction.  ``False`` is the
+            fast mode: only the interned visited set is kept, and a
+            violation triggers one deterministic re-exploration with
+            parents enabled to recover the shortest path.
     """
     if max_states < 1:
         raise VerificationError("max_states must be positive")
+    start = time.perf_counter()
     initial = system.initial()
-    parents: Dict[Configuration, Optional[Tuple[Configuration, Event]]] = {
-        initial: None
-    }
-    frontier: List[Configuration] = [initial]
+    interner = ConfigurationInterner()
+    interner.intern(initial)
+    parents: Optional[Dict[int, Optional[Tuple[int, Event]]]] = (
+        {0: None} if store_parents else None
+    )
     completion_reachable = system.output_is_complete(initial)
-    truncated = False
 
     if not system.output_is_safe(initial):
         return ExplorationReport(
@@ -75,57 +114,92 @@ def explore(
             violation_path=(),
             completion_reachable=completion_reachable,
             truncated=False,
+            expanded_states=0,
+            peak_frontier=1,
+            elapsed_seconds=time.perf_counter() - start,
+            states_per_second=0.0,
         )
 
-    while frontier:
-        next_frontier: List[Configuration] = []
-        for config in frontier:
+    frontier: List[Tuple[int, Configuration]] = [(0, initial)]
+    expanded = 0
+    peak_frontier = 1
+    truncated = False
+
+    while frontier and not truncated:
+        peak_frontier = max(peak_frontier, len(frontier))
+        next_frontier: List[Tuple[int, Configuration]] = []
+        for config_id, config in frontier:
+            if expanded >= max_states:
+                # Unexpanded states remain in this layer: stop without
+                # charging the budget to successors never generated.
+                truncated = True
+                break
+            expanded += 1
             events = system.enabled_events(config)
             if not include_drops:
                 events = tuple(e for e in events if e[0] != "drop")
             for event in events:
                 successor = system.apply(config, event)
-                if successor in parents:
+                successor_id = interner.intern(successor)
+                if successor_id is None:
                     continue
-                parents[successor] = (config, event)
+                if parents is not None:
+                    parents[successor_id] = (config_id, event)
                 if not system.output_is_safe(successor):
+                    if parents is None:
+                        # Fast mode kept no links; re-explore once with
+                        # parents to reconstruct the shortest path (BFS is
+                        # deterministic, so the same violation is found).
+                        return explore(
+                            system,
+                            max_states=max_states,
+                            include_drops=include_drops,
+                            store_parents=True,
+                        )
+                    elapsed = time.perf_counter() - start
                     return ExplorationReport(
-                        states=len(parents),
+                        states=len(interner),
                         all_safe=False,
-                        violation_path=_path_to(parents, successor),
+                        violation_path=_path_to(parents, successor_id),
                         completion_reachable=completion_reachable,
-                        truncated=truncated,
+                        truncated=False,
+                        expanded_states=expanded,
+                        peak_frontier=peak_frontier,
+                        elapsed_seconds=elapsed,
+                        states_per_second=(
+                            expanded / elapsed if elapsed > 0 else 0.0
+                        ),
                     )
                 if system.output_is_complete(successor):
                     completion_reachable = True
-                if len(parents) >= max_states:
-                    truncated = True
-                    return ExplorationReport(
-                        states=len(parents),
-                        all_safe=True,
-                        violation_path=None,
-                        completion_reachable=completion_reachable,
-                        truncated=True,
-                    )
-                next_frontier.append(successor)
-        frontier = next_frontier
-
+                next_frontier.append((successor_id, successor))
+        # A budget break always leaves at least one unexpanded state (the
+        # one being iterated), so truncated=True is never a false alarm;
+        # exhausting the space on exactly the last expansion falls through
+        # with truncated=False.
+        if not truncated:
+            frontier = next_frontier
+    elapsed = time.perf_counter() - start
     return ExplorationReport(
-        states=len(parents),
+        states=len(interner),
         all_safe=True,
         violation_path=None,
         completion_reachable=completion_reachable,
-        truncated=False,
+        truncated=truncated,
+        expanded_states=expanded,
+        peak_frontier=peak_frontier,
+        elapsed_seconds=elapsed,
+        states_per_second=expanded / elapsed if elapsed > 0 else 0.0,
     )
 
 
 def _path_to(
-    parents: Dict[Configuration, Optional[Tuple[Configuration, Event]]],
-    target: Configuration,
+    parents: Dict[int, Optional[Tuple[int, Event]]],
+    target_id: int,
 ) -> Tuple[Event, ...]:
-    """Reconstruct the event schedule from the initial state to ``target``."""
+    """Reconstruct the event schedule from the initial state to ``target_id``."""
     events: List[Event] = []
-    cursor = target
+    cursor = target_id
     while True:
         link = parents[cursor]
         if link is None:

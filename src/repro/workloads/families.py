@@ -7,6 +7,7 @@ across runs and platforms.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 from repro.kernel.errors import VerificationError
@@ -23,7 +24,17 @@ def repetition_free_family(domain: Sequence) -> Tuple[Tuple, ...]:
     """All repetition-free sequences over ``domain``: the tight family.
 
     ``len(repetition_free_family(D)) == alpha(len(D))``.
+
+    The family grows like ``alpha(m)`` and every experiment regenerates it
+    for the same few domains, so construction is memoized on the domain
+    tuple; the returned value is a deeply immutable tuple-of-tuples and is
+    shared between callers.
     """
+    return _repetition_free_family_cached(tuple(domain))
+
+
+@lru_cache(maxsize=None)
+def _repetition_free_family_cached(domain: Tuple) -> Tuple[Tuple, ...]:
     return _canonical(repetition_free_sequences(domain))
 
 

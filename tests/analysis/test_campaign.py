@@ -79,3 +79,45 @@ class TestValidation:
     def test_inputs_non_empty(self):
         with pytest.raises(VerificationError):
             norepeat_campaign(inputs=[]).run(DeterministicRNG(0))
+
+    def test_workers_positive(self):
+        with pytest.raises(VerificationError):
+            norepeat_campaign(workers=0).run(DeterministicRNG(0))
+
+
+class TestParallelDeterminism:
+    def test_workers_4_reproduces_workers_1_exactly(self):
+        # The determinism regression: identical CampaignSummary and
+        # per-run RunMetrics (same grid order), bit for bit.
+        serial = norepeat_campaign(workers=1).run(DeterministicRNG(11))
+        parallel = norepeat_campaign(workers=4).run(DeterministicRNG(11))
+        assert parallel.summary == serial.summary
+        assert parallel.metrics == serial.metrics
+        assert parallel.failures == serial.failures
+
+    def test_parallel_failure_accounting_matches_serial(self):
+        sender = StreamingSender("ab")
+        receiver = StreamingReceiver("ab")
+
+        def build(workers):
+            return Campaign(
+                sender=sender,
+                receiver=receiver,
+                channel_factory=ReorderingChannel,
+                inputs=[("a", "b"), ("b", "a")],
+                adversary_factory=lambda rng: AgingFairAdversary(
+                    RandomAdversary(rng), patience=16
+                ),
+                seeds=3,
+                max_steps=2_000,
+                workers=workers,
+            )
+
+        serial = build(1).run(DeterministicRNG(3))
+        parallel = build(3).run(DeterministicRNG(3))
+        assert parallel.metrics == serial.metrics
+        assert parallel.failures == serial.failures
+
+    def test_workers_beyond_grid_size_are_harmless(self):
+        outcome = norepeat_campaign(workers=64).run(DeterministicRNG(0))
+        assert outcome.summary.runs == len(repetition_free_family("ab")) * 2

@@ -100,3 +100,36 @@ class TestPerLength:
 class TestMaxFamilySize:
     def test_alias_of_alpha(self):
         assert max_family_size(4) == alpha(4) == 65
+
+
+class TestMemoization:
+    @pytest.mark.parametrize("m", range(0, 11))
+    def test_cached_matches_uncached(self, m):
+        # __wrapped__ bypasses the lru_cache: the memo must be a pure
+        # speedup, never a semantic change.
+        assert alpha(m) == alpha.__wrapped__(m)
+        assert alpha_recurrence(m) == alpha_recurrence.__wrapped__(m)
+        if m >= 1:
+            assert alpha_floor_e_factorial(m) == alpha_floor_e_factorial.__wrapped__(m)
+
+    def test_series_cached_matches_uncached(self):
+        from repro.core.alpha import _alpha_series_cached
+
+        for m in range(11):
+            assert alpha_series(m) == list(_alpha_series_cached.__wrapped__(m))
+
+    def test_series_returns_fresh_list(self):
+        first = alpha_series(5)
+        first.append(-1)
+        assert alpha_series(5) == [alpha(m) for m in range(6)]
+
+    def test_errors_still_raised_when_cached(self):
+        for _ in range(2):
+            with pytest.raises(VerificationError):
+                alpha(-3)
+
+    def test_family_construction_is_shared(self):
+        from repro.workloads import repetition_free_family
+
+        assert repetition_free_family("abc") is repetition_free_family(("a", "b", "c"))
+        assert len(repetition_free_family("abc")) == alpha(3)
