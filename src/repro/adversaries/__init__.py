@@ -18,8 +18,11 @@ drop).  Different adversaries realize different corners of that power:
   probability on channels that support drops.
 * :class:`ScriptedAdversary` -- replays an exact schedule (used to re-run
   attack witnesses found by :mod:`repro.verify.attack`).
-* :class:`FaultInjectingAdversary` -- wraps another adversary and injects
-  a drop burst at a chosen time (the Section 5 single-fault experiment).
+* :class:`FaultPlanAdversary` -- wraps another adversary and executes a
+  composable :class:`FaultPlan` of typed fault events (burst drops,
+  outages, duplication storms, reorder windows, crash--restart specs).
+* :class:`FaultInjectingAdversary` -- the historical single
+  drop-and-outage fault (the Section 5 experiment), now a one-event plan.
 * :class:`AgingFairAdversary` -- wraps another adversary and enforces
   bounded fairness: no deliverable message is ignored forever.
 
@@ -34,7 +37,20 @@ from repro.adversaries.quiescent import QuiescentBurstAdversary
 from repro.adversaries.replay import ReplayFloodAdversary
 from repro.adversaries.dropping import DroppingAdversary
 from repro.adversaries.scripted import ScriptedAdversary
-from repro.adversaries.fault import FaultInjectingAdversary
+from repro.adversaries.fault import (
+    BurstDrop,
+    ChannelOutage,
+    CrashRestart,
+    DuplicationStorm,
+    FaultEvent,
+    FaultInjectingAdversary,
+    FaultPlan,
+    FaultPlanAdversary,
+    FaultRecord,
+    ReorderWindow,
+    fault_event_by_name,
+    register_fault_event,
+)
 from repro.adversaries.fair import AgingFairAdversary
 from repro.adversaries.fairness import (
     undelivered_messages,
@@ -50,7 +66,18 @@ __all__ = [
     "ReplayFloodAdversary",
     "DroppingAdversary",
     "ScriptedAdversary",
+    "BurstDrop",
+    "ChannelOutage",
+    "CrashRestart",
+    "DuplicationStorm",
+    "FaultEvent",
     "FaultInjectingAdversary",
+    "FaultPlan",
+    "FaultPlanAdversary",
+    "FaultRecord",
+    "ReorderWindow",
+    "fault_event_by_name",
+    "register_fault_event",
     "AgingFairAdversary",
     "undelivered_messages",
     "dup_fairness_debt",

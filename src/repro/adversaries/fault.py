@@ -1,28 +1,520 @@
-"""Single-fault injection (the Section 5 recovery experiment).
+"""Composable fault plans (the Section 5 recovery setting, generalized).
 
 Section 5 argues that weak boundedness admits protocols in which *one*
 fault -- one lost message at an unlucky moment -- costs an unbounded number
-of steps to recover from.  :class:`FaultInjectingAdversary` reproduces that
-setting: it behaves like its delegate until a trigger, then (a) discards
-every in-flight copy it is allowed to and (b) holds an *outage window*
-during which only local steps are scheduled (messages sent into the outage
-are dropped too, where the channel allows).  After the window it reverts
-to the delegate so recovery time can be measured.  The outage is what
-makes timeout-based fault detection (the hybrid protocol's trigger) fire,
-matching the paper's "fails to receive a message in time".
+of steps to recover from.  The original :class:`FaultInjectingAdversary`
+reproduced exactly that one drop-and-outage shape; the self-stabilizing
+ARQ literature studies a much richer fault vocabulary (bursts, duplication
+storms, reorder windows, crash--restart).  This module provides it as a
+*pluggable registry* of typed :class:`FaultEvent` specifications composed
+into a :class:`FaultPlan` and executed by :class:`FaultPlanAdversary`,
+which wraps any base adversary.
+
+Every event is triggered either at a step index (``at``) or by a
+``predicate`` over the trace, and is *armed once*: after firing it stays
+inactive for the rest of the run.  Overlapping fault windows are resolved
+deterministically: at each step the earliest event in plan order that
+claims the step wins; the others keep their remaining budgets and take
+over when the winner's window closes.
+
+Channel-level events (drops, outages, storms, reorder windows) act through
+the adversary; process-level events (:class:`CrashRestart`) are carried in
+the same plan but realized by the protocol wrappers in
+:mod:`repro.resilience.crash` -- the adversary skips them.
+
+Plans serialize to JSON (schema ``repro-fault-plan/1``)::
+
+    {
+      "schema": "repro-fault-plan/1",
+      "events": [
+        {"kind": "outage", "at": 9, "length": 12, "directions": ["SR", "RS"]},
+        {"kind": "crash-restart", "at": 6, "process": "R",
+         "downtime": 4, "state_loss": "full"}
+      ]
+    }
+
+Predicate-triggered events are runtime-only and refuse to serialize.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, fields
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple, Type
 
 from repro.adversaries.base import Adversary, split_events
+from repro.kernel.errors import VerificationError
 from repro.kernel.system import Event, System
 from repro.kernel.trace import Trace
 
+FAULT_PLAN_SCHEMA = "repro-fault-plan/1"
 
-class FaultInjectingAdversary(Adversary):
-    """Delegates scheduling, but injects one drop-and-outage fault.
+#: The pluggable registry: fault kind -> event class.  Extend it with
+#: :func:`register_fault_event`; :func:`fault_event_by_name` and
+#: :meth:`FaultPlan.from_dict` look kinds up here.
+FAULT_EVENTS: Dict[str, Type["FaultEvent"]] = {}
+
+
+def register_fault_event(cls: Type["FaultEvent"]) -> Type["FaultEvent"]:
+    """Class decorator adding a :class:`FaultEvent` subclass to the registry."""
+    if not getattr(cls, "kind", None) or cls.kind == "abstract":
+        raise VerificationError(f"fault event {cls.__name__} needs a kind")
+    if cls.kind in FAULT_EVENTS:
+        raise VerificationError(f"fault kind {cls.kind!r} already registered")
+    FAULT_EVENTS[cls.kind] = cls
+    return cls
+
+
+def fault_event_by_name(kind: str, **params) -> "FaultEvent":
+    """Instantiate a registered fault event by its kind string."""
+    cls = FAULT_EVENTS.get(kind)
+    if cls is None:
+        raise VerificationError(
+            f"unknown fault kind {kind!r}; registered: {sorted(FAULT_EVENTS)}"
+        )
+    return cls(**params)
+
+
+class FaultEvent(ABC):
+    """One typed fault in a plan: a trigger plus a window of interference.
+
+    Subclasses are dataclasses declaring their spec fields (``at``,
+    ``length``, ...) and implement :meth:`intercept`.  The base class owns
+    the trigger machinery: an event is *armed* until its trigger first
+    holds (step index ``at`` reached, or ``predicate`` true), then *fired*
+    forever.  ``fired_at`` records the firing step for recovery metrics.
+    """
+
+    #: Registry key; subclasses override.
+    kind: ClassVar[str] = "abstract"
+    #: "channel" events act through the adversary; "process" events are
+    #: realized by protocol wrappers and skipped by the adversary.
+    scope: ClassVar[str] = "channel"
+
+    def reset(self) -> None:
+        """Re-arm for a fresh run."""
+        self._armed = True
+        self.fired_at: Optional[int] = None
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        """Subclass hook: clear per-run window bookkeeping."""
+
+    def should_fire(self, trace: Trace) -> bool:
+        """The trigger condition, evaluated while armed."""
+        predicate = getattr(self, "predicate", None)
+        if predicate is not None:
+            return bool(predicate(trace))
+        return len(trace) >= self.at
+
+    def maybe_fire(self, trace: Trace) -> bool:
+        """Fire (once) if armed and triggered; True on the firing step."""
+        if getattr(self, "_armed", True) and self.should_fire(trace):
+            self._armed = False
+            self.fired_at = len(trace)
+            return True
+        return False
+
+    @property
+    def fired(self) -> bool:
+        """True once the trigger has held at some step of this run."""
+        return getattr(self, "fired_at", None) is not None
+
+    @abstractmethod
+    def intercept(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        """Claim this step by returning an event, or ``None`` to pass.
+
+        Called only after the event has fired; returning ``None`` forever
+        is how an event signals its window is over.
+        """
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON form of this event's specification."""
+        if getattr(self, "predicate", None) is not None:
+            raise VerificationError(
+                f"fault event {self.kind!r} has a predicate trigger and "
+                "cannot serialize; use an `at` trigger for stored plans"
+            )
+        spec: Dict[str, object] = {"kind": self.kind}
+        for spec_field in fields(self):
+            if spec_field.name == "predicate":
+                continue
+            value = getattr(self, spec_field.name)
+            spec[spec_field.name] = list(value) if isinstance(value, tuple) else value
+        return spec
+
+
+def _round_robin_step(trace: Trace, enabled: Tuple[Event, ...]) -> Event:
+    """The deterministic local step scheduled inside blackout windows."""
+    steps, _, _ = split_events(enabled)
+    return steps[len(trace) % len(steps)]
+
+
+@register_fault_event
+@dataclass
+class BurstDrop(FaultEvent):
+    """Discard up to ``count`` in-flight copies, starting at the trigger.
+
+    With ``count=None`` every droppable copy present at (or sent right
+    after) the trigger is flushed; the event then goes quiet.  Unlike
+    :class:`ChannelOutage` it blocks nothing: deliveries resume as soon as
+    the burst is exhausted.
+    """
+
+    kind: ClassVar[str] = "burst-drop"
+
+    at: int = 0
+    count: Optional[int] = None
+    directions: Tuple[str, ...] = ("SR", "RS")
+    predicate: Optional[Callable[[Trace], bool]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.count is not None and self.count < 1:
+            raise ValueError("count must be positive when given")
+        self.reset()
+
+    def on_reset(self) -> None:
+        self._dropped = 0
+        self._exhausted = False
+
+    def intercept(self, system, trace, enabled):
+        if self._exhausted:
+            return None
+        if self.count is not None and self._dropped >= self.count:
+            return None
+        _, _, drops = split_events(enabled)
+        drops = tuple(d for d in drops if d[1] in self.directions)
+        if not drops:
+            # An unbounded burst ends the first time nothing is droppable;
+            # without this it would silently black-hole the channel forever.
+            if self.count is None:
+                self._exhausted = True
+            return None
+        self._dropped += 1
+        return drops[0]
+
+
+@register_fault_event
+@dataclass
+class ChannelOutage(FaultEvent):
+    """A blackout window: no deliveries for ``length`` choices.
+
+    This is the original Section 5 drop-and-outage fault.  On firing, all
+    in-flight copies on the covered ``directions`` are flushed (where the
+    channel exposes drops), and anything sent *into* the window is flushed
+    too; flushing does not consume the window budget.  While the window is
+    open, only local steps are scheduled (deterministic round-robin), which
+    is what makes timeout-based fault detection fire.  Copies still
+    droppable when the window closes are left alone.
+    """
+
+    kind: ClassVar[str] = "outage"
+
+    at: int = 0
+    length: int = 0
+    directions: Tuple[str, ...] = ("SR", "RS")
+    predicate: Optional[Callable[[Trace], bool]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at (fault time) must be non-negative")
+        if self.length < 0:
+            raise ValueError("length (outage) must be non-negative")
+        self.reset()
+
+    def on_reset(self) -> None:
+        self._remaining = self.length
+
+    def intercept(self, system, trace, enabled):
+        _, _, drops = split_events(enabled)
+        drops = tuple(d for d in drops if d[1] in self.directions)
+        if drops and self._remaining > 0:
+            # Flush in-flight copies (and anything sent into the outage)
+            # without consuming the window budget.
+            return drops[0]
+        if self._remaining > 0:
+            self._remaining -= 1
+            return _round_robin_step(trace, enabled)
+        return None
+
+
+@register_fault_event
+@dataclass
+class DuplicationStorm(FaultEvent):
+    """Re-deliver one stale message repeatedly for ``length`` choices.
+
+    On duplicating channels any sent message stays deliverable forever;
+    the storm picks the *oldest* (first in canonical order) deliverable
+    message on ``direction`` and delivers it again and again -- the
+    duplication-storm stress of the self-stabilizing ARQ line.  Steps in
+    the window with nothing deliverable fall back to local steps so the
+    window always makes progress.
+    """
+
+    kind: ClassVar[str] = "dup-storm"
+
+    at: int = 0
+    length: int = 0
+    direction: str = "SR"
+    predicate: Optional[Callable[[Trace], bool]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        self.reset()
+
+    def on_reset(self) -> None:
+        self._remaining = self.length
+
+    def intercept(self, system, trace, enabled):
+        if self._remaining <= 0:
+            return None
+        self._remaining -= 1
+        _, deliveries, _ = split_events(enabled)
+        stale = tuple(d for d in deliveries if d[1] == self.direction)
+        if stale:
+            return stale[0]
+        return _round_robin_step(trace, enabled)
+
+
+@register_fault_event
+@dataclass
+class ReorderWindow(FaultEvent):
+    """Deliver newest-first for ``length`` choices (maximal reordering).
+
+    Within the window the most recently enabled delivery (last in the
+    channel's canonical order) is always chosen, inverting FIFO-ish
+    schedules; with nothing deliverable the window takes local steps.
+    """
+
+    kind: ClassVar[str] = "reorder"
+
+    at: int = 0
+    length: int = 0
+    directions: Tuple[str, ...] = ("SR", "RS")
+    predicate: Optional[Callable[[Trace], bool]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        self.reset()
+
+    def on_reset(self) -> None:
+        self._remaining = self.length
+
+    def intercept(self, system, trace, enabled):
+        if self._remaining <= 0:
+            return None
+        self._remaining -= 1
+        _, deliveries, _ = split_events(enabled)
+        covered = tuple(d for d in deliveries if d[1] in self.directions)
+        if covered:
+            return covered[-1]
+        return _round_robin_step(trace, enabled)
+
+
+@register_fault_event
+@dataclass
+class CrashRestart(FaultEvent):
+    """Crash a process at its ``at``-th transition, with configurable loss.
+
+    A *process-scoped* event: the adversary ignores it, and the crash is
+    realized by wrapping the protocol automata with
+    :func:`repro.resilience.crash.apply_crash_plan`.  The trigger counts
+    the process's own transitions (local steps plus deliveries), which is
+    deterministic under any deterministic adversary.  On the crash
+    transition the process's pending sends and writes are lost; with
+    ``state_loss="full"`` its local state resets to the initial state,
+    with ``"none"`` the state survives (a warm restart).  For the next
+    ``downtime`` transitions the process is down: stimuli are consumed
+    (messages delivered to a crashed process are lost) but ignored.
+    """
+
+    kind: ClassVar[str] = "crash-restart"
+    scope: ClassVar[str] = "process"
+
+    at: int = 1
+    process: str = "S"
+    downtime: int = 0
+    state_loss: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError("at must be >= 1 (the first transition is 1)")
+        if self.process not in ("S", "R"):
+            raise ValueError(f"process must be 'S' or 'R', got {self.process!r}")
+        if self.downtime < 0:
+            raise ValueError("downtime must be non-negative")
+        if self.state_loss not in ("full", "none"):
+            raise ValueError(
+                f"state_loss must be 'full' or 'none', got {self.state_loss!r}"
+            )
+        self.reset()
+
+    def intercept(self, system, trace, enabled):
+        return None  # realized by the crash wrappers, not the adversary
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault firing, as recorded by :class:`FaultPlanAdversary`.
+
+    Attributes:
+        kind: the registered fault kind.
+        fired_at: the step index at which the trigger held.
+        spec: the event's serialized specification (``{}`` for
+            predicate-triggered events, which have no stored form).
+    """
+
+    kind: str
+    fired_at: int
+    spec: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of typed fault events.
+
+    A plan is pure specification: executing it never mutates it.  The
+    adversary copies each event before a run, so one plan may drive many
+    concurrent runs (the campaign engine relies on this).
+
+    >>> plan = FaultPlan.of(ChannelOutage(at=9, length=12))
+    >>> [event.kind for event in plan.events]
+    ['outage']
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultPlan":
+        """Build a plan from events given as positional arguments."""
+        return cls(events=tuple(events))
+
+    def channel_events(self) -> Tuple[FaultEvent, ...]:
+        """The events the adversary executes."""
+        return tuple(e for e in self.events if e.scope == "channel")
+
+    def crash_events(self) -> Tuple["CrashRestart", ...]:
+        """The events the process wrappers execute."""
+        return tuple(e for e in self.events if e.scope == "process")
+
+    def adversary(self, base: Adversary) -> "FaultPlanAdversary":
+        """A fresh adversary executing this plan around ``base``."""
+        return FaultPlanAdversary(base, self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON form (schema ``repro-fault-plan/1``)."""
+        return {
+            "schema": FAULT_PLAN_SCHEMA,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from its JSON form, via the registry."""
+        schema = data.get("schema")
+        if schema != FAULT_PLAN_SCHEMA:
+            raise VerificationError(
+                f"unsupported fault-plan schema {schema!r} "
+                f"(expected {FAULT_PLAN_SCHEMA!r})"
+            )
+        events: List[FaultEvent] = []
+        for spec in data.get("events", ()):
+            params = dict(spec)
+            kind = params.pop("kind", None)
+            for key, value in params.items():
+                if isinstance(value, list):
+                    params[key] = tuple(value)
+            events.append(fault_event_by_name(kind, **params))
+        return cls(events=tuple(events))
+
+
+class FaultPlanAdversary(Adversary):
+    """Delegates scheduling, but injects the faults of a :class:`FaultPlan`.
+
+    At every choice the adversary first lets armed events check their
+    triggers (recording each firing), then offers the step to the fired
+    events in plan order; the first to claim it wins.  When no event
+    claims the step, the base adversary schedules -- with drop events
+    filtered out, so the environment's deletion power stays exclusively in
+    the hands of the plan.
+    """
+
+    def __init__(self, base: Adversary, plan: FaultPlan) -> None:
+        self.base = base
+        self.plan = plan
+        self.records: List[FaultRecord] = []
+        self._events: Tuple[FaultEvent, ...] = ()
+        self.reset()
+
+    def reset(self) -> None:
+        self.base.reset()
+        # Fresh copies: the plan itself is immutable specification, the
+        # copies carry this run's window bookkeeping.
+        self._events = tuple(
+            copy.deepcopy(event) for event in self.plan.channel_events()
+        )
+        for event in self._events:
+            event.reset()
+        self.records = []
+
+    @property
+    def first_fault_time(self) -> Optional[int]:
+        """Earliest firing step of any event this run (None before any)."""
+        fired = [event.fired_at for event in self._events if event.fired]
+        return min(fired) if fired else None
+
+    def _record(self, event: FaultEvent) -> None:
+        try:
+            spec = tuple(sorted(event.to_dict().items(), key=lambda kv: kv[0]))
+        except VerificationError:  # predicate-triggered: no stored form
+            spec = ()
+        self.records.append(
+            FaultRecord(kind=event.kind, fired_at=event.fired_at, spec=spec)
+        )
+
+    def choose(
+        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
+    ) -> Optional[Event]:
+        for event_spec in self._events:
+            if event_spec.maybe_fire(trace):
+                self._record(event_spec)
+        for event_spec in self._events:
+            if not event_spec.fired:
+                continue
+            chosen = event_spec.intercept(system, trace, enabled)
+            if chosen is not None:
+                return chosen
+        productive = tuple(event for event in enabled if event[0] != "drop")
+        return self.base.choose(system, trace, productive)
+
+
+class FaultInjectingAdversary(FaultPlanAdversary):
+    """The single drop-and-outage fault, as a one-event plan.
+
+    Kept as the Section 5 experiment's historical interface: behaves like
+    its delegate until a trigger, then discards every in-flight copy it is
+    allowed to and holds an outage window during which only local steps
+    are scheduled.  Exactly equivalent to a :class:`FaultPlan` holding one
+    :class:`ChannelOutage`.
 
     Args:
         base: the adversary used outside the fault window.
@@ -46,45 +538,19 @@ class FaultInjectingAdversary(Adversary):
             raise ValueError("fault_time must be non-negative")
         if outage_length < 0:
             raise ValueError("outage_length must be non-negative")
-        self.base = base
         self.fault_time = fault_time
         self.outage_length = outage_length
         self.predicate = predicate
-        self._armed = True
-        self._outage_remaining = 0
-        self.fault_fired_at: Optional[int] = None
+        super().__init__(
+            base,
+            FaultPlan.of(
+                ChannelOutage(
+                    at=fault_time, length=outage_length, predicate=predicate
+                )
+            ),
+        )
 
-    def reset(self) -> None:
-        self.base.reset()
-        self._armed = True
-        self._outage_remaining = 0
-        self.fault_fired_at = None
-
-    def _should_fire(self, trace: Trace) -> bool:
-        if not self._armed:
-            return False
-        if self.predicate is not None:
-            return bool(self.predicate(trace))
-        return len(trace) >= self.fault_time
-
-    def choose(
-        self, system: System, trace: Trace, enabled: Tuple[Event, ...]
-    ) -> Optional[Event]:
-        steps, _, drops = split_events(enabled)
-        if self._should_fire(trace):
-            self._armed = False
-            self._outage_remaining = self.outage_length
-            self.fault_fired_at = len(trace)
-        if not self._armed and (self._outage_remaining > 0 or drops):
-            if drops:
-                # Flush in-flight copies first (and anything sent into the
-                # outage), without consuming outage budget.
-                if self._outage_remaining > 0:
-                    return drops[0]
-                # Outage over but copies remain droppable: stop dropping,
-                # fall through to normal scheduling.
-            if self._outage_remaining > 0:
-                self._outage_remaining -= 1
-                return steps[len(trace) % len(steps)]
-        productive = tuple(event for event in enabled if event[0] != "drop")
-        return self.base.choose(system, trace, productive)
+    @property
+    def fault_fired_at(self) -> Optional[int]:
+        """The step at which the fault fired (None until it does)."""
+        return self.first_fault_time

@@ -142,6 +142,21 @@ class Campaign:
             failures=tuple(failures),
         )
 
+    def run_resilient(self, rng: DeterministicRNG, **runner_options):
+        """Execute the sweep under the self-healing supervised runner.
+
+        Same grid, same bit-identical metrics as :meth:`run`, but every
+        run gets its own timeout, crashes and hangs are retried with
+        backoff, failures become structured records, and (with
+        ``checkpoint_path=...``) an interrupted sweep resumes where it
+        left off.  Options are forwarded to
+        :class:`repro.resilience.runner.ResilientRunner`; returns a
+        :class:`repro.resilience.runner.ResilientOutcome`.
+        """
+        from repro.resilience.runner import ResilientRunner
+
+        return ResilientRunner(self, **runner_options).run(rng)
+
     def _single_run(
         self, rng: DeterministicRNG, input_sequence: Tuple, seed: int
     ) -> RunMetrics:

@@ -28,6 +28,13 @@ class RunMetrics:
         messages_per_item: data messages per input item (None for empty
             inputs).
         first_violation_time: earliest unsafe point, if any.
+        step_budget_exhausted: True if the run hit its step limit without
+            stopping for a deliberate reason (see
+            :class:`repro.kernel.simulator.StepBudgetExceeded`).
+        fault_time / time_to_resync / retransmissions / wasted_steps:
+            recovery measurements, present only for runs driven by a
+            fault-injecting adversary (see
+            :class:`repro.kernel.simulator.RecoveryMetrics`).
     """
 
     steps: int
@@ -40,6 +47,11 @@ class RunMetrics:
     drops: int
     messages_per_item: Optional[float]
     first_violation_time: Optional[int]
+    step_budget_exhausted: bool = False
+    fault_time: Optional[int] = None
+    time_to_resync: Optional[int] = None
+    retransmissions: Optional[int] = None
+    wasted_steps: Optional[int] = None
 
 
 def measure_run(result: SimulationResult) -> RunMetrics:
@@ -47,6 +59,7 @@ def measure_run(result: SimulationResult) -> RunMetrics:
     trace = result.trace
     items = len(trace.input_sequence)
     sent = len(trace.messages_sent_to_receiver())
+    recovery = result.recovery
     return RunMetrics(
         steps=result.steps,
         completed=result.completed,
@@ -58,6 +71,11 @@ def measure_run(result: SimulationResult) -> RunMetrics:
         drops=trace.count_events("drop"),
         messages_per_item=(sent / items) if items else None,
         first_violation_time=result.first_violation_time,
+        step_budget_exhausted=result.budget_exceeded is not None,
+        fault_time=recovery.fault_time if recovery else None,
+        time_to_resync=recovery.time_to_resync if recovery else None,
+        retransmissions=recovery.retransmissions if recovery else None,
+        wasted_steps=recovery.wasted_steps if recovery else None,
     )
 
 

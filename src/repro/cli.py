@@ -17,7 +17,11 @@ Subcommands:
 * ``report`` -- regenerate EXPERIMENTS.md;
 * ``bench`` -- time experiments, exhaustive exploration, and the
   serial-vs-parallel campaign sweep, and write the ``BENCH_PR1.json``
-  perf artifact tracked PR over PR.
+  perf artifact tracked PR over PR;
+* ``chaos`` -- run the fault-injection matrix (every protocol family
+  crossed with the fault vocabulary) plus the F8 recovery sweep under the
+  self-healing runner, and write the ``BENCH_PR2.json`` resilience
+  artifact.
 """
 
 from __future__ import annotations
@@ -220,6 +224,29 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience.report import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        quick=not args.full,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint,
+        run_timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(report.render())
+    path = report.write(args.out)
+    print(f"wrote {path}")
+    healthy = all(
+        record.extra.get("abandoned", 0) == 0 for record in report.records
+    )
+    trend = all(
+        record.extra.get("checks_passed", True) for record in report.records
+    )
+    return 0 if (healthy and trend) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``stp-repro``."""
     parser = argparse.ArgumentParser(
@@ -313,6 +340,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_PR1.json", help="output path for the perf JSON"
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the fault-injection suite and write BENCH_PR2.json",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full grids and the long F8 sweep (default is quick)",
+    )
+    chaos_parser.add_argument("--workers", type=int, default=2)
+    chaos_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="directory for per-scenario checkpoint files (enables resume)",
+    )
+    chaos_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-run wall-second budget before the runner kills a worker",
+    )
+    chaos_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-run retries after a crash, hang, or error",
+    )
+    chaos_parser.add_argument(
+        "--out", default="BENCH_PR2.json", help="output path for the JSON"
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

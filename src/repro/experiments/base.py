@@ -60,6 +60,7 @@ _MODULES = {
     "F5": "repro.experiments.f5_throughput",
     "F6": "repro.experiments.f6_hierarchy",
     "F7": "repro.experiments.f7_kbp",
+    "F8": "repro.experiments.f8_recovery",
     "A1": "repro.experiments.a1_decisive",
     "A2": "repro.experiments.a2_encoding",
     "A3": "repro.experiments.a3_probabilistic",

@@ -21,6 +21,88 @@ from repro.kernel.trace import Trace
 
 
 @dataclass(frozen=True)
+class StepBudgetExceeded:
+    """Typed record of a run that exhausted its step budget.
+
+    Replaces the old untyped "ran until max_steps" outcome: a result
+    carrying one of these hit the step limit without stopping for any
+    deliberate reason (completion under ``stop_when_complete``, an
+    adversary yield, or a violation under ``stop_on_violation``).
+
+    Attributes:
+        max_steps: the budget that was exhausted.
+        last_event: the final event scheduled before exhaustion (None for
+            a zero-length trace, which cannot happen with a positive
+            budget).
+        output_written: how many items had been written at exhaustion.
+    """
+
+    max_steps: int
+    last_event: Optional[Event]
+    output_written: int
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """Post-fault recovery measurements of one run (the Section 5 lens).
+
+    Attached to :class:`SimulationResult` whenever the scheduling
+    adversary exposes a ``first_fault_time`` (the fault-plan adversaries
+    of :mod:`repro.adversaries.fault` do).
+
+    Attributes:
+        fault_time: the step at which the first fault fired.
+        resynced: True if some item was written after the fault.
+        time_to_resync: steps from the fault to the first post-fault
+            write (None if the run never resynchronized).
+        retransmissions: post-fault sender messages that repeat an
+            earlier send -- the protocol's repair traffic.
+        wasted_steps: post-fault steps that produced no new output item
+            (the whole post-fault suffix when the run never resynced).
+    """
+
+    fault_time: int
+    resynced: bool
+    time_to_resync: Optional[int]
+    retransmissions: int
+    wasted_steps: int
+
+
+def measure_recovery(
+    trace: Trace, fault_time: Optional[int], total_steps: int
+) -> Optional[RecoveryMetrics]:
+    """Derive :class:`RecoveryMetrics` from a finished trace.
+
+    Returns None when no fault fired.  ``total_steps`` is the run length
+    (``len(trace)``); passed explicitly so callers can measure prefixes.
+    """
+    if fault_time is None:
+        return None
+    resync_time = next(
+        (t for t in trace.write_times() if t > fault_time), None
+    )
+    seen = set()
+    retransmissions = 0
+    for position, message in trace.messages_sent_to_receiver():
+        if position >= fault_time and message in seen:
+            retransmissions += 1
+        seen.add(message)
+    if resync_time is not None:
+        wasted = max(resync_time - fault_time - 1, 0)
+    else:
+        wasted = max(total_steps - fault_time, 0)
+    return RecoveryMetrics(
+        fault_time=fault_time,
+        resynced=resync_time is not None,
+        time_to_resync=(
+            resync_time - fault_time if resync_time is not None else None
+        ),
+        retransmissions=retransmissions,
+        wasted_steps=wasted,
+    )
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """The outcome of one simulated run.
 
@@ -33,6 +115,10 @@ class SimulationResult:
             completion or the step limit.
         first_violation_time: the earliest point at which Safety failed,
             or None if it never did.
+        budget_exceeded: typed record of step-budget exhaustion, or None
+            when the run stopped for any deliberate reason.
+        recovery: post-fault :class:`RecoveryMetrics` when the adversary
+            injected faults, else None.
     """
 
     trace: Trace
@@ -41,6 +127,8 @@ class SimulationResult:
     steps: int
     stopped_by_adversary: bool
     first_violation_time: Optional[int]
+    budget_exceeded: Optional[StepBudgetExceeded] = None
+    recovery: Optional[RecoveryMetrics] = None
 
 
 class Simulator:
@@ -100,20 +188,46 @@ class Simulator:
                 break
             if event not in enabled:
                 raise SimulationError(
-                    f"adversary chose disabled event {event!r}; "
-                    f"enabled: {enabled!r}"
+                    f"adversary chose disabled event {event!r} at step "
+                    f"{len(trace)}; enabled: {enabled!r}"
                 )
-            config = trace.extend(event)
+            try:
+                config = trace.extend(event)
+            except SimulationError as error:
+                raise SimulationError(
+                    f"applying event {event!r} at step {len(trace)} "
+                    f"failed: {error}"
+                ) from error
             if first_violation is None and not self.system.output_is_safe(config):
                 first_violation = len(trace)
 
+        completed = self.system.output_is_complete(trace.last)
+        budget: Optional[StepBudgetExceeded] = None
+        if (
+            len(trace) >= self.max_steps
+            and not stopped_by_adversary
+            and not (self.stop_when_complete and completed)
+            and not (first_violation is not None and self.stop_on_violation)
+        ):
+            budget = StepBudgetExceeded(
+                max_steps=self.max_steps,
+                last_event=trace.steps[-1].event if trace.steps else None,
+                output_written=len(trace.last.output),
+            )
+        recovery = measure_recovery(
+            trace,
+            getattr(self.adversary, "first_fault_time", None),
+            len(trace),
+        )
         return SimulationResult(
             trace=trace,
-            completed=self.system.output_is_complete(trace.last),
+            completed=completed,
             safe=first_violation is None,
             steps=len(trace),
             stopped_by_adversary=stopped_by_adversary,
             first_violation_time=first_violation,
+            budget_exceeded=budget,
+            recovery=recovery,
         )
 
 

@@ -1,0 +1,81 @@
+"""Resilience: composable fault plans, crash--restart, self-healing sweeps.
+
+This package is the robustness face of the reproduction, motivated by
+Section 5 of the paper (one unlucky fault can cost a weakly-bounded
+protocol unboundedly many recovery steps) and by the richer fault
+vocabulary of the self-stabilizing ARQ literature.  Three pieces:
+
+* **Fault plans** (:mod:`repro.adversaries.fault`, re-exported here):
+  a :class:`FaultPlan` composes typed, registry-backed fault events --
+  burst drops, channel outages, duplication storms, reorder windows,
+  crash--restart -- around any base adversary, and every faulted run
+  carries :class:`~repro.kernel.simulator.RecoveryMetrics`
+  (time-to-resync, retransmissions, wasted steps) on its result.
+* **Crash--restart processes** (:mod:`repro.resilience.crash`): protocol
+  wrappers realizing a plan's crash events inside the pure automata, with
+  configurable state loss.  :func:`run_with_plan` is the one-call harness
+  wiring plan, wrappers, and recovery measurement together.
+* **The self-healing campaign runner** (:mod:`repro.resilience.runner`):
+  per-run timeouts, retry-with-backoff of crashed or hung workers,
+  structured per-run failure records, and JSON checkpoint/resume -- all
+  preserving the campaign engine's bit-identical determinism guarantee.
+
+``stp-repro chaos`` drives the whole layer and writes the
+``BENCH_PR2.json`` resilience report (:mod:`repro.resilience.report`).
+"""
+
+from repro.adversaries.fault import (
+    BurstDrop,
+    ChannelOutage,
+    CrashRestart,
+    DuplicationStorm,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanAdversary,
+    FaultRecord,
+    ReorderWindow,
+    fault_event_by_name,
+    register_fault_event,
+)
+from repro.kernel.simulator import RecoveryMetrics, measure_recovery
+from repro.resilience.crash import (
+    CrashableReceiver,
+    CrashableSender,
+    apply_crash_plan,
+    crash_time_in_trace,
+)
+from repro.resilience.harness import run_with_plan
+from repro.resilience.runner import (
+    CHECKPOINT_SCHEMA,
+    ResilientOutcome,
+    ResilientRunner,
+    RunFailure,
+)
+from repro.resilience.report import BENCH_PR2_FILENAME, run_chaos
+
+__all__ = [
+    "BurstDrop",
+    "ChannelOutage",
+    "CrashRestart",
+    "DuplicationStorm",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanAdversary",
+    "FaultRecord",
+    "ReorderWindow",
+    "fault_event_by_name",
+    "register_fault_event",
+    "RecoveryMetrics",
+    "measure_recovery",
+    "CrashableReceiver",
+    "CrashableSender",
+    "apply_crash_plan",
+    "crash_time_in_trace",
+    "run_with_plan",
+    "CHECKPOINT_SCHEMA",
+    "ResilientOutcome",
+    "ResilientRunner",
+    "RunFailure",
+    "BENCH_PR2_FILENAME",
+    "run_chaos",
+]

@@ -1,0 +1,192 @@
+"""Crash--restart process wrappers.
+
+The kernel's protocols are pure automata, so a crash cannot be "done to"
+a running object -- instead it is *part of the automaton*: wrapping a
+protocol embeds a transition counter in its local state, and the wrapper's
+transition function realizes the :class:`~repro.adversaries.fault.CrashRestart`
+events of a fault plan at the specified transition counts.  Everything
+downstream (simulator, explorer, campaign engine) works unchanged, because
+a wrapped protocol is still a pure automaton over hashable states.
+
+Semantics, per :class:`CrashRestart` spec:
+
+* the crash happens *instead of* the process's ``at``-th transition: the
+  stimulus (a local step or a delivered message) is consumed, pending
+  sends and writes are lost;
+* ``state_loss="full"`` resets the local state to the initial state
+  (total amnesia -- the self-stabilization setting), ``"none"`` keeps it
+  (a warm restart that only loses the in-progress transition);
+* for the following ``downtime`` transitions the process is down:
+  stimuli are consumed but ignored (messages delivered to a crashed
+  process are lost), after which it resumes.
+
+Wrapped states have the shape ``(transition_count, initial, current)``
+where ``initial`` rides along so a full-loss crash can restore it without
+the wrapper holding any per-run state of its own.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.adversaries.fault import CrashRestart, FaultPlan
+from repro.kernel.interfaces import (
+    DataItem,
+    Message,
+    ReceiverProtocol,
+    SenderProtocol,
+    State,
+    Transition,
+)
+
+
+class _CrashSchedule:
+    """The shared crash/downtime arithmetic over a transition counter."""
+
+    def __init__(self, crashes: Tuple[CrashRestart, ...]) -> None:
+        self.crashes = tuple(sorted(crashes, key=lambda c: c.at))
+
+    def disposition(self, count: int) -> Optional[str]:
+        """"crash", "down", or None for the transition numbered ``count``."""
+        for crash in self.crashes:
+            if count == crash.at:
+                return "crash" if crash.state_loss == "full" else "stall"
+            if crash.at < count <= crash.at + crash.downtime:
+                return "down"
+        return None
+
+
+class CrashableSender(SenderProtocol):
+    """A sender that crashes and restarts per a plan's ``S`` crash events."""
+
+    def __init__(
+        self, inner: SenderProtocol, crashes: Tuple[CrashRestart, ...]
+    ) -> None:
+        self.inner = inner
+        self._schedule = _CrashSchedule(crashes)
+
+    @property
+    def message_alphabet(self) -> FrozenSet[Message]:
+        return self.inner.message_alphabet
+
+    def initial_state(self, input_sequence: Tuple[DataItem, ...]) -> State:
+        inner_initial = self.inner.initial_state(input_sequence)
+        return (0, inner_initial, inner_initial)
+
+    def _advance(self, state: State, transition_of) -> Transition:
+        count, initial, current = state
+        count += 1
+        disposition = self._schedule.disposition(count)
+        if disposition == "crash":
+            return Transition(state=(count, initial, initial))
+        if disposition in ("stall", "down"):
+            return Transition(state=(count, initial, current))
+        inner = transition_of(current)
+        return Transition(
+            state=(count, initial, inner.state),
+            sends=inner.sends,
+            writes=inner.writes,
+        )
+
+    def on_step(self, state: State) -> Transition:
+        return self._advance(state, self.inner.on_step)
+
+    def on_message(self, state: State, message: Message) -> Transition:
+        return self._advance(
+            state, lambda current: self.inner.on_message(current, message)
+        )
+
+
+class CrashableReceiver(ReceiverProtocol):
+    """A receiver that crashes and restarts per a plan's ``R`` crash events.
+
+    A full-loss receiver restart is the harshest fault in the vocabulary:
+    the output tape survives (it is environment state) but the receiver's
+    memory of what it wrote does not, so protocols without stabilizing
+    re-synchronization may re-write items and violate Safety.  That is a
+    finding, not a bug -- the chaos reports record it.
+    """
+
+    def __init__(
+        self, inner: ReceiverProtocol, crashes: Tuple[CrashRestart, ...]
+    ) -> None:
+        self.inner = inner
+        self._schedule = _CrashSchedule(crashes)
+
+    @property
+    def message_alphabet(self) -> FrozenSet[Message]:
+        return self.inner.message_alphabet
+
+    def initial_state(self) -> State:
+        inner_initial = self.inner.initial_state()
+        return (0, inner_initial, inner_initial)
+
+    def _advance(self, state: State, transition_of) -> Transition:
+        count, initial, current = state
+        count += 1
+        disposition = self._schedule.disposition(count)
+        if disposition == "crash":
+            return Transition(state=(count, initial, initial))
+        if disposition in ("stall", "down"):
+            return Transition(state=(count, initial, current))
+        inner = transition_of(current)
+        return Transition(
+            state=(count, initial, inner.state),
+            sends=inner.sends,
+            writes=inner.writes,
+        )
+
+    def on_step(self, state: State) -> Transition:
+        return self._advance(state, self.inner.on_step)
+
+    def on_message(self, state: State, message: Message) -> Transition:
+        return self._advance(
+            state, lambda current: self.inner.on_message(current, message)
+        )
+
+
+def apply_crash_plan(
+    plan: FaultPlan, sender: SenderProtocol, receiver: ReceiverProtocol
+) -> Tuple[SenderProtocol, ReceiverProtocol]:
+    """Wrap the automata realizing the plan's crash events, if it has any.
+
+    Protocols without crash events in the plan are returned untouched, so
+    this is safe to call unconditionally on any plan.
+    """
+    sender_crashes = tuple(
+        c for c in plan.crash_events() if c.process == "S"
+    )
+    receiver_crashes = tuple(
+        c for c in plan.crash_events() if c.process == "R"
+    )
+    wrapped_sender = (
+        CrashableSender(sender, sender_crashes) if sender_crashes else sender
+    )
+    wrapped_receiver = (
+        CrashableReceiver(receiver, receiver_crashes)
+        if receiver_crashes
+        else receiver
+    )
+    return wrapped_sender, wrapped_receiver
+
+
+def crash_time_in_trace(trace, process: str, at: int) -> Optional[int]:
+    """The step index at which a process's ``at``-th transition occurred.
+
+    Crash events live inside the automaton, invisible to the adversary's
+    fault records; this recovers their global firing time from a finished
+    trace so recovery metrics can use it.  Returns None if the process
+    took fewer than ``at`` transitions.
+    """
+    own_step = ("step", process)
+    own_delivery = "SR" if process == "R" else "RS"
+    count = 0
+    for position, step in enumerate(trace.steps):
+        event = step.event
+        if event == own_step or (
+            event[0] == "deliver" and event[1] == own_delivery
+        ):
+            count += 1
+            if count == at:
+                return position
+    return None

@@ -1,0 +1,84 @@
+"""One-call execution of a protocol pair under a fault plan.
+
+:func:`run_with_plan` is the resilience layer's equivalent of
+:func:`repro.kernel.simulator.run_protocol`: it applies a plan's crash
+events to the automata, wraps the base adversary in the plan's
+channel-event executor, runs the system, and guarantees the result carries
+:class:`~repro.kernel.simulator.RecoveryMetrics` measured from the
+*earliest* fault of the plan -- including process crashes, whose firing
+times are recovered from the finished trace (they happen inside the
+automaton, invisible to the adversary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.eager import EagerAdversary
+from repro.adversaries.fault import FaultPlan
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol
+from repro.kernel.simulator import (
+    SimulationResult,
+    Simulator,
+    measure_recovery,
+)
+from repro.kernel.system import System
+from repro.resilience.crash import apply_crash_plan, crash_time_in_trace
+
+
+def run_with_plan(
+    sender: SenderProtocol,
+    receiver: ReceiverProtocol,
+    channel_factory,
+    input_sequence: Tuple,
+    plan: FaultPlan,
+    base_adversary: Optional[Adversary] = None,
+    max_steps: int = 50_000,
+) -> SimulationResult:
+    """Run one transmission under ``plan``; result carries recovery metrics.
+
+    Args:
+        sender / receiver: the unwrapped protocol automata.
+        channel_factory: builds one channel model per direction.
+        input_sequence: the input tape.
+        plan: the fault schedule; its crash events wrap the automata, its
+            channel events wrap the adversary.
+        base_adversary: scheduling outside fault windows (default: the
+            benign :class:`EagerAdversary`).
+        max_steps: simulator step budget.
+    """
+    wrapped_sender, wrapped_receiver = apply_crash_plan(plan, sender, receiver)
+    adversary = plan.adversary(
+        base_adversary if base_adversary is not None else EagerAdversary()
+    )
+    system = System(
+        wrapped_sender,
+        wrapped_receiver,
+        channel_factory(),
+        channel_factory(),
+        tuple(input_sequence),
+    )
+    result = Simulator(system, adversary, max_steps=max_steps).run()
+    crash_specs = plan.crash_events()
+    if crash_specs:
+        # Crashes fire inside the automata; fold their firing times into
+        # the recovery measurement alongside the adversary's records.
+        candidates = [
+            crash_time_in_trace(result.trace, crash.process, crash.at)
+            for crash in crash_specs
+        ]
+        if adversary.first_fault_time is not None:
+            candidates.append(adversary.first_fault_time)
+        fired = [t for t in candidates if t is not None]
+        if fired:
+            earliest = min(fired)
+            if result.recovery is None or result.recovery.fault_time != earliest:
+                result = replace(
+                    result,
+                    recovery=measure_recovery(
+                        result.trace, earliest, result.steps
+                    ),
+                )
+    return result

@@ -1,0 +1,438 @@
+"""The self-healing campaign runner.
+
+:class:`~repro.analysis.campaign.Campaign` is fast but brittle: one worker
+that hangs or dies takes the whole ``ProcessPoolExecutor`` sweep with it,
+and an interrupted sweep loses everything it had computed.
+:class:`ResilientRunner` executes the same grid with the same bit-identical
+determinism guarantee, but supervises every run individually:
+
+* **per-run timeouts** -- each run executes in its own forked process; a
+  run that exceeds ``run_timeout`` wall seconds is terminated;
+* **retry with backoff** -- crashed (non-zero exit, SIGKILL) and timed-out
+  runs are re-queued with exponential backoff, up to ``retries`` retries;
+  because every run is a pure function of ``(campaign, rng, key)``, a
+  retry recomputes exactly the same :class:`RunMetrics`;
+* **structured failure records** -- every failed attempt becomes a
+  :class:`RunFailure` in the outcome instead of a pool-wide exception;
+* **checkpoint/resume** -- completed runs are flushed to a JSON
+  checkpoint (schema ``repro-chaos-checkpoint/1``) after every run; a
+  runner pointed at an existing checkpoint skips the completed keys, so a
+  sweep killed mid-flight (worker SIGKILL, KeyboardInterrupt, power loss)
+  continues where it left off and still produces results bit-identical to
+  an uninterrupted serial run.
+
+Checkpoint file format::
+
+    {
+      "schema": "repro-chaos-checkpoint/1",
+      "fingerprint": "<sha256 of the grid spec and RNG identity>",
+      "completed": {
+        "[[\"a\", \"b\"], 0]": {"steps": 41, "completed": true, ...}
+      }
+    }
+
+Keys are the JSON form of ``[input_sequence, seed]``; values are
+:class:`RunMetrics` fields.  The fingerprint binds a checkpoint to one
+exact grid + RNG identity; resuming with a different campaign is refused
+rather than silently mixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.campaign import Campaign, CampaignOutcome
+from repro.analysis.metrics import RunMetrics, summarize
+from repro.kernel.errors import VerificationError
+from repro.kernel.rng import DeterministicRNG
+
+CHECKPOINT_SCHEMA = "repro-chaos-checkpoint/1"
+
+RunKey = Tuple[Tuple, int]
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One failed attempt at one grid run.
+
+    Attributes:
+        input_sequence / seed: the run's grid key.
+        attempt: 1-based attempt number that failed.
+        kind: "timeout", "crash" (process died without reporting), or
+            "error" (the run raised; message carries the repr).
+        message: human-readable failure detail.
+        elapsed_seconds: wall time the attempt consumed before failing.
+    """
+
+    input_sequence: Tuple
+    seed: int
+    attempt: int
+    kind: str
+    message: str
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class ResilientOutcome:
+    """Everything a supervised sweep produced.
+
+    Attributes:
+        outcome: the ordinary campaign outcome over all completed runs --
+            bit-identical to ``Campaign.run`` when nothing was abandoned.
+        run_failures: structured records of every failed attempt (empty
+            for a healthy sweep; non-empty does not imply missing data,
+            since retries usually recover).
+        retried_runs: grid runs that needed more than one attempt.
+        resumed_runs: grid runs loaded from the checkpoint instead of
+            executed.
+        abandoned: grid keys that exhausted their retries; their metrics
+            are missing from ``outcome``.
+    """
+
+    outcome: CampaignOutcome
+    run_failures: Tuple[RunFailure, ...]
+    retried_runs: int
+    resumed_runs: int
+    abandoned: Tuple[RunKey, ...]
+
+
+def _key_to_json(key: RunKey) -> str:
+    input_sequence, seed = key
+    return json.dumps([list(input_sequence), seed])
+
+
+def _key_from_json(text: str) -> RunKey:
+    items, seed = json.loads(text)
+    return (tuple(items), seed)
+
+
+def _child_main(conn, campaign: Campaign, rng: DeterministicRNG, key: RunKey):
+    """Run one grid key in a forked child; report through the pipe."""
+    try:
+        metrics = campaign._single_run(rng, key[0], key[1])
+        conn.send(("ok", metrics))
+    except BaseException as error:  # reported, not raised: child exits clean
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping for one in-flight child process."""
+
+    key: RunKey
+    attempt: int
+    process: object
+    conn: object
+    started: float
+
+
+class ResilientRunner:
+    """Supervised execution of a :class:`Campaign` grid.
+
+    Args:
+        campaign: the declarative sweep to execute.
+        run_timeout: wall-second budget per run attempt (enforced only on
+            platforms with the ``fork`` start method, where runs execute
+            in child processes).
+        retries: maximum retries per run after its first failure.
+        backoff: base of the exponential retry delay, in seconds; attempt
+            ``n`` waits ``backoff * 2**(n-1)`` before re-dispatch.
+        checkpoint_path: JSON checkpoint location; None disables
+            checkpointing.
+        workers: concurrent child processes (defaults to the campaign's
+            ``workers`` attribute).
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        run_timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.25,
+        checkpoint_path=None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if run_timeout <= 0:
+            raise VerificationError("run_timeout must be positive")
+        if retries < 0:
+            raise VerificationError("retries must be non-negative")
+        if backoff < 0:
+            raise VerificationError("backoff must be non-negative")
+        self.campaign = campaign
+        self.run_timeout = run_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.workers = max(workers if workers is not None else campaign.workers, 1)
+
+    # -- checkpointing -------------------------------------------------
+
+    def _fingerprint(self, rng: DeterministicRNG, keys: List[RunKey]) -> str:
+        spec = repr(
+            (
+                [list(k[0]) for k in keys],
+                [k[1] for k in keys],
+                self.campaign.max_steps,
+                type(self.campaign.sender).__name__,
+                type(self.campaign.receiver).__name__,
+                rng.seed,
+                rng.path,
+            )
+        )
+        return hashlib.sha256(spec.encode()).hexdigest()
+
+    def _load_checkpoint(self, fingerprint: str) -> Dict[RunKey, RunMetrics]:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return {}
+        data = json.loads(self.checkpoint_path.read_text())
+        if data.get("schema") != CHECKPOINT_SCHEMA:
+            raise VerificationError(
+                f"checkpoint {self.checkpoint_path} has unsupported schema "
+                f"{data.get('schema')!r}"
+            )
+        if data.get("fingerprint") != fingerprint:
+            raise VerificationError(
+                f"checkpoint {self.checkpoint_path} belongs to a different "
+                "campaign grid or RNG; refusing to resume from it"
+            )
+        return {
+            _key_from_json(key_text): RunMetrics(**fields)
+            for key_text, fields in data.get("completed", {}).items()
+        }
+
+    def _flush_checkpoint(
+        self, fingerprint: str, completed: Dict[RunKey, RunMetrics]
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": fingerprint,
+            "completed": {
+                _key_to_json(key): asdict(metrics)
+                for key, metrics in completed.items()
+            },
+        }
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self.checkpoint_path)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, rng: DeterministicRNG) -> ResilientOutcome:
+        """Execute the sweep, healing failures, and aggregate."""
+        if self.campaign.seeds < 1:
+            raise VerificationError("seeds must be >= 1")
+        if not self.campaign.inputs:
+            raise VerificationError("campaign needs at least one input")
+        keys: List[RunKey] = [
+            (tuple(input_sequence), seed)
+            for input_sequence in self.campaign.inputs
+            for seed in range(self.campaign.seeds)
+        ]
+        fingerprint = self._fingerprint(rng, keys)
+        completed = self._load_checkpoint(fingerprint)
+        completed = {k: v for k, v in completed.items() if k in set(keys)}
+        resumed = len(completed)
+
+        failures: List[RunFailure] = []
+        abandoned: List[RunKey] = []
+        retried: set = set()
+
+        pending: List[Tuple[RunKey, int, float]] = [
+            (key, 1, 0.0) for key in keys if key not in completed
+        ]
+        try:
+            if pending:
+                if "fork" in multiprocessing.get_all_start_methods():
+                    self._run_supervised(
+                        rng,
+                        fingerprint,
+                        pending,
+                        completed,
+                        failures,
+                        abandoned,
+                        retried,
+                    )
+                else:  # no fork: in-process, no timeout enforcement
+                    self._run_inline(
+                        rng,
+                        fingerprint,
+                        pending,
+                        completed,
+                        failures,
+                        abandoned,
+                        retried,
+                    )
+        finally:
+            self._flush_checkpoint(fingerprint, completed)
+
+        metrics = [completed[key] for key in keys if key in completed]
+        if not metrics:
+            raise VerificationError(
+                f"every run failed permanently; first failure: "
+                f"{failures[0] if failures else None}"
+            )
+        ordered_keys = [key for key in keys if key in completed]
+        grid_failures = [
+            key
+            for key in ordered_keys
+            if not (completed[key].safe and completed[key].completed)
+        ]
+        outcome = CampaignOutcome(
+            summary=summarize(metrics),
+            metrics=tuple(metrics),
+            failures=tuple(grid_failures),
+        )
+        return ResilientOutcome(
+            outcome=outcome,
+            run_failures=tuple(failures),
+            retried_runs=len(retried),
+            resumed_runs=resumed,
+            abandoned=tuple(abandoned),
+        )
+
+    def _requeue(
+        self,
+        key: RunKey,
+        attempt: int,
+        kind: str,
+        message: str,
+        elapsed: float,
+        pending: List[Tuple[RunKey, int, float]],
+        failures: List[RunFailure],
+        abandoned: List[RunKey],
+        retried: set,
+    ) -> None:
+        failures.append(
+            RunFailure(
+                input_sequence=key[0],
+                seed=key[1],
+                attempt=attempt,
+                kind=kind,
+                message=message,
+                elapsed_seconds=elapsed,
+            )
+        )
+        if attempt > self.retries:
+            abandoned.append(key)
+            return
+        retried.add(key)
+        delay = self.backoff * (2 ** (attempt - 1))
+        pending.append((key, attempt + 1, time.monotonic() + delay))
+
+    def _run_supervised(
+        self, rng, fingerprint, pending, completed, failures, abandoned, retried
+    ) -> None:
+        context = multiprocessing.get_context("fork")
+        active: List[_Attempt] = []
+        try:
+            while pending or active:
+                now = time.monotonic()
+                # Dispatch eligible work into free slots.
+                for index in range(len(pending) - 1, -1, -1):
+                    if len(active) >= self.workers:
+                        break
+                    key, attempt, not_before = pending[index]
+                    if not_before > now:
+                        continue
+                    pending.pop(index)
+                    parent_conn, child_conn = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_child_main,
+                        args=(child_conn, self.campaign, rng, key),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    active.append(
+                        _Attempt(key, attempt, process, parent_conn, now)
+                    )
+                # Reap finished, crashed, and overdue attempts.
+                still_active: List[_Attempt] = []
+                for item in active:
+                    elapsed = time.monotonic() - item.started
+                    if item.conn.poll():
+                        try:
+                            status, payload = item.conn.recv()
+                        except EOFError:
+                            # Pipe closed without a report: the child died
+                            # (os._exit, SIGKILL) mid-run.
+                            item.process.join()
+                            item.conn.close()
+                            self._requeue(
+                                item.key, item.attempt, "crash",
+                                "worker died with exit code "
+                                f"{item.process.exitcode}", elapsed,
+                                pending, failures, abandoned, retried,
+                            )
+                            continue
+                        item.process.join()
+                        item.conn.close()
+                        if status == "ok":
+                            completed[item.key] = payload
+                            self._flush_checkpoint(fingerprint, completed)
+                        else:
+                            self._requeue(
+                                item.key, item.attempt, "error", payload,
+                                elapsed, pending, failures, abandoned, retried,
+                            )
+                    elif elapsed > self.run_timeout:
+                        item.process.terminate()
+                        item.process.join()
+                        item.conn.close()
+                        self._requeue(
+                            item.key, item.attempt, "timeout",
+                            f"run exceeded {self.run_timeout}s", elapsed,
+                            pending, failures, abandoned, retried,
+                        )
+                    elif not item.process.is_alive():
+                        exit_code = item.process.exitcode
+                        item.conn.close()
+                        self._requeue(
+                            item.key, item.attempt, "crash",
+                            f"worker died with exit code {exit_code}", elapsed,
+                            pending, failures, abandoned, retried,
+                        )
+                    else:
+                        still_active.append(item)
+                active = still_active
+                if active or pending:
+                    time.sleep(0.005)
+        except BaseException:
+            for item in active:
+                if item.process.is_alive():
+                    item.process.terminate()
+                item.process.join()
+            raise
+
+    def _run_inline(
+        self, rng, fingerprint, pending, completed, failures, abandoned, retried
+    ) -> None:
+        """Fallback without ``fork``: serial, crashes caught, no timeouts."""
+        while pending:
+            key, attempt, _ = pending.pop(0)
+            start = time.monotonic()
+            try:
+                completed[key] = self.campaign._single_run(rng, key[0], key[1])
+                self._flush_checkpoint(fingerprint, completed)
+            except Exception as error:
+                self._requeue(
+                    key, attempt, "error", f"{type(error).__name__}: {error}",
+                    time.monotonic() - start,
+                    pending, failures, abandoned, retried,
+                )

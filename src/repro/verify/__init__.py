@@ -16,7 +16,11 @@
 from repro.verify.safety import check_safety, SafetyVerdict
 from repro.verify.liveness import check_liveness, LivenessVerdict
 from repro.verify.explorer import explore, ExplorationReport
-from repro.verify.deadlock import find_liveness_trap, DeadlockReport
+from repro.verify.deadlock import (
+    assert_outage_recoverable,
+    find_liveness_trap,
+    DeadlockReport,
+)
 from repro.verify.certify import certify_protocol, CertificationReport
 from repro.verify.attack import (
     AttackWitness,
@@ -32,6 +36,7 @@ __all__ = [
     "LivenessVerdict",
     "explore",
     "ExplorationReport",
+    "assert_outage_recoverable",
     "find_liveness_trap",
     "DeadlockReport",
     "certify_protocol",

@@ -51,16 +51,22 @@ def find_liveness_trap(
     system: System,
     max_states: int = 500_000,
     include_drops: bool = True,
+    from_config: Optional[Configuration] = None,
 ) -> DeadlockReport:
     """Exhaustively search for configurations that can never complete.
 
     The system's channels must be finite-state (use capped deleting /
     lossy-FIFO channels); exceeding ``max_states`` truncates the search
     and is reported rather than silently trusted.
+
+    ``from_config`` roots the search at an arbitrary reachable
+    configuration instead of the system's initial one -- the hook the
+    resilience layer uses to verify recoverability *from a faulted
+    configuration* (see :func:`assert_outage_recoverable`).
     """
     if max_states < 1:
         raise VerificationError("max_states must be positive")
-    initial = system.initial()
+    initial = from_config if from_config is not None else system.initial()
     parents: Dict[Configuration, Optional[Tuple[Configuration, Event]]] = {
         initial: None
     }
@@ -139,3 +145,54 @@ def find_liveness_trap(
         completing_states=len(completing),
         truncated=truncated,
     )
+
+
+def assert_outage_recoverable(
+    system: System,
+    fault_time: int,
+    outage_length: int,
+    max_states: int = 500_000,
+) -> DeadlockReport:
+    """Prove the Section 5 drop-and-outage fault cannot deadlock ``system``.
+
+    Simulates the fault deterministically (eager scheduling until
+    ``fault_time``, then the flush-and-blackout window of
+    ``outage_length``), takes the configuration at the firing step, and
+    exhaustively verifies that **every** configuration reachable from it
+    -- including dropping the last in-flight copy during the window --
+    can still reach completion.  The system's channels must be
+    finite-state (capped).
+
+    Returns the (trap-free) report; raises :class:`VerificationError` if
+    the fault never fires, the search truncates, or a trap exists.
+    """
+    from repro.adversaries.eager import EagerAdversary
+    from repro.adversaries.fault import FaultInjectingAdversary
+    from repro.kernel.simulator import Simulator
+
+    adversary = FaultInjectingAdversary(
+        EagerAdversary(), fault_time=fault_time, outage_length=outage_length
+    )
+    budget = fault_time + outage_length + 16
+    result = Simulator(system, adversary, max_steps=budget).run()
+    fired = adversary.fault_fired_at
+    if fired is None:
+        raise VerificationError(
+            f"fault at step {fault_time} never fired (run ended after "
+            f"{result.steps} steps); choose a fault_time inside the run"
+        )
+    report = find_liveness_trap(
+        system, max_states=max_states, from_config=result.trace.config_at(fired)
+    )
+    if report.truncated:
+        raise VerificationError(
+            f"outage recoverability search truncated at {report.states} "
+            "states; raise max_states or cap the channels tighter"
+        )
+    if report.trap_found:
+        raise VerificationError(
+            "liveness trap reachable from the faulted configuration "
+            f"(fault at step {fired}, outage {outage_length}): "
+            f"schedule {report.trap_path!r}"
+        )
+    return report

@@ -1,0 +1,227 @@
+"""Tests for composable fault plans: registry, events, overlap, triggers."""
+
+import pytest
+
+from repro.adversaries import (
+    BurstDrop,
+    ChannelOutage,
+    CrashRestart,
+    DuplicationStorm,
+    EagerAdversary,
+    FaultInjectingAdversary,
+    FaultPlan,
+    FaultPlanAdversary,
+    ReorderWindow,
+    fault_event_by_name,
+    register_fault_event,
+)
+from repro.adversaries.fault import FAULT_EVENTS, FaultEvent
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.simulator import Simulator
+from repro.kernel.system import System
+from repro.protocols.norepeat import norepeat_protocol
+from repro.protocols.norepeat_del import bounded_del_protocol
+
+
+def dup_system(input_sequence=("a", "b")):
+    sender, receiver = norepeat_protocol("ab")
+    return System(
+        sender, receiver, DuplicatingChannel(), DuplicatingChannel(), input_sequence
+    )
+
+
+def del_system(input_sequence=("a", "b")):
+    sender, receiver = bounded_del_protocol("ab")
+    return System(
+        sender, receiver, DeletingChannel(), DeletingChannel(), input_sequence
+    )
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        for kind in ("burst-drop", "outage", "dup-storm", "reorder", "crash-restart"):
+            assert kind in FAULT_EVENTS
+
+    def test_instantiate_by_name(self):
+        event = fault_event_by_name("outage", at=3, length=5)
+        assert isinstance(event, ChannelOutage)
+        assert event.at == 3 and event.length == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(VerificationError):
+            fault_event_by_name("cosmic-ray", at=1)
+
+    def test_duplicate_kind_rejected(self):
+        class Clash(ChannelOutage):
+            kind = "outage"
+
+        with pytest.raises(VerificationError):
+            register_fault_event(Clash)
+
+    def test_abstract_kind_rejected(self):
+        class Nameless(FaultEvent):
+            def intercept(self, system, trace, enabled):
+                return None
+
+        with pytest.raises(VerificationError):
+            register_fault_event(Nameless)
+
+
+class TestSerialization:
+    def test_plan_round_trips_through_json_form(self):
+        plan = FaultPlan.of(
+            ChannelOutage(at=9, length=12),
+            BurstDrop(at=4, count=2, directions=("SR",)),
+            CrashRestart(at=6, process="R", downtime=3, state_loss="none"),
+        )
+        data = plan.to_dict()
+        assert data["schema"] == "repro-fault-plan/1"
+        assert FaultPlan.from_dict(data) == plan
+
+    def test_predicate_event_refuses_to_serialize(self):
+        plan = FaultPlan.of(ChannelOutage(predicate=lambda trace: True, length=2))
+        with pytest.raises(VerificationError):
+            plan.to_dict()
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(VerificationError):
+            FaultPlan.from_dict({"schema": "repro-fault-plan/999", "events": []})
+
+
+class TestBurstDrop:
+    def test_bounded_burst_drops_exactly_count(self):
+        plan = FaultPlan.of(BurstDrop(at=3, count=1))
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(del_system(), adversary, max_steps=5000).run()
+        assert result.trace.count_events("drop") == 1
+        assert result.completed and result.safe
+
+    def test_unbounded_burst_goes_quiet_after_flush(self):
+        # count=None flushes what is in flight at the trigger, then must
+        # stop claiming steps -- a permanent black hole would never
+        # complete.
+        plan = FaultPlan.of(BurstDrop(at=3, count=None))
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(del_system(), adversary, max_steps=5000).run()
+        assert result.trace.count_events("drop") >= 1
+        assert result.completed and result.safe
+
+
+class TestDuplicationStorm:
+    def test_storm_redelivers_stale_message(self):
+        plan = FaultPlan.of(DuplicationStorm(at=4, length=6, direction="SR"))
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(dup_system(), adversary, max_steps=5000).run()
+        fired = adversary.first_fault_time
+        assert fired is not None
+        window = [step.event for step in result.trace.steps[fired : fired + 6]]
+        deliveries = [e for e in window if e[0] == "deliver" and e[1] == "SR"]
+        # The storm re-delivers one stale message repeatedly.
+        assert len({e[2] for e in deliveries}) <= 1
+        assert result.completed and result.safe
+
+
+class TestReorderWindow:
+    def test_reorder_stays_safe_on_dup(self):
+        plan = FaultPlan.of(ReorderWindow(at=4, length=6))
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(dup_system(), adversary, max_steps=5000).run()
+        assert adversary.first_fault_time is not None
+        assert result.completed and result.safe
+
+
+class TestOverlappingWindows:
+    def test_overlapping_outages_extend_the_blackout(self):
+        # Two outage windows that overlap: the first claims steps while
+        # open, the second keeps its budget and takes over when the first
+        # closes, so the combined blackout covers both windows.
+        plan = FaultPlan.of(
+            ChannelOutage(at=3, length=4),
+            ChannelOutage(at=5, length=4),
+        )
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(del_system(), adversary, max_steps=5000).run()
+        fired = adversary.first_fault_time
+        assert fired == 3
+        assert [record.kind for record in adversary.records] == [
+            "outage",
+            "outage",
+        ]
+        assert [record.fired_at for record in adversary.records] == [3, 5]
+        window = [step.event for step in result.trace.steps[fired : fired + 8]]
+        assert all(event[0] != "deliver" for event in window)
+        assert result.completed and result.safe
+
+    def test_burst_inside_outage_window(self):
+        # Overlapping different kinds: plan order decides who claims each
+        # step; the run still recovers.
+        plan = FaultPlan.of(
+            BurstDrop(at=3, count=1),
+            ChannelOutage(at=3, length=4),
+        )
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(del_system(), adversary, max_steps=5000).run()
+        assert len(adversary.records) == 2
+        assert result.completed and result.safe
+
+
+class TestPredicateTriggers:
+    def test_plan_event_predicate_trigger(self):
+        plan = FaultPlan.of(
+            ChannelOutage(
+                length=4, predicate=lambda trace: len(trace.last.output) >= 1
+            )
+        )
+        adversary = plan.adversary(EagerAdversary())
+        result = Simulator(del_system(), adversary, max_steps=5000).run()
+        fired = adversary.first_fault_time
+        assert fired is not None
+        # Fired at the first choice where one item had been written.
+        assert len(result.trace.config_at(fired).output) >= 1
+        assert adversary.records[0].spec == ()  # predicate: no stored form
+
+    def test_shim_predicate_overrides_fault_time(self):
+        adversary = FaultInjectingAdversary(
+            EagerAdversary(),
+            fault_time=10_000,  # would never fire in this short run
+            outage_length=2,
+            predicate=lambda trace: len(trace) >= 2,
+        )
+        Simulator(del_system(), adversary, max_steps=5000).run()
+        assert adversary.fault_fired_at == 2
+
+
+class TestShimCompatibility:
+    def test_shim_is_a_one_event_plan(self):
+        adversary = FaultInjectingAdversary(
+            EagerAdversary(), fault_time=3, outage_length=4
+        )
+        assert isinstance(adversary, FaultPlanAdversary)
+        events = adversary.plan.events
+        assert len(events) == 1 and isinstance(events[0], ChannelOutage)
+        assert events[0].at == 3 and events[0].length == 4
+
+    def test_reset_rearms_the_plan(self):
+        adversary = FaultInjectingAdversary(
+            EagerAdversary(), fault_time=3, outage_length=4
+        )
+        first = Simulator(del_system(), adversary, max_steps=5000).run()
+        fired_first = adversary.fault_fired_at
+        second = Simulator(del_system(), adversary, max_steps=5000).run()
+        assert adversary.fault_fired_at == fired_first
+        assert first.trace.events() == second.trace.events()
+
+    def test_base_adversary_never_sees_drop_events(self):
+        seen = []
+
+        class Spy(EagerAdversary):
+            def choose(self, system, trace, enabled):
+                seen.extend(e for e in enabled if e[0] == "drop")
+                return super().choose(system, trace, enabled)
+
+        adversary = FaultPlanAdversary(
+            Spy(), FaultPlan.of(ChannelOutage(at=3, length=2))
+        )
+        Simulator(del_system(), adversary, max_steps=5000).run()
+        assert seen == []

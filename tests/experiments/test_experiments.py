@@ -12,7 +12,7 @@ from repro.kernel.errors import VerificationError
 
 FAST_IDS = [
     "T1", "T2", "T3", "T4", "T5", "T6",
-    "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+    "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8",
     "A1", "A2", "A4", "A5",
 ]
 

@@ -140,3 +140,42 @@ class TestRunProtocolHelper:
             EagerAdversary(),
         )
         assert result.completed and result.steps == 0
+
+
+class TestStepBudgetExceeded:
+    def test_budget_exhaustion_is_typed(self):
+        result = Simulator(
+            norepeat_system(), EagerAdversary(), max_steps=3
+        ).run()
+        assert result.budget_exceeded is not None
+        assert result.budget_exceeded.max_steps == 3
+        assert result.budget_exceeded.last_event == result.trace.events()[-1]
+        assert result.budget_exceeded.output_written == len(
+            result.trace.output()
+        )
+
+    def test_completed_run_has_no_budget_record(self):
+        result = Simulator(norepeat_system(), EagerAdversary()).run()
+        assert result.completed and result.budget_exceeded is None
+
+    def test_adversary_stop_is_not_budget_exhaustion(self):
+        result = Simulator(
+            norepeat_system(), ScriptedAdversary([SENDER_STEP]), max_steps=50
+        ).run()
+        assert result.stopped_by_adversary
+        assert result.budget_exceeded is None
+
+
+class TestErrorContext:
+    def test_disabled_event_error_names_event_and_step(self):
+        class Misbehaving:
+            def reset(self):
+                pass
+
+            def choose(self, system, trace, enabled):
+                return deliver_to_receiver("never-sent")
+
+        with pytest.raises(SimulationError) as excinfo:
+            Simulator(norepeat_system(), Misbehaving()).run()
+        message = str(excinfo.value)
+        assert "never-sent" in message and "at step 0" in message

@@ -1,0 +1,62 @@
+"""Tests for the chaos suite and the ``stp-repro chaos`` CLI."""
+
+import json
+
+from repro.cli import main
+from repro.kernel.rng import DeterministicRNG
+from repro.resilience.report import (
+    BENCH_PR2_FILENAME,
+    build_chaos_campaign,
+    default_scenarios,
+)
+
+
+class TestScenarioMatrix:
+    def test_matrix_covers_protocols_and_fault_kinds(self):
+        scenarios = default_scenarios(quick=True)
+        names = {s.name for s in scenarios}
+        assert {"abp-outage", "gbn-outage", "hybrid-outage"} <= names
+        kinds = {
+            event.kind for s in scenarios for event in s.plan.events
+        }
+        assert {"outage", "burst-drop", "dup-storm", "reorder",
+                "crash-restart"} <= kinds
+
+    def test_every_scenario_plan_serializes(self):
+        for scenario in default_scenarios(quick=True):
+            data = scenario.plan.to_dict()
+            assert data["schema"] == "repro-fault-plan/1"
+
+    def test_chaos_campaigns_are_deterministic(self):
+        scenario = default_scenarios(quick=True)[0]
+        campaign = build_chaos_campaign(scenario, seeds=1)
+        first = campaign.run(DeterministicRNG(0, "chaos-test"))
+        second = campaign.run(DeterministicRNG(0, "chaos-test"))
+        assert first.metrics == second.metrics
+        assert all(m.safe for m in first.metrics)
+
+
+class TestChaosCli:
+    def test_chaos_writes_bench_pr2(self, tmp_path, capsys):
+        assert BENCH_PR2_FILENAME == "BENCH_PR2.json"
+        out = tmp_path / BENCH_PR2_FILENAME
+        code = main(
+            [
+                "chaos",
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro-perf/1"
+        names = [record["name"] for record in data["records"]]
+        assert "experiment:F8" in names
+        assert any(name.startswith("chaos:") for name in names)
+        f8 = next(r for r in data["records"] if r["name"] == "experiment:F8")
+        assert f8["extra"]["hybrid_grows"] is True
+        assert f8["extra"]["norepeat_bounded"] is True
+        printed = capsys.readouterr().out
+        assert "chaos:" in printed

@@ -1,0 +1,225 @@
+"""Tests for the self-healing campaign runner.
+
+The crash/timeout tests use marker files to make the *first* attempt of a
+run misbehave and every retry succeed: the runner forks a child per run,
+so a marker created by a doomed child is visible to its retry.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.adversaries import AgingFairAdversary, EagerAdversary, RandomAdversary
+from repro.analysis.campaign import Campaign
+from repro.channels import DuplicatingChannel
+from repro.kernel.errors import VerificationError
+from repro.kernel.rng import DeterministicRNG
+from repro.protocols.norepeat import norepeat_protocol
+from repro.resilience import CHECKPOINT_SCHEMA, ResilientRunner
+
+
+def small_campaign(adversary_factory=None, **overrides):
+    sender, receiver = norepeat_protocol("abcd")
+    factory = adversary_factory or (
+        lambda rng: AgingFairAdversary(
+            RandomAdversary(rng, deliver_weight=3.0), patience=64
+        )
+    )
+    spec = dict(
+        sender=sender,
+        receiver=receiver,
+        channel_factory=DuplicatingChannel,
+        inputs=[("a", "b"), ("c", "d", "a")],
+        adversary_factory=factory,
+        seeds=2,
+        max_steps=20_000,
+    )
+    spec.update(overrides)
+    return Campaign(**spec)
+
+
+class _SabotagedAdversary(EagerAdversary):
+    """Misbehaves until its marker file exists, then behaves normally."""
+
+    def __init__(self, marker, mode):
+        super().__init__()
+        self.marker = marker
+        self.mode = mode
+
+    def choose(self, system, trace, enabled):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as handle:
+                handle.write("sabotaged once\n")
+            if self.mode == "crash":
+                os._exit(13)
+            if self.mode == "hang":
+                time.sleep(30.0)
+            if self.mode == "error":
+                raise RuntimeError("injected failure")
+        return super().choose(system, trace, enabled)
+
+
+class TestDeterminism:
+    def test_outcome_bit_identical_to_plain_campaign(self):
+        campaign = small_campaign()
+        plain = campaign.run(DeterministicRNG(7, "resilient-test"))
+        resilient = ResilientRunner(campaign, workers=2).run(
+            DeterministicRNG(7, "resilient-test")
+        )
+        assert resilient.outcome.metrics == plain.metrics
+        assert resilient.outcome.summary == plain.summary
+        assert resilient.run_failures == ()
+        assert resilient.abandoned == ()
+
+    def test_run_resilient_facade(self):
+        campaign = small_campaign()
+        plain = campaign.run(DeterministicRNG(3, "facade"))
+        resilient = campaign.run_resilient(DeterministicRNG(3, "facade"))
+        assert resilient.outcome.metrics == plain.metrics
+
+
+class TestCheckpointResume:
+    def test_interrupted_sweep_resumes_bit_identical(self, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        campaign = small_campaign()
+        uninterrupted = campaign.run(DeterministicRNG(5, "resume"))
+
+        # Full supervised sweep, checkpointing as it goes.
+        ResilientRunner(campaign, checkpoint_path=checkpoint).run(
+            DeterministicRNG(5, "resume")
+        )
+        # Simulate a sweep killed mid-flight: drop half the completed
+        # runs from the checkpoint (the runner flushes after each run, so
+        # a real kill leaves exactly such a prefix).
+        data = json.loads(checkpoint.read_text())
+        kept = dict(list(data["completed"].items())[:2])
+        data["completed"] = kept
+        checkpoint.write_text(json.dumps(data))
+
+        resumed = ResilientRunner(campaign, checkpoint_path=checkpoint).run(
+            DeterministicRNG(5, "resume")
+        )
+        assert resumed.resumed_runs == 2
+        assert resumed.outcome.metrics == uninterrupted.metrics
+        assert resumed.outcome.summary == uninterrupted.summary
+
+    def test_checkpoint_from_other_grid_refused(self, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        checkpoint.write_text(
+            json.dumps(
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "fingerprint": "not-this-campaign",
+                    "completed": {},
+                }
+            )
+        )
+        runner = ResilientRunner(small_campaign(), checkpoint_path=checkpoint)
+        with pytest.raises(VerificationError):
+            runner.run(DeterministicRNG(5, "resume"))
+
+    def test_unsupported_schema_refused(self, tmp_path):
+        checkpoint = tmp_path / "sweep.json"
+        checkpoint.write_text(json.dumps({"schema": "something-else/1"}))
+        runner = ResilientRunner(small_campaign(), checkpoint_path=checkpoint)
+        with pytest.raises(VerificationError):
+            runner.run(DeterministicRNG(5, "resume"))
+
+
+class TestSelfHealing:
+    def test_crashed_worker_is_retried(self, tmp_path):
+        marker = str(tmp_path / "crash-marker")
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(marker, "crash"),
+            inputs=[("a", "b")],
+            seeds=1,
+        )
+        clean = small_campaign(
+            adversary_factory=lambda rng: EagerAdversary(),
+            inputs=[("a", "b")],
+            seeds=1,
+        ).run(DeterministicRNG(0, "heal"))
+        result = ResilientRunner(campaign, backoff=0.01).run(
+            DeterministicRNG(0, "heal")
+        )
+        assert result.retried_runs == 1
+        assert result.abandoned == ()
+        assert [f.kind for f in result.run_failures] == ["crash"]
+        assert "exit code 13" in result.run_failures[0].message
+        # The retry recomputed the exact run the sabotage interrupted.
+        assert result.outcome.metrics == clean.metrics
+
+    def test_hung_worker_is_killed_and_retried(self, tmp_path):
+        marker = str(tmp_path / "hang-marker")
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(marker, "hang"),
+            inputs=[("a", "b")],
+            seeds=1,
+        )
+        result = ResilientRunner(
+            campaign, run_timeout=0.5, backoff=0.01
+        ).run(DeterministicRNG(0, "heal"))
+        assert result.retried_runs == 1
+        assert result.abandoned == ()
+        assert [f.kind for f in result.run_failures] == ["timeout"]
+        assert result.outcome.summary.runs == 1
+
+    def test_erroring_run_reported_and_retried(self, tmp_path):
+        marker = str(tmp_path / "error-marker")
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(marker, "error"),
+            inputs=[("a", "b")],
+            seeds=1,
+        )
+        result = ResilientRunner(campaign, backoff=0.01).run(
+            DeterministicRNG(0, "heal")
+        )
+        assert [f.kind for f in result.run_failures] == ["error"]
+        assert "injected failure" in result.run_failures[0].message
+        assert result.outcome.summary.runs == 1
+
+    def test_permanently_failing_run_is_abandoned(self):
+        class AlwaysCrash(EagerAdversary):
+            def choose(self, system, trace, enabled):
+                if len(system.input_sequence) == 3:
+                    os._exit(13)
+                return super().choose(system, trace, enabled)
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: AlwaysCrash(), seeds=1
+        )
+        result = ResilientRunner(campaign, retries=1, backoff=0.01).run(
+            DeterministicRNG(0, "heal")
+        )
+        assert result.abandoned == ((("c", "d", "a"), 0),)
+        assert len(result.run_failures) == 2  # first attempt + one retry
+        # The healthy grid key still produced its metrics.
+        assert result.outcome.summary.runs == 1
+        assert result.outcome.metrics[0].completed
+
+    def test_every_run_failing_raises(self):
+        class AlwaysCrash(EagerAdversary):
+            def choose(self, system, trace, enabled):
+                os._exit(13)
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: AlwaysCrash(),
+            inputs=[("a", "b")],
+            seeds=1,
+        )
+        runner = ResilientRunner(campaign, retries=0, backoff=0.01)
+        with pytest.raises(VerificationError):
+            runner.run(DeterministicRNG(0, "heal"))
+
+
+class TestValidation:
+    def test_runner_options_validated(self):
+        campaign = small_campaign()
+        with pytest.raises(VerificationError):
+            ResilientRunner(campaign, run_timeout=0)
+        with pytest.raises(VerificationError):
+            ResilientRunner(campaign, retries=-1)
+        with pytest.raises(VerificationError):
+            ResilientRunner(campaign, backoff=-0.5)

@@ -115,3 +115,70 @@ class TestBudget:
         )
         with pytest.raises(VerificationError):
             find_liveness_trap(system, max_states=0)
+
+
+class TestOutageRecoverability:
+    def test_abp_on_capped_lossy_fifo_survives_the_outage_window(self):
+        # The resilience assertion: dropping the last in-flight copy and
+        # holding an outage window cannot deadlock ABP -- from the faulted
+        # configuration, every continuation can still complete.
+        from repro.verify import assert_outage_recoverable
+
+        sender, receiver = abp_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            LossyFifoChannel(capacity=2),
+            LossyFifoChannel(capacity=2),
+            ("a", "b"),
+        )
+        report = assert_outage_recoverable(system, fault_time=5, outage_length=6)
+        assert not report.trap_found and not report.truncated
+
+    def test_norepeat_on_capped_del_survives_the_outage_window(self):
+        from repro.verify import assert_outage_recoverable
+
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            DeletingChannel(max_copies=2),
+            DeletingChannel(max_copies=2),
+            ("a", "b"),
+        )
+        report = assert_outage_recoverable(system, fault_time=5, outage_length=6)
+        assert not report.trap_found and not report.truncated
+
+    def test_fault_after_run_end_is_rejected(self):
+        from repro.verify import assert_outage_recoverable
+
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            DeletingChannel(max_copies=2),
+            DeletingChannel(max_copies=2),
+            ("a", "b"),
+        )
+        with pytest.raises(VerificationError):
+            assert_outage_recoverable(system, fault_time=10_000, outage_length=2)
+
+    def test_from_config_roots_the_search_mid_trace(self):
+        from repro.adversaries import EagerAdversary
+        from repro.kernel.simulator import Simulator
+
+        sender, receiver = norepeat_protocol("ab")
+        system = System(
+            sender,
+            receiver,
+            DeletingChannel(max_copies=2),
+            DeletingChannel(max_copies=2),
+            ("a", "b"),
+        )
+        result = Simulator(system, EagerAdversary(), max_steps=200).run()
+        mid = result.trace.config_at(min(4, len(result.trace)))
+        report = find_liveness_trap(system, from_config=mid)
+        assert not report.trap_found
+        # Rooted search explores a subset of the full reachable graph.
+        full = find_liveness_trap(system)
+        assert report.states <= full.states
