@@ -1,0 +1,41 @@
+"""Benchmark: compiled transition-table kernel vs the object-graph explorer.
+
+Explores the full T2 exhaustive family (every repetition-free input over
+a 3-letter alphabet, duplicating channels) with the object-graph
+explorer and again over warm :class:`repro.kernel.compiled.CompiledSystem`
+tables, and records both in the session perf report (``BENCH_PR3.json``).
+
+Two assertions:
+
+* the compiled reports are **bit-identical** to the object-graph ones in
+  every non-timing field -- the fast path is an optimisation, not an
+  approximation;
+* the warm compiled sweep is at least 5x faster (the integer traversal
+  skips all protocol/channel/multiset object code; measured ~17x on the
+  reference machine, so 5x leaves wide timer-noise margin).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_compiled_explorer
+
+MIN_SPEEDUP = 5.0
+
+
+def test_bench_compiled_explorer(benchmark):
+    """T2 family, object vs compiled: identical reports, >=5x warm speedup."""
+    comparison = benchmark.pedantic(
+        measure_compiled_explorer,
+        args=(perf_report(),),
+        kwargs={"m": 3, "rounds": 10},
+        rounds=1,
+        iterations=1,
+    )
+    assert comparison["reports_identical"], (
+        "compiled exploration diverged from the object-graph explorer"
+    )
+    assert comparison["speedup"] >= MIN_SPEEDUP, (
+        f"expected >={MIN_SPEEDUP}x compiled speedup on the T2 family, "
+        f"got {comparison['speedup']:.2f}x"
+    )

@@ -9,7 +9,7 @@ or read EXPERIMENTS.md for the archived copies.
 
 Every experiment timed here is also appended to a
 :class:`repro.analysis.perfreport.PerfReport`; at session end the report
-is written to ``BENCH_PR1.json`` at the repo root, the same artifact
+is written to ``BENCH_PR3.json`` at the repo root, the same artifact
 ``stp-repro bench`` produces, so benchmark runs leave a diffable perf
 trail PR over PR.
 """
@@ -44,6 +44,12 @@ def run_and_report(benchmark, experiment_id: str, seed: int = 0, quick: bool = F
         f"experiment:{experiment_id}",
         time.perf_counter() - start,
         runs=len(result.rows),
+        states=result.states,
+        states_per_second=(
+            result.states / result.search_seconds
+            if result.states and result.search_seconds
+            else None
+        ),
         quick=quick,
         checks_passed=result.all_checks_pass,
     )

@@ -7,7 +7,9 @@
 * :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
   the output format of every benchmark.
 * :mod:`repro.analysis.perfreport` -- wall-clock perf records and the
-  PR-over-PR ``BENCH_PR1.json`` artifact.
+  PR-over-PR ``BENCH_PR3.json`` artifact.
+* :mod:`repro.analysis.cache` -- the content-addressed on-disk result
+  cache (compiled tables, exploration reports, campaign run metrics).
 """
 
 from repro.analysis.metrics import RunMetrics, measure_run, CampaignSummary, summarize
@@ -16,8 +18,12 @@ from repro.analysis.tables import render_table, render_series, format_cell
 from repro.analysis.campaign import Campaign, CampaignOutcome
 from repro.analysis.diagram import sequence_diagram
 from repro.analysis.perfreport import PerfRecord, PerfReport, run_default_bench
+from repro.analysis.cache import ResultCache, cached_explore, fingerprint
 
 __all__ = [
+    "ResultCache",
+    "cached_explore",
+    "fingerprint",
     "RunMetrics",
     "measure_run",
     "CampaignSummary",

@@ -1,0 +1,286 @@
+"""Content-addressed on-disk result cache.
+
+Repeated experiments, campaign grid cells, and CI runs keep recomputing
+identical work: the same (protocol, channel, input, caps) system is
+explored again, the same seeded run is simulated again.  Every such unit
+is a pure function of its inputs (the determinism policy), so its result
+can be cached *by content*: the cache key is a canonical fingerprint of
+everything the result depends on, and a hit is returned verbatim --
+bit-identical to recomputation, because recomputation itself is
+deterministic.
+
+Three layers use this module:
+
+* :func:`cached_explore` -- :class:`~repro.verify.explorer.ExplorationReport`
+  and the compiled transition table
+  (:meth:`repro.kernel.compiled.CompiledSystem.snapshot`) keyed by
+  (protocol, channel, input, caps);
+* :class:`repro.analysis.campaign.Campaign` with ``cache=`` -- per-grid-cell
+  :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
+  RNG identity, input, seed);
+* the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
+  miss counts into ``BENCH_PR3.json``.
+
+Fingerprints are SHA-256 over a *canonical form*: primitives by value,
+containers recursively (sets sorted), objects by class identity plus
+attribute dict, functions by qualified name plus defaults and closure
+contents.  Anything that cannot be canonicalized stably (process
+addresses in default reprs, for instance) degrades to a cache **miss**,
+never to a false hit on differing inputs.  The canonical form never uses
+Python's ``hash()`` (which is per-process salted).
+
+Storage layout: ``<root>/<kind>/<first two key hex chars>/<key>.pkl``
+with ``root`` defaulting to ``$STP_REPRO_CACHE`` or
+``~/.cache/stp-repro``.  Values are pickled; a corrupt or unreadable
+entry reads as a miss.  ``ResultCache.wipe()`` (or ``rm -rf`` on the
+root) invalidates everything; bumping :data:`CACHE_SCHEMA` does so
+implicitly whenever the result formats change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import types
+from pathlib import Path
+from typing import Optional
+
+#: Version salt mixed into every fingerprint.  Bump on any change to the
+#: canonical form or to the pickled result layouts.
+CACHE_SCHEMA = "stp-repro-cache/1"
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "STP_REPRO_CACHE"
+
+
+def _default_root() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "stp-repro"
+
+
+def canonical(value, _depth: int = 0) -> str:
+    """A deterministic, process-independent encoding of ``value``.
+
+    Injective on the value shapes this library feeds it (primitives,
+    containers, frozen dataclasses, protocol/channel objects, factory
+    closures); unknown object kinds fall back to ``repr`` -- if that repr
+    embeds a memory address the fingerprint simply never repeats, which
+    is a miss, not a wrong hit.
+    """
+    if _depth > 50:
+        raise ValueError("canonical() recursion depth exceeded (cyclic value?)")
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(canonical(item, _depth + 1) for item in value)
+        return f"{type(value).__name__}[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(canonical(item, _depth + 1) for item in value))
+        return f"{type(value).__name__}{{{inner}}}"
+    if isinstance(value, dict):
+        pairs = sorted(
+            (canonical(k, _depth + 1), canonical(v, _depth + 1))
+            for k, v in value.items()
+        )
+        inner = ",".join(f"{k}={v}" for k, v in pairs)
+        return f"dict{{{inner}}}"
+    if isinstance(value, types.FunctionType):
+        cells = (
+            tuple(cell.cell_contents for cell in value.__closure__)
+            if value.__closure__
+            else ()
+        )
+        code = value.__code__
+        # Sibling lambdas share the qualname "<lambda>"; the line number
+        # and body digest keep their fingerprints distinct.
+        return (
+            f"fn:{value.__module__}.{value.__qualname__}"
+            f"@{code.co_firstlineno}#{_code_digest(code)}"
+            f"(defaults={canonical(value.__defaults__, _depth + 1)},"
+            f"closure={canonical(cells, _depth + 1)})"
+        )
+    if isinstance(value, type):
+        return f"class:{value.__module__}.{value.__qualname__}"
+    # RNG identity is (seed, path); its internal Mersenne state is derived.
+    from repro.kernel.rng import DeterministicRNG
+
+    if isinstance(value, DeterministicRNG):
+        return f"rng:({value.seed},{value.path!r})"
+    label = f"{type(value).__module__}.{type(value).__qualname__}"
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return f"obj:{label}({canonical(state, _depth + 1)})"
+    slots = getattr(type(value), "__slots__", None)
+    if slots is not None:
+        attrs = {
+            name: getattr(value, name)
+            for name in slots
+            # Per-process salted values (cached hash() results) must never
+            # leak into a fingerprint.
+            if hasattr(value, name) and "hash" not in name
+        }
+        return f"obj:{label}({canonical(attrs, _depth + 1)})"
+    return f"opaque:{label}:{value!r}"
+
+
+def _code_digest(code) -> str:
+    """A process-stable digest of a code object's behaviour.
+
+    Bytecode alone is not enough: two lambdas differing only in a literal
+    share identical ``co_code`` (the literal lives in ``co_consts``), so
+    constants and referenced names are folded in.  Nested code objects
+    (inner functions) recurse instead of hitting ``repr``, whose memory
+    address would never repeat.
+    """
+    digest = hashlib.sha256(code.co_code)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            digest.update(_code_digest(const).encode())
+        else:
+            digest.update(canonical(const).encode())
+    digest.update(repr(code.co_names).encode())
+    return digest.hexdigest()[:16]
+
+
+def fingerprint(*parts) -> str:
+    """The SHA-256 content address of ``parts`` under :data:`CACHE_SCHEMA`."""
+    encoded = canonical((CACHE_SCHEMA,) + parts)
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def system_fingerprint(system) -> str:
+    """Canonical fingerprint of a :class:`~repro.kernel.system.System`.
+
+    Covers the protocol pair (class + configuration), both channel models
+    (class + caps such as ``max_copies`` / ``capacity``), and the input
+    sequence -- the full identity of the transition relation.
+    """
+    return fingerprint(
+        "system",
+        system.sender,
+        system.receiver,
+        system.channel_sr,
+        system.channel_rs,
+        system.input_sequence,
+    )
+
+
+class ResultCache:
+    """A content-addressed pickle store with hit/miss accounting.
+
+    Args:
+        root: cache directory; defaults to ``$STP_REPRO_CACHE`` or
+            ``~/.cache/stp-repro``.  Created lazily on first write.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else _default_root()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def get(self, kind: str, key: str):
+        """The stored value, or None on a miss (absent or unreadable)."""
+        path = self._path(kind, key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, kind: str, key: str, value) -> None:
+        """Store ``value`` atomically (write-to-temp then rename)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with temporary.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            temporary.replace(path)
+        except OSError:
+            # A read-only or full cache directory must never fail the
+            # computation whose result we merely failed to remember.
+            temporary.unlink(missing_ok=True)
+
+    def stats(self) -> dict:
+        """Hit/miss counters as a JSON-friendly dict."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "root": str(self.root),
+        }
+
+    def wipe(self) -> None:
+        """Delete the whole cache directory (the invalidation hammer)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def cached_explore(
+    system,
+    max_states: int = 1_000_000,
+    include_drops: bool = True,
+    cache: Optional[ResultCache] = None,
+    reuse_table: bool = True,
+):
+    """:func:`~repro.verify.explorer.explore_compiled` behind the cache.
+
+    On a report hit the stored :class:`ExplorationReport` is returned
+    verbatim (bit-identical to recomputation).  On a miss the search runs
+    over the compiled kernel -- reviving a cached transition-table
+    snapshot first when ``reuse_table`` and one exists, so even the miss
+    path often skips all protocol/channel code -- and both the report and
+    the (possibly grown) table snapshot are stored.
+
+    With ``cache=None`` this is exactly ``explore_compiled(...)``.
+    """
+    from repro.kernel.compiled import CompiledSystem
+    from repro.verify.explorer import explore_compiled
+
+    if cache is None:
+        return explore_compiled(
+            system, max_states=max_states, include_drops=include_drops
+        )
+    base = system_fingerprint(system)
+    report_key = fingerprint("explore", base, max_states, include_drops)
+    report = cache.get("explore", report_key)
+    if report is not None:
+        return report
+    table = None
+    table_key = fingerprint("table", base)
+    if reuse_table:
+        snapshot = cache.get("table", table_key)
+        if snapshot is not None:
+            try:
+                table = CompiledSystem.from_snapshot(system, snapshot)
+            except Exception:
+                table = None  # stale/corrupt snapshot: recompile
+    if table is None:
+        table = CompiledSystem(system)
+    report = explore_compiled(
+        system,
+        max_states=max_states,
+        include_drops=include_drops,
+        compiled=table,
+        store_parents=True,
+    )
+    cache.put("explore", report_key, report)
+    if reuse_table:
+        cache.put("table", table_key, table.snapshot())
+    return report

@@ -31,16 +31,23 @@ serial path (same results, no speedup).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.cache import ResultCache, fingerprint
 from repro.analysis.metrics import CampaignSummary, RunMetrics, measure_run, summarize
 from repro.kernel.errors import VerificationError
 from repro.kernel.interfaces import ChannelModel, ReceiverProtocol, SenderProtocol
 from repro.kernel.rng import DeterministicRNG
-from repro.kernel.simulator import Simulator
+from repro.kernel.simulator import Simulator, simulate_compiled
 from repro.kernel.system import System
+
+# Minimum grid cells per worker before forking pays for itself: below
+# this, pool start-up and dispatch overhead outweigh the win and the
+# campaign silently runs serially (same results either way).
+_MIN_CHUNK = 4
 
 
 @dataclass(frozen=True)
@@ -78,11 +85,19 @@ class CampaignOutcome:
 _WORKER_CONTEXT: Optional[Tuple["Campaign", DeterministicRNG]] = None
 
 
-def _pool_run(key: Tuple[Tuple, int]) -> RunMetrics:
-    """Execute one sharded run inside a pool worker."""
-    input_sequence, seed = key
+def _pool_run_chunk(keys: Sequence[Tuple[Tuple, int]]) -> List[RunMetrics]:
+    """Execute a whole chunk of grid cells in one pool task.
+
+    Submitting chunks (rather than one task per run) cuts the per-task
+    pickle/dispatch round-trips to ``O(chunks)`` instead of ``O(runs)`` --
+    the overhead that made fine-grained grids slower in parallel than
+    serial.
+    """
     campaign, rng = _WORKER_CONTEXT
-    return campaign._single_run(rng, input_sequence, seed)
+    return [
+        campaign._single_run(rng, input_sequence, seed)
+        for input_sequence, seed in keys
+    ]
 
 
 @dataclass
@@ -100,6 +115,16 @@ class Campaign:
         max_steps: per-run step budget.
         workers: process count for the sweep; 1 (the default) runs
             serially in-process.  Any value produces identical outcomes.
+        compiled: route runs through the compiled transition-table kernel
+            (:func:`repro.kernel.simulator.simulate_compiled`), sharing
+            one table per input across the seed grid so repeated
+            (configuration, event) transitions are integer lookups.
+            Bit-identical results.
+        cache: a :class:`repro.analysis.cache.ResultCache` memoizing
+            per-cell :class:`RunMetrics` by content fingerprint (protocol
+            pair, channel factory, adversary factory, budget, RNG
+            identity, input, seed).  Hits skip the run entirely; the
+            cache's hit/miss counters feed the perf report.
     """
 
     sender: SenderProtocol
@@ -110,6 +135,8 @@ class Campaign:
     seeds: int = 1
     max_steps: int = 50_000
     workers: int = 1
+    compiled: bool = False
+    cache: Optional[ResultCache] = None
 
     def run(self, rng: DeterministicRNG) -> CampaignOutcome:
         """Execute the sweep and aggregate."""
@@ -124,13 +151,33 @@ class Campaign:
             for input_sequence in self.inputs
             for seed in range(self.seeds)
         ]
-        if self._effective_workers(len(keys)) > 1:
-            metrics = self._run_parallel(rng, keys)
+        # Cache lookups happen in the parent so the hit/miss counters are
+        # accurate regardless of workers; only misses are dispatched.
+        slots: List[Optional[RunMetrics]] = [None] * len(keys)
+        if self.cache is not None:
+            pending = []
+            for index, key in enumerate(keys):
+                stored = self.cache.get("run", self._run_key(rng, key))
+                if stored is not None:
+                    slots[index] = stored
+                else:
+                    pending.append((index, key))
         else:
-            metrics = [
-                self._single_run(rng, input_sequence, seed)
-                for input_sequence, seed in keys
-            ]
+            pending = list(enumerate(keys))
+        if pending:
+            pending_keys = [key for _, key in pending]
+            if self._effective_workers(len(pending_keys)) > 1:
+                computed = self._run_parallel(rng, pending_keys)
+            else:
+                computed = [
+                    self._single_run(rng, input_sequence, seed)
+                    for input_sequence, seed in pending_keys
+                ]
+            for (index, key), measured in zip(pending, computed):
+                slots[index] = measured
+                if self.cache is not None:
+                    self.cache.put("run", self._run_key(rng, key), measured)
+        metrics = slots
         failures = [
             key
             for key, measured in zip(keys, metrics)
@@ -140,6 +187,21 @@ class Campaign:
             summary=summarize(metrics),
             metrics=tuple(metrics),
             failures=tuple(failures),
+        )
+
+    def _run_key(self, rng: DeterministicRNG, key: Tuple[Tuple, int]) -> str:
+        """Content address of one grid cell's :class:`RunMetrics`."""
+        input_sequence, seed = key
+        return fingerprint(
+            "campaign-run",
+            self.sender,
+            self.receiver,
+            self.channel_factory,
+            self.adversary_factory,
+            self.max_steps,
+            rng,
+            input_sequence,
+            seed,
         )
 
     def run_resilient(self, rng: DeterministicRNG, **runner_options):
@@ -177,13 +239,47 @@ class Campaign:
             self.channel_factory(),
             input_sequence,
         )
-        result = Simulator(system, adversary, max_steps=self.max_steps).run()
+        if self.compiled:
+            result = simulate_compiled(
+                system,
+                adversary,
+                max_steps=self.max_steps,
+                compiled=self._table_for(system),
+            )
+        else:
+            result = Simulator(
+                system, adversary, max_steps=self.max_steps
+            ).run()
         return measure_run(result)
+
+    def _table_for(self, system: System):
+        """The shared compiled table for ``system.input_sequence``.
+
+        All seeds of one input share a table: a transition paid by seed 0
+        is a lookup for every later seed.  Tables live on the campaign
+        instance (not a dataclass field) so they never enter equality,
+        repr, or fingerprints.
+        """
+        from repro.kernel.compiled import CompiledSystem
+
+        tables = self.__dict__.setdefault("_tables", {})
+        table = tables.get(system.input_sequence)
+        if table is None:
+            table = CompiledSystem(system)
+            tables[system.input_sequence] = table
+        return table
 
     def _effective_workers(self, grid_size: int) -> int:
         if self.workers <= 1 or grid_size <= 1:
             return 1
         if "fork" not in multiprocessing.get_all_start_methods():
+            return 1
+        # One hardware thread means forked workers just time-slice the
+        # same core and pay pickling on top -- the BENCH_PR1 regression.
+        if (os.cpu_count() or 1) <= 1:
+            return 1
+        # Tiny grids cannot amortize pool start-up.
+        if grid_size < self.workers * _MIN_CHUNK:
             return 1
         return min(self.workers, grid_size)
 
@@ -193,16 +289,26 @@ class Campaign:
         global _WORKER_CONTEXT
         workers = self._effective_workers(len(keys))
         context = multiprocessing.get_context("fork")
-        # Keep pool-dispatch overhead low without starving workers at the
-        # tail of the grid.
+        # Submit chunks, not runs: ~4 tasks per worker keeps dispatch
+        # overhead at O(chunks) while leaving enough tasks for the pool
+        # to balance a ragged tail.
         chunksize = max(1, len(keys) // (workers * 4))
+        chunks = [
+            keys[start : start + chunksize]
+            for start in range(0, len(keys), chunksize)
+        ]
         _WORKER_CONTEXT = (self, rng)
         try:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             ) as pool:
-                # Executor.map preserves input order, so metrics come back
-                # in grid order no matter which worker ran which shard.
-                return list(pool.map(_pool_run, keys, chunksize=chunksize))
+                # Executor.map preserves input order, so flattening the
+                # chunk results restores exact grid order no matter which
+                # worker ran which chunk.
+                return [
+                    measured
+                    for chunk in pool.map(_pool_run_chunk, chunks)
+                    for measured in chunk
+                ]
         finally:
             _WORKER_CONTEXT = None

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.kernel.errors import VerificationError
+from repro.kernel.intern import ConfigurationInterner
 from repro.kernel.simulator import SimulationResult
 from repro.analysis.stats import Summary, five_number
 
@@ -35,6 +36,9 @@ class RunMetrics:
             recovery measurements, present only for runs driven by a
             fault-injecting adversary (see
             :class:`repro.kernel.simulator.RecoveryMetrics`).
+        distinct_states: number of distinct global configurations the run
+            visited (collapse-compressed, like the explorer counts them).
+            Feeds the perf report's ``states_per_second`` column.
     """
 
     steps: int
@@ -52,6 +56,7 @@ class RunMetrics:
     time_to_resync: Optional[int] = None
     retransmissions: Optional[int] = None
     wasted_steps: Optional[int] = None
+    distinct_states: Optional[int] = None
 
 
 def measure_run(result: SimulationResult) -> RunMetrics:
@@ -60,6 +65,9 @@ def measure_run(result: SimulationResult) -> RunMetrics:
     items = len(trace.input_sequence)
     sent = len(trace.messages_sent_to_receiver())
     recovery = result.recovery
+    interner = ConfigurationInterner()
+    for config in trace.configurations():
+        interner.intern(config)
     return RunMetrics(
         steps=result.steps,
         completed=result.completed,
@@ -76,6 +84,7 @@ def measure_run(result: SimulationResult) -> RunMetrics:
         time_to_resync=recovery.time_to_resync if recovery else None,
         retransmissions=recovery.retransmissions if recovery else None,
         wasted_steps=recovery.wasted_steps if recovery else None,
+        distinct_states=len(interner),
     )
 
 
@@ -90,6 +99,9 @@ class CampaignSummary:
         data_messages: five-number summary of data messages sent.
         messages_per_item: five-number summary over non-empty inputs
             (None if every input was empty).
+        states: total distinct configurations visited, summed per-run
+            (None when no run reported a count -- metrics restored from
+            pre-PR3 checkpoints lack it).
     """
 
     runs: int
@@ -98,6 +110,7 @@ class CampaignSummary:
     steps: Summary
     data_messages: Summary
     messages_per_item: Optional[Summary]
+    states: Optional[int] = None
 
 
 def summarize(metrics: Sequence[RunMetrics]) -> CampaignSummary:
@@ -107,6 +120,9 @@ def summarize(metrics: Sequence[RunMetrics]) -> CampaignSummary:
     per_item: List[float] = [
         m.messages_per_item for m in metrics if m.messages_per_item is not None
     ]
+    state_counts = [
+        m.distinct_states for m in metrics if m.distinct_states is not None
+    ]
     return CampaignSummary(
         runs=len(metrics),
         completed=sum(1 for m in metrics if m.completed),
@@ -114,4 +130,5 @@ def summarize(metrics: Sequence[RunMetrics]) -> CampaignSummary:
         steps=five_number([m.steps for m in metrics]),
         data_messages=five_number([m.data_messages_sent for m in metrics]),
         messages_per_item=five_number(per_item) if per_item else None,
+        states=sum(state_counts) if state_counts else None,
     )

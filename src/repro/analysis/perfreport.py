@@ -1,9 +1,10 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR1.json`` at the repo root, written by ``stp-repro bench`` and by
-the benchmark harness (``benchmarks/conftest.py``).  Tracking the file PR
-over PR turns "we made it faster" into a diffable trajectory.
+``BENCH_PR3.json`` at the repo root (previously ``BENCH_PR1.json``),
+written by ``stp-repro bench`` and by the benchmark harness
+(``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
+made it faster" into a diffable trajectory.
 
 Schema (``repro-perf/1``)::
 
@@ -41,7 +42,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR1.json"
+BENCH_FILENAME = "BENCH_PR3.json"
 
 
 @dataclass
@@ -202,12 +203,26 @@ def measure_campaign_speedup(
         "grid": f"{length - 3}x{seeds}",
     }
     report.add(
-        "campaign:f5-serial", serial_seconds, runs=serial.summary.runs
+        "campaign:f5-serial",
+        serial_seconds,
+        runs=serial.summary.runs,
+        states=serial.summary.states,
+        states_per_second=(
+            serial.summary.states / serial_seconds
+            if serial.summary.states and serial_seconds > 0
+            else None
+        ),
     )
     report.add(
         "campaign:f5-parallel",
         parallel_seconds,
         runs=parallel.summary.runs,
+        states=parallel.summary.states,
+        states_per_second=(
+            parallel.summary.states / parallel_seconds
+            if parallel.summary.states and parallel_seconds > 0
+            else None
+        ),
         **comparison,
     )
     return comparison
@@ -238,25 +253,123 @@ def measure_explorer(report: PerfReport) -> None:
     )
 
 
+def measure_compiled_explorer(
+    report: PerfReport, m: int = 3, rounds: int = 10
+) -> Dict[str, object]:
+    """Record compiled-table exploration speedup over the T2 family.
+
+    Explores every repetition-free input over alphabet size ``m``
+    (exactly experiment T2's exhaustive sweep) with the object-graph
+    explorer and again over warm compiled tables, ``rounds`` times each
+    to beat timer noise, after first asserting the reports agree in
+    every non-timing field.  Records ``explore:t2-family-compiled`` and
+    returns its comparison dict.
+    """
+    from dataclasses import replace
+
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import explore, explore_compiled
+    from repro.workloads import repetition_free_family
+
+    domain = "abcdefgh"[:m]
+    sender, receiver = norepeat_protocol(domain)
+    systems = [
+        System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+        for input_sequence in repetition_free_family(domain)
+    ]
+    tables = [CompiledSystem(system) for system in systems]
+
+    def _stable(record):
+        return replace(record, elapsed_seconds=0.0, states_per_second=0.0)
+
+    identical = True
+    total_states = 0
+    for system, table in zip(systems, tables):
+        base = explore(system, store_parents=False)
+        fast = explore_compiled(system, store_parents=False, compiled=table)
+        total_states += base.states
+        identical = identical and _stable(base) == _stable(fast)
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for system in systems:
+            explore(system, store_parents=False)
+    object_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for system, table in zip(systems, tables):
+            explore_compiled(system, store_parents=False, compiled=table)
+    compiled_seconds = time.perf_counter() - start
+
+    comparison = {
+        "speedup": (
+            object_seconds / compiled_seconds if compiled_seconds > 0 else 0.0
+        ),
+        "object_seconds": object_seconds,
+        "rounds": rounds,
+        "inputs": len(systems),
+        "reports_identical": identical,
+    }
+    report.add(
+        "explore:t2-family-compiled",
+        compiled_seconds,
+        states=total_states * rounds,
+        states_per_second=(
+            total_states * rounds / compiled_seconds
+            if compiled_seconds > 0
+            else None
+        ),
+        **comparison,
+    )
+    return comparison
+
+
 def run_default_bench(
     experiment_ids: Tuple[str, ...] = ("T1", "T2", "F1", "F5"),
     seed: int = 0,
     quick: bool = True,
     workers: int = 4,
+    cache=None,
 ) -> PerfReport:
-    """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep."""
+    """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep.
+
+    ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
+    through the experiments that memoize work; the report then carries a
+    ``cache:stats`` record with the hit/miss counters.
+    """
     from repro.experiments import run_experiment
 
     report = PerfReport(label="stp-repro bench")
     for experiment_id in experiment_ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, seed=seed, quick=quick)
+        result = run_experiment(
+            experiment_id, seed=seed, quick=quick, cache=cache
+        )
         report.add(
             f"experiment:{experiment_id}",
             time.perf_counter() - start,
             runs=len(result.rows),
+            states=result.states,
+            states_per_second=(
+                result.states / result.search_seconds
+                if result.states and result.search_seconds
+                else None
+            ),
             checks_passed=result.all_checks_pass,
         )
     measure_explorer(report)
+    measure_compiled_explorer(report)
     measure_campaign_speedup(report, workers=workers)
+    if cache is not None:
+        report.add("cache:stats", 0.0, **cache.stats())
     return report

@@ -15,9 +15,10 @@ Subcommands:
 * ``trap`` -- exhaustively search a protocol/channel combination for
   liveness traps (states from which completion is unreachable);
 * ``report`` -- regenerate EXPERIMENTS.md;
-* ``bench`` -- time experiments, exhaustive exploration, and the
-  serial-vs-parallel campaign sweep, and write the ``BENCH_PR1.json``
-  perf artifact tracked PR over PR;
+* ``bench`` -- time experiments, exhaustive exploration (object-graph and
+  compiled-table), and the serial-vs-parallel campaign sweep, and write
+  the ``BENCH_PR3.json`` perf artifact tracked PR over PR; ``--cache-dir``
+  turns on the content-addressed result cache (``--no-cache`` runs cold);
 * ``chaos`` -- run the fault-injection matrix (every protocol family
   crossed with the fault vocabulary) plus the F8 recovery sweep under the
   self-healing runner, and write the ``BENCH_PR2.json`` resilience
@@ -207,16 +208,21 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from repro.analysis.cache import ResultCache
     from repro.analysis.perfreport import run_default_bench
 
     experiment_ids = (
         tuple(i.upper() for i in args.ids) if args.ids else ("T1", "T2", "F1", "F5")
     )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)  # None -> default root
     report = run_default_bench(
         experiment_ids=experiment_ids,
         seed=args.seed,
         quick=not args.full,
         workers=args.workers,
+        cache=cache,
     )
     print(report.render())
     path = report.write(args.out)
@@ -326,7 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR1.json"
+        "bench", help="time the perf suite and write BENCH_PR3.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -337,7 +343,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench_parser.add_argument("--workers", type=int, default=4)
     bench_parser.add_argument(
-        "--out", default="BENCH_PR1.json", help="output path for the perf JSON"
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "root of the content-addressed result cache (default: "
+            "$STP_REPRO_CACHE or ~/.cache/stp-repro)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely (every run is cold)",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_PR3.json", help="output path for the perf JSON"
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import importlib
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.kernel.errors import VerificationError
 
@@ -22,6 +22,12 @@ class ExperimentResult:
         checks: named boolean assertions ("claim held?"); every benchmark
             asserts all of them, so a reproduction regression fails loudly.
         notes: caveats worth keeping next to the numbers.
+        states: total distinct states touched by the experiment's searches
+            and runs (explorer states plus per-run visited configurations),
+            None for purely combinatorial experiments.
+        search_seconds: wall time spent inside those searches, None when
+            ``states`` is None.  Feeds the perf report's
+            ``states_per_second`` column.
     """
 
     experiment_id: str
@@ -31,6 +37,8 @@ class ExperimentResult:
     rows: Tuple[Tuple, ...]
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: str = ""
+    states: Optional[int] = None
+    search_seconds: Optional[float] = None
 
     def assert_checks(self) -> None:
         """Raise if any named check failed."""
@@ -79,15 +87,19 @@ def registry() -> Dict[str, Callable[..., ExperimentResult]]:
 
 
 def run_experiment(
-    experiment_id: str, seed: int = 0, quick: bool = False, workers: int = 1
+    experiment_id: str,
+    seed: int = 0,
+    quick: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``workers`` requests process-parallel campaign sweeps; it is forwarded
-    to experiments whose entry point accepts it (results are identical at
-    any worker count -- see :mod:`repro.analysis.campaign`) and silently
-    ignored by purely combinatorial experiments that have no sweep to
-    shard.
+    ``workers`` requests process-parallel campaign sweeps and ``cache`` (a
+    :class:`repro.analysis.cache.ResultCache`) memoizes exploration and
+    campaign results by content; each is forwarded to experiments whose
+    entry point accepts it (results are identical either way) and silently
+    ignored by experiments that have nothing to shard or memoize.
     """
     module_name = _MODULES.get(experiment_id.upper())
     if module_name is None:
@@ -95,7 +107,10 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: {sorted(_MODULES)}"
         )
     module = importlib.import_module(module_name)
+    parameters = inspect.signature(module.run).parameters
     kwargs = {"seed": seed, "quick": quick}
-    if workers != 1 and "workers" in inspect.signature(module.run).parameters:
+    if workers != 1 and "workers" in parameters:
         kwargs["workers"] = workers
+    if cache is not None and "cache" in parameters:
+        kwargs["cache"] = cache
     return module.run(**kwargs)

@@ -18,7 +18,8 @@ Expected outcome: 100% safe, 100% complete, zero attack witnesses.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import time
+from typing import List, Optional, Tuple
 
 from repro.adversaries import (
     AgingFairAdversary,
@@ -27,6 +28,7 @@ from repro.adversaries import (
     RandomAdversary,
     ReplayFloodAdversary,
 )
+from repro.analysis.cache import ResultCache, cached_explore
 from repro.analysis.campaign import Campaign
 from repro.analysis.metrics import summarize
 from repro.analysis.tables import render_table
@@ -36,7 +38,7 @@ from repro.experiments.base import ExperimentResult
 from repro.kernel.rng import DeterministicRNG
 from repro.kernel.system import System
 from repro.protocols import norepeat_protocol
-from repro.verify import explore, find_attack_on_family
+from repro.verify import find_attack_on_family
 from repro.workloads import repetition_free_family
 
 LETTERS = "abcdefgh"
@@ -58,17 +60,25 @@ def _adversary_factories():
     )
 
 
-def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
     """Build Table 2.
 
-    ``workers`` shards the randomized campaigns over processes; the table
-    is identical at any worker count.
+    ``workers`` shards the randomized campaigns over processes; ``cache``
+    memoizes campaign runs and exhaustive explorations by content.  The
+    table is identical at any worker count, with or without the cache.
     """
     rng = DeterministicRNG(seed, "t2")
     sizes = (1, 2) if quick else (1, 2, 3, 4)
     seeds = 1 if quick else 2
     explore_limit = 2 if quick else 3
     attack_limit = 2 if quick else 3
+    states_total = 0
+    search_seconds = 0.0
 
     headers = (
         "m",
@@ -90,6 +100,7 @@ def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResul
         sender, receiver = norepeat_protocol(domain)
 
         metrics = []
+        sweep_start = time.perf_counter()
         for adversary_name, adversary_factory in _adversary_factories():
             outcome = Campaign(
                 sender=sender,
@@ -100,15 +111,19 @@ def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResul
                 seeds=seeds,
                 max_steps=20_000,
                 workers=workers,
+                cache=cache,
             ).run(rng.fork(f"m{m}/{adversary_name}"))
             metrics.extend(outcome.metrics)
         summary = summarize(metrics)
+        search_seconds += time.perf_counter() - sweep_start
+        states_total += summary.states or 0
 
         explored_states: object = None
         exhaustive_safe: object = None
         if m <= explore_limit:
             total_states = 0
             all_safe = True
+            sweep_start = time.perf_counter()
             for input_sequence in family:
                 system = System(
                     sender,
@@ -117,7 +132,9 @@ def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResul
                     DuplicatingChannel(),
                     input_sequence,
                 )
-                report = explore(system, max_states=500_000)
+                report = cached_explore(
+                    system, max_states=500_000, cache=cache
+                )
                 total_states += report.states
                 all_safe = (
                     all_safe
@@ -125,8 +142,10 @@ def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResul
                     and report.completion_reachable
                     and not report.truncated
                 )
+            search_seconds += time.perf_counter() - sweep_start
             explored_states = total_states
             exhaustive_safe = all_safe
+            states_total += total_states
             checks[f"m{m}_exhaustively_safe_and_completable"] = all_safe
 
         witness_found: object = None
@@ -180,4 +199,6 @@ def run(seed: int = 0, quick: bool = False, workers: int = 1) -> ExperimentResul
             "(fairness-enforced); exhaustive exploration covers every "
             "schedule, the attack search every input pair"
         ),
+        states=states_total,
+        search_seconds=search_seconds,
     )

@@ -41,7 +41,9 @@ from repro.kernel.system import (
 )
 from repro.kernel.trace import Trace, TraceStep
 from repro.kernel.eventqueue import EventQueue, TimedEvent
-from repro.kernel.simulator import Simulator, SimulationResult
+from repro.kernel.intern import ConfigurationInterner
+from repro.kernel.compiled import CompiledSystem, compile_system
+from repro.kernel.simulator import Simulator, SimulationResult, simulate_compiled
 
 __all__ = [
     "KernelError",
@@ -66,6 +68,10 @@ __all__ = [
     "TraceStep",
     "EventQueue",
     "TimedEvent",
+    "ConfigurationInterner",
+    "CompiledSystem",
+    "compile_system",
     "Simulator",
     "SimulationResult",
+    "simulate_compiled",
 ]

@@ -1,0 +1,266 @@
+"""The compiled transition-table kernel.
+
+Every analysis layer in this repository bottoms out in the same hot
+path: :meth:`repro.kernel.system.System.enabled_events` /
+:meth:`~repro.kernel.system.System.apply` dispatching over boxed
+:class:`~repro.kernel.system.Configuration` and event tuples, re-deriving
+enabled events and re-hashing whole configurations on every step.  The
+paper's protocols are small finite automata over a finite alphabet, so
+the *product* system (sender state x receiver state x channel states x
+output) is itself a finite automaton -- and a finite automaton can be
+compiled once into dense integer transition tables, the standard trick in
+explicit-state model checkers.
+
+:class:`CompiledSystem` wraps one :class:`~repro.kernel.system.System`
+and maintains:
+
+* **interned state ids** -- every distinct reachable configuration gets a
+  dense integer id (collapse compression via
+  :class:`repro.kernel.intern.ConfigurationInterner`), assigned in first-
+  visit order;
+* **interned event ids** -- every distinct event tuple gets a dense
+  integer id;
+* **a flat successor table** -- ``row(sid)`` is the tuple of
+  ``(event_id, next_state_id)`` pairs in exactly
+  ``System.enabled_events`` order, so integer traversals visit successors
+  in the same order object-graph traversals do (the property that makes
+  the fast paths bit-identical);
+* **per-state safety / completion bits** -- ``output_is_safe`` /
+  ``output_is_complete`` evaluated once per state at intern time.
+
+Compilation is **lazy**: a state's row is built (and its successors
+interned) the first time the row is requested, so unreachable states cost
+nothing and systems with unbounded state spaces still work under the
+existing ``max_states`` / ``max_copies`` caps -- the table simply grows
+monotonically as far as its users walk it.
+
+The integer fast paths that consume this table are
+:func:`repro.verify.explorer.explore_compiled` and
+:func:`repro.kernel.simulator.simulate_compiled`; both produce
+bit-identical results to their object-graph twins.  A populated table can
+be exported with :meth:`CompiledSystem.snapshot` and revived with
+:meth:`CompiledSystem.from_snapshot` -- the hook the content-addressed
+result cache (:mod:`repro.analysis.cache`) uses to skip recompilation
+across processes and CI runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.intern import ConfigurationInterner
+from repro.kernel.system import Configuration, Event, System
+
+#: Version tag embedded in snapshots; bump when the table layout changes.
+SNAPSHOT_SCHEMA = "stp-compiled/1"
+
+Edge = Tuple[int, int]
+Row = Tuple[Edge, ...]
+
+
+class CompiledSystem:
+    """Lazily compiled integer transition tables for one system.
+
+    The compiled form is exact: state ``sid`` *is* the configuration
+    ``config_of(sid)``, and an edge ``(eid, nid)`` in ``row(sid)`` means
+    ``system.apply(config_of(sid), event_of(eid)) == config_of(nid)``.
+    Rows preserve ``enabled_events`` order, so any traversal over the
+    integer table reproduces the object-graph traversal step for step.
+    """
+
+    __slots__ = (
+        "system",
+        "_interner",
+        "_configs",
+        "_safe",
+        "_complete",
+        "_rows",
+        "_rows_nodrop",
+        "_edge_by_event",
+        "_events",
+        "_event_ids",
+        "_event_is_drop",
+    )
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self._interner = ConfigurationInterner()
+        self._configs: List[Configuration] = []
+        self._safe = bytearray()
+        self._complete = bytearray()
+        self._rows: List[Optional[Row]] = []
+        self._rows_nodrop: List[Optional[Row]] = []
+        self._edge_by_event: List[Optional[Dict[Event, int]]] = []
+        self._events: List[Event] = []
+        self._event_ids: Dict[Event, int] = {}
+        self._event_is_drop: List[bool] = []
+
+    # -- interning -------------------------------------------------------
+
+    def _ensure_state(self, config: Configuration) -> int:
+        """The dense id of ``config``, interning it on first sight."""
+        state_id, is_new = self._interner.ensure(config)
+        if is_new:
+            self._configs.append(config)
+            self._safe.append(1 if self.system.output_is_safe(config) else 0)
+            self._complete.append(
+                1 if self.system.output_is_complete(config) else 0
+            )
+            self._rows.append(None)
+            self._rows_nodrop.append(None)
+            self._edge_by_event.append(None)
+        return state_id
+
+    def _ensure_event(self, event: Event) -> int:
+        event_id = self._event_ids.get(event)
+        if event_id is None:
+            event_id = len(self._events)
+            self._event_ids[event] = event_id
+            self._events.append(event)
+            self._event_is_drop.append(event[0] == "drop")
+        return event_id
+
+    def initial_id(self) -> int:
+        """The id of the system's initial configuration."""
+        return self._ensure_state(self.system.initial())
+
+    # -- the successor table ---------------------------------------------
+
+    def row(self, state_id: int) -> Row:
+        """``(event_id, next_state_id)`` edges in ``enabled_events`` order.
+
+        Built on first request (interning every successor); cached
+        afterwards, so the object-graph transition functions run at most
+        once per (state, event) pair for the table's whole lifetime.
+        """
+        cached = self._rows[state_id]
+        if cached is not None:
+            return cached
+        system = self.system
+        config = self._configs[state_id]
+        edges: List[Edge] = []
+        for event in system.enabled_events(config):
+            event_id = self._ensure_event(event)
+            next_id = self._ensure_state(system.apply(config, event))
+            edges.append((event_id, next_id))
+        row: Row = tuple(edges)
+        self._rows[state_id] = row
+        is_drop = self._event_is_drop
+        self._rows_nodrop[state_id] = tuple(
+            edge for edge in row if not is_drop[edge[0]]
+        )
+        return row
+
+    def row_without_drops(self, state_id: int) -> Row:
+        """:meth:`row` with the environment's explicit drop moves removed."""
+        cached = self._rows_nodrop[state_id]
+        if cached is None:
+            self.row(state_id)
+            cached = self._rows_nodrop[state_id]
+        return cached
+
+    def enabled(self, state_id: int) -> Tuple[Event, ...]:
+        """Decoded enabled events -- equal to ``System.enabled_events``."""
+        return tuple(self._events[event_id] for event_id, _ in self.row(state_id))
+
+    def step(self, state_id: int, event: Event) -> int:
+        """The successor id under ``event``.
+
+        Raises :class:`~repro.kernel.errors.SimulationError` if ``event``
+        is not enabled at ``state_id``.
+        """
+        edges = self._edge_by_event[state_id]
+        if edges is None:
+            edges = {
+                self._events[event_id]: next_id
+                for event_id, next_id in self.row(state_id)
+            }
+            self._edge_by_event[state_id] = edges
+        try:
+            return edges[event]
+        except KeyError:
+            raise SimulationError(
+                f"event {event!r} is not enabled at compiled state "
+                f"{state_id}; enabled: {self.enabled(state_id)!r}"
+            ) from None
+
+    # -- decoding / predicates -------------------------------------------
+
+    def config_of(self, state_id: int) -> Configuration:
+        """The configuration interned as ``state_id``."""
+        return self._configs[state_id]
+
+    def event_of(self, event_id: int) -> Event:
+        """The event tuple interned as ``event_id``."""
+        return self._events[event_id]
+
+    def is_safe(self, state_id: int) -> bool:
+        """Precomputed ``output_is_safe`` bit for ``state_id``."""
+        return bool(self._safe[state_id])
+
+    def is_complete(self, state_id: int) -> bool:
+        """Precomputed ``output_is_complete`` bit for ``state_id``."""
+        return bool(self._complete[state_id])
+
+    def __len__(self) -> int:
+        """Number of configurations interned so far."""
+        return len(self._configs)
+
+    @property
+    def compiled_rows(self) -> int:
+        """Number of states whose successor row has been built."""
+        return sum(1 for row in self._rows if row is not None)
+
+    @property
+    def event_count(self) -> int:
+        """Number of distinct events interned so far."""
+        return len(self._events)
+
+    # -- snapshots (for the on-disk result cache) ------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable export of the table (configs, rows, events, bits)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "configs": tuple(self._configs),
+            "rows": tuple(self._rows),
+            "events": tuple(self._events),
+            "safe": bytes(self._safe),
+            "complete": bytes(self._complete),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, system: System, snapshot: Dict[str, object]
+    ) -> "CompiledSystem":
+        """Revive a compiled table for ``system`` from :meth:`snapshot`.
+
+        The snapshot must come from an identical system (the cache layer
+        guarantees this by fingerprinting); ids are re-assigned in the
+        stored order, so they match the exporting process exactly.
+        """
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+            raise SimulationError(
+                f"unsupported compiled-system snapshot: "
+                f"{snapshot.get('schema')!r}"
+            )
+        compiled = cls(system)
+        for config in snapshot["configs"]:  # type: ignore[union-attr]
+            compiled._ensure_state(config)
+        for event in snapshot["events"]:  # type: ignore[union-attr]
+            compiled._ensure_event(event)
+        is_drop = compiled._event_is_drop
+        for state_id, row in enumerate(snapshot["rows"]):  # type: ignore[arg-type]
+            if row is None:
+                continue
+            compiled._rows[state_id] = row
+            compiled._rows_nodrop[state_id] = tuple(
+                edge for edge in row if not is_drop[edge[0]]
+            )
+        return compiled
+
+
+def compile_system(system: System) -> CompiledSystem:
+    """Convenience constructor mirroring the module-level naming scheme."""
+    return CompiledSystem(system)

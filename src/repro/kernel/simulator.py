@@ -231,6 +231,108 @@ class Simulator:
         )
 
 
+def simulate_compiled(
+    system: System,
+    adversary,
+    max_steps: int = 10_000,
+    stop_on_violation: bool = True,
+    stop_when_complete: bool = True,
+    compiled=None,
+) -> SimulationResult:
+    """Integer fast path of :class:`Simulator` over a compiled table.
+
+    Runs the same loop as :meth:`Simulator.run` but resolves enabled
+    events, successor configurations, and the safety/completion predicates
+    through a :class:`repro.kernel.compiled.CompiledSystem`, so each
+    distinct (configuration, event) pair pays the protocol and channel
+    transition functions exactly once -- every revisit (retransmission
+    loops, ack floods, quiescent periods) is a dictionary lookup.  The
+    returned :class:`SimulationResult` is **bit-identical** to the
+    object-graph path: the adversary sees the same ``system``, the same
+    growing :class:`~repro.kernel.trace.Trace`, and the same enabled-event
+    tuples, and the recorded configurations are equal value-for-value.
+
+    Args:
+        compiled: an existing table for ``system`` to reuse (warm tables
+            skip compilation entirely); ``None`` compiles lazily.
+
+    Other arguments match :class:`Simulator`.
+    """
+    from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.trace import TraceStep
+
+    if max_steps <= 0:
+        raise SimulationError(f"max_steps must be positive, got {max_steps}")
+    table = compiled if compiled is not None else CompiledSystem(system)
+    reset = getattr(adversary, "reset", None)
+    if reset is not None:
+        reset()
+    trace = Trace(system)
+    state_id = table.initial_id()
+    first_violation: Optional[int] = None
+    stopped_by_adversary = False
+
+    if not table.is_safe(state_id):
+        first_violation = 0
+
+    while len(trace) < max_steps:
+        if first_violation is not None and stop_on_violation:
+            break
+        if stop_when_complete and table.is_complete(state_id):
+            break
+        enabled = table.enabled(state_id)
+        event = adversary.choose(system, trace, enabled)
+        if event is None:
+            stopped_by_adversary = True
+            break
+        if event not in enabled:
+            raise SimulationError(
+                f"adversary chose disabled event {event!r} at step "
+                f"{len(trace)}; enabled: {enabled!r}"
+            )
+        try:
+            state_id = table.step(state_id, event)
+        except SimulationError as error:
+            raise SimulationError(
+                f"applying event {event!r} at step {len(trace)} "
+                f"failed: {error}"
+            ) from error
+        trace.steps.append(
+            TraceStep(event=event, config=table.config_of(state_id))
+        )
+        if first_violation is None and not table.is_safe(state_id):
+            first_violation = len(trace)
+
+    completed = table.is_complete(state_id)
+    budget: Optional[StepBudgetExceeded] = None
+    if (
+        len(trace) >= max_steps
+        and not stopped_by_adversary
+        and not (stop_when_complete and completed)
+        and not (first_violation is not None and stop_on_violation)
+    ):
+        budget = StepBudgetExceeded(
+            max_steps=max_steps,
+            last_event=trace.steps[-1].event if trace.steps else None,
+            output_written=len(trace.last.output),
+        )
+    recovery = measure_recovery(
+        trace,
+        getattr(adversary, "first_fault_time", None),
+        len(trace),
+    )
+    return SimulationResult(
+        trace=trace,
+        completed=completed,
+        safe=first_violation is None,
+        steps=len(trace),
+        stopped_by_adversary=stopped_by_adversary,
+        first_violation_time=first_violation,
+        budget_exceeded=budget,
+        recovery=recovery,
+    )
+
+
 def run_protocol(
     sender,
     receiver,

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.kernel.compiled import CompiledSystem
 from repro.kernel.errors import SimulationError
 from repro.kernel.system import System
-from repro.kernel.trace import Trace
+from repro.kernel.trace import Trace, TraceStep
 from repro.knowledge.history import receiver_view, sender_view
 from repro.knowledge.runs import Ensemble
 
@@ -50,31 +51,46 @@ def exhaustive_ensemble(
         include_drops: whether to explore explicit drop events.
         max_traces: safety valve against state-space explosion, applied to
             each level's frontier.
+
+    The expansion rides the compiled transition table
+    (:class:`~repro.kernel.compiled.CompiledSystem`): each branch extends
+    its parent's recorded steps with a successor looked up by integer id,
+    so the protocol and channel transition functions run once per distinct
+    (configuration, event) pair instead of once per tree node per prefix
+    replay.  The generated ensemble is identical to the old replay-based
+    construction (compiled rows preserve ``enabled_events`` order).
     """
     traces: List[Trace] = []
     for input_sequence in family:
         system = make_system(tuple(input_sequence))
-        frontier: Dict[Tuple, Trace] = {_signature(Trace(system)): Trace(system)}
+        table = CompiledSystem(system)
+        row_of = table.row if include_drops else table.row_without_drops
+        root = Trace(system)
+        frontier: Dict[Tuple, Tuple[Trace, int]] = {
+            _signature(root): (root, table.initial_id())
+        }
         for _ in range(depth):
-            next_frontier: Dict[Tuple, Trace] = {}
-            for trace in frontier.values():
-                enabled = system.enabled_events(trace.last)
-                if not include_drops:
-                    enabled = tuple(e for e in enabled if e[0] != "drop")
-                for event in enabled:
+            next_frontier: Dict[Tuple, Tuple[Trace, int]] = {}
+            for trace, state_id in frontier.values():
+                for event_id, successor_id in row_of(state_id):
                     branch = Trace(system)
-                    branch.replay(trace.events())
-                    branch.extend(event)
+                    branch.steps.extend(trace.steps)
+                    branch.steps.append(
+                        TraceStep(
+                            event=table.event_of(event_id),
+                            config=table.config_of(successor_id),
+                        )
+                    )
                     key = _signature(branch)
                     if key not in next_frontier:
-                        next_frontier[key] = branch
+                        next_frontier[key] = (branch, successor_id)
                         if len(next_frontier) > max_traces:
                             raise SimulationError(
                                 f"exhaustive ensemble frontier exceeded "
                                 f"{max_traces} runs; reduce depth or family"
                             )
             frontier = next_frontier
-        traces.extend(frontier.values())
+        traces.extend(branch for branch, _ in frontier.values())
     return Ensemble(traces)
 
 

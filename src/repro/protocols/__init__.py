@@ -53,8 +53,16 @@ from repro.protocols.stenning import StenningSender, StenningReceiver
 from repro.protocols.afwz import ReverseSender, ReverseReceiver
 from repro.protocols.hybrid import HybridSender, HybridReceiver
 from repro.protocols.modulo import ModuloSender, ModuloReceiver
+from repro.protocols.registry import (
+    protocol_by_name,
+    protocol_names,
+    register_protocol,
+)
 
 __all__ = [
+    "protocol_by_name",
+    "protocol_names",
+    "register_protocol",
     "HandshakeSender",
     "HandshakeReceiver",
     "handshake_protocol",

@@ -1,0 +1,100 @@
+"""A name-indexed registry of protocol families.
+
+The channel side has had one of these (:mod:`repro.channels.registry`)
+since the seed; this is its protocol twin.  Sweeps that want "every
+protocol" -- the compiled-kernel equivalence suite, future CLI surface --
+iterate :func:`protocol_names` instead of hand-maintaining import lists
+that silently rot as protocols are added.
+
+Every factory has the uniform signature ``factory(domain, input_length)``
+returning a ``(sender, receiver)`` pair ready to transmit any sequence of
+at most ``input_length`` items drawn from ``domain``.  Protocol families
+whose underlying constructors need extra shape (window sizes, timeouts)
+are registered with representative fixed parameters -- the registry names
+a concrete automaton pair, not a parameter space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.kernel.errors import ProtocolError
+
+ProtocolFactory = Callable[[Sequence, int], Tuple]
+
+_REGISTRY: Dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(name: str, factory: ProtocolFactory) -> None:
+    """Register ``factory(domain, input_length)`` under ``name``.
+
+    Overwrites silently, like the channel registry.
+    """
+    _REGISTRY[name] = factory
+
+
+def protocol_by_name(name: str, domain: Sequence, input_length: int) -> Tuple:
+    """Instantiate the ``(sender, receiver)`` pair registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(domain, input_length)
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered protocol names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    from repro.protocols.abp import abp_protocol
+    from repro.protocols.afwz import reverse_protocol
+    from repro.protocols.gobackn import gobackn_protocol
+    from repro.protocols.hybrid import hybrid_protocol
+    from repro.protocols.modulo import modulo_protocol
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.protocols.norepeat_del import bounded_del_protocol
+    from repro.protocols.selective import selective_repeat_protocol
+    from repro.protocols.stenning import stenning_protocol
+    from repro.protocols.trivial import StreamingReceiver, StreamingSender
+
+    register_protocol(
+        "norepeat", lambda domain, length: norepeat_protocol(domain)
+    )
+    register_protocol(
+        "norepeat-del", lambda domain, length: bounded_del_protocol(domain)
+    )
+    register_protocol("abp", lambda domain, length: abp_protocol(domain))
+    register_protocol(
+        "stenning", lambda domain, length: stenning_protocol(domain, length)
+    )
+    register_protocol(
+        "gbn-2", lambda domain, length: gobackn_protocol(domain, 2, timeout=8)
+    )
+    register_protocol(
+        "sr-2",
+        lambda domain, length: selective_repeat_protocol(domain, 2, timeout=6),
+    )
+    register_protocol(
+        "reverse", lambda domain, length: reverse_protocol(domain, length)
+    )
+    register_protocol(
+        "hybrid",
+        lambda domain, length: hybrid_protocol(domain, length, timeout=6),
+    )
+    register_protocol(
+        "modulo", lambda domain, length: modulo_protocol(domain, 2)
+    )
+    register_protocol(
+        "streaming",
+        lambda domain, length: (
+            StreamingSender(domain),
+            StreamingReceiver(domain),
+        ),
+    )
+
+
+_register_builtins()

@@ -15,7 +15,7 @@
 
 from repro.verify.safety import check_safety, SafetyVerdict
 from repro.verify.liveness import check_liveness, LivenessVerdict
-from repro.verify.explorer import explore, ExplorationReport
+from repro.verify.explorer import explore, explore_compiled, ExplorationReport
 from repro.verify.deadlock import (
     assert_outage_recoverable,
     find_liveness_trap,
@@ -35,6 +35,7 @@ __all__ = [
     "check_liveness",
     "LivenessVerdict",
     "explore",
+    "explore_compiled",
     "ExplorationReport",
     "assert_outage_recoverable",
     "find_liveness_trap",

@@ -30,9 +30,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.kernel.compiled import CompiledSystem
 from repro.kernel.errors import VerificationError
+from repro.kernel.intern import ConfigurationInterner
 from repro.kernel.system import Configuration, Event, System
-from repro.verify.intern import ConfigurationInterner
 
 
 @dataclass(frozen=True)
@@ -191,6 +192,147 @@ def explore(
         elapsed_seconds=elapsed,
         states_per_second=expanded / elapsed if elapsed > 0 else 0.0,
     )
+
+
+def explore_compiled(
+    system: System,
+    max_states: int = 1_000_000,
+    include_drops: bool = True,
+    store_parents: bool = True,
+    compiled: Optional[CompiledSystem] = None,
+) -> ExplorationReport:
+    """Integer fast path of :func:`explore` over a compiled table.
+
+    Produces a report **bit-identical** to :func:`explore` in every
+    non-timing field (``elapsed_seconds`` / ``states_per_second`` are wall
+    clock and necessarily differ): the compiled successor rows preserve
+    ``enabled_events`` order, so the BFS discovers, expands, truncates,
+    and (if unsafe) reaches the violating state in exactly the same order
+    as the object-graph search.
+
+    Args:
+        compiled: an existing :class:`~repro.kernel.compiled.CompiledSystem`
+            for ``system`` to reuse (e.g. a table revived from the result
+            cache, or one warmed by a previous exploration).  A warm table
+            turns the whole search into pure integer traversal -- no
+            protocol or channel code runs at all.  ``None`` compiles
+            lazily from scratch, which still pays each
+            ``enabled_events`` / ``apply`` exactly once per state.
+
+    Other arguments match :func:`explore`.
+    """
+    if max_states < 1:
+        raise VerificationError("max_states must be positive")
+    start = time.perf_counter()
+    table = compiled if compiled is not None else CompiledSystem(system)
+    initial_id = table.initial_id()
+    completion_reachable = table.is_complete(initial_id)
+
+    if not table.is_safe(initial_id):
+        return ExplorationReport(
+            states=1,
+            all_safe=False,
+            violation_path=(),
+            completion_reachable=completion_reachable,
+            truncated=False,
+            expanded_states=0,
+            peak_frontier=1,
+            elapsed_seconds=time.perf_counter() - start,
+            states_per_second=0.0,
+        )
+
+    # The table may be warm (ids interned by earlier searches), so the
+    # states discovered by *this* run are tracked in a local visited set
+    # rather than read off the interner size.
+    visited = {initial_id}
+    parents: Optional[Dict[int, Optional[Tuple[int, int]]]] = (
+        {initial_id: None} if store_parents else None
+    )
+    row_of = table.row if include_drops else table.row_without_drops
+    is_safe = table.is_safe
+    is_complete = table.is_complete
+
+    frontier: List[int] = [initial_id]
+    expanded = 0
+    peak_frontier = 1
+    truncated = False
+
+    while frontier and not truncated:
+        peak_frontier = max(peak_frontier, len(frontier))
+        next_frontier: List[int] = []
+        for state_id in frontier:
+            if expanded >= max_states:
+                truncated = True
+                break
+            expanded += 1
+            for event_id, successor_id in row_of(state_id):
+                if successor_id in visited:
+                    continue
+                visited.add(successor_id)
+                if parents is not None:
+                    parents[successor_id] = (state_id, event_id)
+                if not is_safe(successor_id):
+                    if parents is None:
+                        # Fast mode kept no links; redo with parents over
+                        # the (now warm) table to recover the path.
+                        return explore_compiled(
+                            system,
+                            max_states=max_states,
+                            include_drops=include_drops,
+                            store_parents=True,
+                            compiled=table,
+                        )
+                    elapsed = time.perf_counter() - start
+                    return ExplorationReport(
+                        states=len(visited),
+                        all_safe=False,
+                        violation_path=_decode_path(
+                            table, parents, successor_id
+                        ),
+                        completion_reachable=completion_reachable,
+                        truncated=False,
+                        expanded_states=expanded,
+                        peak_frontier=peak_frontier,
+                        elapsed_seconds=elapsed,
+                        states_per_second=(
+                            expanded / elapsed if elapsed > 0 else 0.0
+                        ),
+                    )
+                if is_complete(successor_id):
+                    completion_reachable = True
+                next_frontier.append(successor_id)
+        if not truncated:
+            frontier = next_frontier
+    elapsed = time.perf_counter() - start
+    return ExplorationReport(
+        states=len(visited),
+        all_safe=True,
+        violation_path=None,
+        completion_reachable=completion_reachable,
+        truncated=truncated,
+        expanded_states=expanded,
+        peak_frontier=peak_frontier,
+        elapsed_seconds=elapsed,
+        states_per_second=expanded / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+def _decode_path(
+    table: CompiledSystem,
+    parents: Dict[int, Optional[Tuple[int, int]]],
+    target_id: int,
+) -> Tuple[Event, ...]:
+    """Reconstruct the event schedule to ``target_id`` from integer links."""
+    events: List[Event] = []
+    cursor = target_id
+    while True:
+        link = parents[cursor]
+        if link is None:
+            break
+        cursor, event_id = link
+        events.append(table.event_of(event_id))
+    events.reverse()
+    return tuple(events)
 
 
 def _path_to(

@@ -1,91 +1,13 @@
 """Compact state interning for exhaustive exploration.
 
-The explorer visits up to millions of global configurations.  Keeping
-every :class:`~repro.kernel.system.Configuration` object alive in the
-visited structure costs hundreds of bytes per state (a dataclass, its
-``__dict__``, and the object graphs of two channel states and the output
-tape).  :class:`ConfigurationInterner` applies collapse-style compression
-(the technique model checkers like SPIN use): each of a configuration's
-five components -- sender state, receiver state, the two channel states,
-and the output tape -- is interned once into a per-component table, and a
-configuration's canonical *byte key* is the fixed-width packed tuple of
-its five component ids.
-
-Why this is both exact and fast:
-
-* two configurations are equal iff their five components are pairwise
-  equal, iff they receive identical component ids, iff their packed byte
-  keys are equal -- component tables are ordinary dicts, so equality is
-  Python's own ``==`` (no dependence on set iteration order or on any
-  hand-rolled serialization being injective);
-* components are shared massively across states (the reachable space is
-  close to a cross product of per-component spaces), so the tables stay
-  tiny relative to the state count and each distinct component object is
-  retained exactly once;
-* the per-state footprint of the visited set is one 20-byte key plus a
-  dense integer id, independent of how large the configuration is.
+The implementation moved to :mod:`repro.kernel.intern` so the compiled
+kernel (:mod:`repro.kernel.compiled`) can share it without the kernel
+depending on the verification layer.  This module remains as the
+historical import path.
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Dict, Optional, Tuple
+from repro.kernel.intern import ConfigurationInterner
 
-from repro.kernel.system import Configuration
-
-_PACK = struct.Struct(">5I")
-
-
-class ConfigurationInterner:
-    """Dense integer ids for configurations, via per-component collapse.
-
-    Ids are assigned in discovery order, so BFS layers map to contiguous
-    id ranges and parent links always point backwards.
-    """
-
-    __slots__ = ("_components", "_ids")
-
-    def __init__(self) -> None:
-        # One table per Configuration field: value -> small id.
-        self._components: Tuple[Dict, ...] = ({}, {}, {}, {}, {})
-        self._ids: Dict[bytes, int] = {}
-
-    def key(self, config: Configuration) -> bytes:
-        """The canonical 20-byte key of ``config`` (interns components)."""
-        ids = []
-        for table, part in zip(
-            self._components,
-            (
-                config.sender_state,
-                config.receiver_state,
-                config.chan_sr,
-                config.chan_rs,
-                config.output,
-            ),
-        ):
-            part_id = table.get(part)
-            if part_id is None:
-                part_id = len(table)
-                table[part] = part_id
-            ids.append(part_id)
-        return _PACK.pack(*ids)
-
-    def intern(self, config: Configuration) -> Optional[int]:
-        """Assign the next dense id to ``config``; None if already seen."""
-        key = self.key(config)
-        if key in self._ids:
-            return None
-        new_id = len(self._ids)
-        self._ids[key] = new_id
-        return new_id
-
-    def __contains__(self, config: Configuration) -> bool:
-        return self.key(config) in self._ids
-
-    def __len__(self) -> int:
-        return len(self._ids)
-
-    @property
-    def component_counts(self) -> Tuple[int, ...]:
-        """Distinct (sender, receiver, chan_sr, chan_rs, output) counts."""
-        return tuple(len(table) for table in self._components)
+__all__ = ["ConfigurationInterner"]

@@ -1,0 +1,131 @@
+"""Tests for the content-addressed result cache (repro.analysis.cache)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.cache import (
+    CACHE_ENV_VAR,
+    ResultCache,
+    cached_explore,
+    canonical,
+    fingerprint,
+    system_fingerprint,
+)
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.system import System
+from repro.kernel.types import Multiset
+from repro.protocols.norepeat import norepeat_protocol
+from repro.verify import explore
+
+
+def make_system(items=("a", "b"), channel=DuplicatingChannel):
+    sender, receiver = norepeat_protocol(tuple(sorted(set(items))) or ("a",))
+    return System(sender, receiver, channel(), channel(), tuple(items))
+
+
+def strip_timing(report):
+    return replace(report, elapsed_seconds=0.0, states_per_second=0.0)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint("x", 1, (2, 3)) == fingerprint("x", 1, (2, 3))
+
+    def test_distinguishes_values_and_types(self):
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint((1, 2)) != fingerprint([1, 2])
+        assert fingerprint("a") != fingerprint("b")
+
+    def test_rng_identity_is_seed_and_path(self):
+        assert fingerprint(DeterministicRNG(5, "p")) == fingerprint(
+            DeterministicRNG(5, "p")
+        )
+        assert fingerprint(DeterministicRNG(5, "p")) != fingerprint(
+            DeterministicRNG(6, "p")
+        )
+
+    def test_multiset_hash_slot_is_excluded(self):
+        one = Multiset(("x", "y"))
+        two = Multiset(("x", "y"))
+        hash(one)  # populate the cached-hash slot on one side only
+        assert canonical(one) == canonical(two)
+
+    def test_sibling_lambdas_do_not_collide(self):
+        makers = [lambda: 1, lambda: 2]
+        assert fingerprint(makers[0]) != fingerprint(makers[1])
+
+    def test_system_fingerprint_covers_channel_caps(self):
+        capped = make_system(channel=lambda: DeletingChannel(max_copies=2))
+        uncapped = make_system(channel=DeletingChannel)
+        assert system_fingerprint(capped) != system_fingerprint(uncapped)
+
+    def test_system_fingerprint_equal_for_equal_systems(self):
+        assert system_fingerprint(make_system()) == system_fingerprint(
+            make_system()
+        )
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("kind", "a" * 64, {"value": 7})
+        assert cache.get("kind", "a" * 64) == {"value": 7}
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("kind", "b" * 64) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("kind", "c" * 64, [1, 2, 3])
+        path = cache._path("kind", "c" * 64)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("kind", "c" * 64) is None
+
+    def test_wipe_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("kind", "d" * 64, 1)
+        cache.wipe()
+        assert not (tmp_path / "cache").exists()
+        assert cache.get("kind", "d" * 64) is None
+
+    def test_env_var_overrides_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "env-root"))
+        assert ResultCache().root == tmp_path / "env-root"
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["root"] == str(tmp_path)
+
+
+class TestCachedExplore:
+    def test_matches_object_explorer(self, tmp_path):
+        base = explore(make_system())
+        cached = cached_explore(make_system(), cache=ResultCache(tmp_path))
+        assert strip_timing(cached) == strip_timing(base)
+
+    def test_hit_returns_stored_report_verbatim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cached_explore(make_system(), cache=cache)
+        hits_before = cache.hits
+        second = cached_explore(make_system(), cache=cache)
+        assert second == first  # timing fields included: stored verbatim
+        assert cache.hits > hits_before
+
+    def test_different_caps_key_differently(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cached_explore(make_system(), max_states=600, cache=cache)
+        cached_explore(make_system(), max_states=700, cache=cache)
+        # Distinct report keys, but the second call revives the stored
+        # transition-table snapshot.
+        assert cache.hits == 1
+
+    def test_without_cache_is_plain_explore_compiled(self):
+        report = cached_explore(make_system(), cache=None)
+        assert strip_timing(report) == strip_timing(explore(make_system()))

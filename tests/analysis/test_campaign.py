@@ -121,3 +121,59 @@ class TestParallelDeterminism:
     def test_workers_beyond_grid_size_are_harmless(self):
         outcome = norepeat_campaign(workers=64).run(DeterministicRNG(0))
         assert outcome.summary.runs == len(repetition_free_family("ab")) * 2
+
+
+class TestParallelFallback:
+    def test_single_core_falls_back_to_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert norepeat_campaign(workers=4)._effective_workers(1000) == 1
+
+    def test_small_grid_falls_back_to_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        campaign = norepeat_campaign(workers=4)
+        # Below workers * _MIN_CHUNK the pool cannot amortize start-up.
+        assert campaign._effective_workers(15) == 1
+        assert campaign._effective_workers(16) == 4
+
+    def test_fallback_still_produces_identical_outcomes(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        serial = norepeat_campaign(workers=1).run(DeterministicRNG(11))
+        fallback = norepeat_campaign(workers=4).run(DeterministicRNG(11))
+        assert fallback.metrics == serial.metrics
+
+
+class TestCompiledCampaign:
+    def test_compiled_kernel_matches_object_path(self):
+        plain = norepeat_campaign().run(DeterministicRNG(5))
+        compiled = norepeat_campaign(compiled=True).run(DeterministicRNG(5))
+        assert compiled.metrics == plain.metrics
+        assert compiled.summary == plain.summary
+        assert compiled.failures == plain.failures
+
+
+class TestCampaignCache:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        one = norepeat_campaign(cache=cache).run(DeterministicRNG(9))
+        assert cache.hits == 0
+        assert cache.misses == one.summary.runs
+        two = norepeat_campaign(cache=cache).run(DeterministicRNG(9))
+        assert cache.hits == one.summary.runs
+        assert two.metrics == one.metrics
+        assert two.summary == one.summary
+
+    def test_different_rng_identity_misses(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        norepeat_campaign(cache=cache).run(DeterministicRNG(9))
+        norepeat_campaign(cache=cache).run(DeterministicRNG(10))
+        assert cache.hits == 0

@@ -1,0 +1,166 @@
+"""Tests for the compiled transition-table kernel (repro.kernel.compiled)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import AgingFairAdversary, EagerAdversary, RandomAdversary
+from repro.channels import DeletingChannel, DuplicatingChannel
+from repro.kernel.compiled import CompiledSystem, compile_system
+from repro.kernel.errors import SimulationError
+from repro.kernel.rng import DeterministicRNG
+from repro.kernel.simulator import Simulator, simulate_compiled
+from repro.kernel.system import System
+from repro.protocols.norepeat import norepeat_protocol
+
+
+def make_system(items=("a", "b"), channel=DuplicatingChannel):
+    sender, receiver = norepeat_protocol(tuple(sorted(set(items))) or ("a",))
+    return System(sender, receiver, channel(), channel(), tuple(items))
+
+
+class TestRows:
+    def test_row_matches_enabled_events_order(self):
+        system = make_system()
+        table = CompiledSystem(system)
+        state_id = table.initial_id()
+        row = table.row(state_id)
+        enabled = system.enabled_events(system.initial())
+        assert tuple(table.event_of(eid) for eid, _ in row) == enabled
+
+    def test_row_successors_match_apply(self):
+        system = make_system()
+        table = CompiledSystem(system)
+        state_id = table.initial_id()
+        config = table.config_of(state_id)
+        for event_id, successor_id in table.row(state_id):
+            event = table.event_of(event_id)
+            assert table.config_of(successor_id) == system.apply(config, event)
+
+    def test_row_without_drops_filters_drop_events(self):
+        system = make_system(channel=lambda: DeletingChannel(max_copies=2))
+        table = CompiledSystem(system)
+        # Walk a few expansions so some state has an enabled drop.
+        seen_drop = False
+        frontier = [table.initial_id()]
+        for _ in range(4):
+            next_frontier = []
+            for state_id in frontier:
+                events = {
+                    table.event_of(eid)[0] for eid, _ in table.row(state_id)
+                }
+                lean = {
+                    table.event_of(eid)[0]
+                    for eid, _ in table.row_without_drops(state_id)
+                }
+                assert "drop" not in lean
+                if "drop" in events:
+                    seen_drop = True
+                next_frontier.extend(nid for _, nid in table.row(state_id))
+            frontier = next_frontier
+        assert seen_drop
+
+    def test_rows_are_lazy(self):
+        table = CompiledSystem(make_system())
+        assert table.compiled_rows == 0
+        table.row(table.initial_id())
+        assert table.compiled_rows == 1
+
+    def test_compile_system_helper(self):
+        table = compile_system(make_system())
+        assert isinstance(table, CompiledSystem)
+        table.initial_id()
+        assert len(table) == 1
+
+
+class TestStep:
+    def test_step_follows_enabled_event(self):
+        system = make_system()
+        table = CompiledSystem(system)
+        state_id = table.initial_id()
+        event = table.enabled(state_id)[0]
+        successor_id = table.step(state_id, event)
+        assert table.config_of(successor_id) == system.apply(
+            table.config_of(state_id), event
+        )
+
+    def test_step_rejects_disabled_event(self):
+        table = CompiledSystem(make_system())
+        with pytest.raises(SimulationError):
+            table.step(table.initial_id(), ("no-such-event",))
+
+
+class TestPredicates:
+    def test_initial_state_flags(self):
+        system = make_system(items=())
+        table = CompiledSystem(system)
+        state_id = table.initial_id()
+        assert table.is_safe(state_id)
+        # Empty input: the initial configuration is already complete.
+        assert table.is_complete(state_id)
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_ids_and_rows(self):
+        system = make_system()
+        table = CompiledSystem(system)
+        frontier = [table.initial_id()]
+        for _ in range(3):
+            frontier = [
+                nid for sid in frontier for _, nid in table.row(sid)
+            ]
+        snapshot = table.snapshot()
+        revived = CompiledSystem.from_snapshot(system, snapshot)
+        assert len(revived) == len(table)
+        assert revived.compiled_rows == table.compiled_rows
+        for state_id in range(table.compiled_rows):
+            assert revived.row(state_id) == table.row(state_id)
+            assert revived.config_of(state_id) == table.config_of(state_id)
+
+    def test_snapshot_rejects_other_schema(self):
+        system = make_system()
+        snapshot = CompiledSystem(system).snapshot()
+        snapshot["schema"] = "bogus/0"
+        with pytest.raises(Exception):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+
+class TestSimulateCompiled:
+    @pytest.mark.parametrize("items", [(), ("a",), ("a", "b"), ("a", "b", "c")])
+    def test_bit_identical_to_simulator(self, items):
+        def adversary():
+            return AgingFairAdversary(
+                RandomAdversary(DeterministicRNG(3, "compiled-test")),
+                patience=64,
+            )
+
+        base = Simulator(make_system(items), adversary(), max_steps=5_000).run()
+        fast = simulate_compiled(
+            make_system(items), adversary(), max_steps=5_000
+        )
+        assert fast.trace.steps == base.trace.steps
+        assert fast.completed == base.completed
+        assert fast.safe == base.safe
+        assert fast.steps == base.steps
+        assert fast.stopped_by_adversary == base.stopped_by_adversary
+        assert fast.first_violation_time == base.first_violation_time
+        assert fast.budget_exceeded == base.budget_exceeded
+        assert fast.recovery == base.recovery
+
+    def test_warm_table_reuse(self):
+        system = make_system()
+        table = CompiledSystem(system)
+        first = simulate_compiled(
+            system, EagerAdversary(), max_steps=5_000, compiled=table
+        )
+        rows_after_first = table.compiled_rows
+        second = simulate_compiled(
+            system, EagerAdversary(), max_steps=5_000, compiled=table
+        )
+        assert second.trace.steps == first.trace.steps
+        # An identical eager run revisits only known transitions.
+        assert table.compiled_rows == rows_after_first
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(SimulationError):
+            simulate_compiled(make_system(), EagerAdversary(), max_steps=0)
