@@ -1,0 +1,65 @@
+"""Nightly CI assertion: recovery measurements flow through the registry.
+
+The chaos suite's :class:`~repro.kernel.simulator.RecoveryMetrics` must
+arrive in the ``BENCH_PR2.json`` artifact via the :mod:`repro.obs`
+metrics registry -- recorded at measurement time inside (possibly
+forked) workers and merged back into the parent -- not scraped out of
+traces after the fact.  The proof is structural: the artifact's
+``metrics:`` section must contain the ``recovery.*`` histograms and
+counters with non-zero observation counts.
+
+    python benchmarks/assert_recovery_metrics.py BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Metrics the chaos artifact must carry, with the shape each must have.
+REQUIRED = {
+    "recovery.faults": "counter",
+    "recovery.time_to_resync": "histogram",
+    "recovery.retransmissions": "histogram",
+    "recovery.wasted_steps": "histogram",
+}
+
+
+def check(report: Dict) -> str:
+    """Raise AssertionError on failure; return the success summary."""
+    metrics = report.get("metrics")
+    assert metrics, (
+        "artifact has no metrics: section -- chaos must run with "
+        "observability collection enabled"
+    )
+    lines: List[str] = []
+    for name, kind in REQUIRED.items():
+        entry = metrics.get(name)
+        assert entry is not None, f"metrics section is missing {name!r}"
+        assert entry.get("kind") == kind, (
+            f"{name!r} is a {entry.get('kind')!r}, expected {kind!r}"
+        )
+        observed = entry["value"] if kind == "counter" else entry["count"]
+        assert observed > 0, f"{name!r} recorded no observations: {entry}"
+        lines.append(f"{name}: {observed} observations")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", type=Path, help="chaos BENCH_PR2.json")
+    args = parser.parse_args(argv)
+    report = json.loads(args.artifact.read_text(encoding="utf-8"))
+    try:
+        print(check(report))
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""CI assertion for the ``bench-smoke`` job: the warm pass must hit.
+
+Given the cold and warm bench artifacts of a back-to-back run sharing a
+cache directory, asserts that (a) the warm pass reported cache hits and
+(b) the warm experiment wall time is not slower than the cold one beyond
+a noise margin.  Previously an inline heredoc in ``ci.yml``; checked in
+so it is reviewable, testable, and shared between CI and local use:
+
+    python benchmarks/assert_warm_cache.py bench_cold.json bench_warm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Warm wall time may exceed cold by at most this factor (timer noise).
+NOISE_FACTOR = 1.10
+
+
+def cache_stats(report: Dict) -> Dict:
+    """The ``cache:stats`` record's counters."""
+    for record in report.get("records", []):
+        if record["name"] == "cache:stats":
+            return record["extra"]
+    raise AssertionError("report has no cache:stats record -- was a cache used?")
+
+
+def experiment_wall(report: Dict) -> float:
+    """Total wall seconds across the ``experiment:*`` records."""
+    return sum(
+        record["wall_seconds"]
+        for record in report.get("records", [])
+        if record["name"].startswith("experiment:")
+    )
+
+
+def check(cold: Dict, warm: Dict) -> str:
+    """Raise AssertionError on failure; return the success summary."""
+    stats = cache_stats(warm)
+    hits = stats["hits"]
+    assert hits > 0, f"warm pass reported no cache hits: {stats}"
+    cold_wall = experiment_wall(cold)
+    warm_wall = experiment_wall(warm)
+    assert warm_wall <= cold_wall * NOISE_FACTOR, (
+        f"warm bench slower than cold: {warm_wall:.2f}s vs {cold_wall:.2f}s"
+    )
+    return f"cache hits: {hits}, cold {cold_wall:.2f}s -> warm {warm_wall:.2f}s"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("cold", type=Path, help="artifact of the cold pass")
+    parser.add_argument("warm", type=Path, help="artifact of the warm pass")
+    args = parser.parse_args(argv)
+    cold = json.loads(args.cold.read_text(encoding="utf-8"))
+    warm = json.loads(args.warm.read_text(encoding="utf-8"))
+    try:
+        print(check(cold, warm))
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,11 @@ or read EXPERIMENTS.md for the archived copies.
 
 Every experiment timed here is also appended to a
 :class:`repro.analysis.perfreport.PerfReport`; at session end the report
-is written to ``BENCH_PR3.json`` at the repo root, the same artifact
+is written to ``BENCH_PR4.json`` at the repo root, the same artifact
 ``stp-repro bench`` produces, so benchmark runs leave a diffable perf
-trail PR over PR.
+trail PR over PR.  Observability collection (:mod:`repro.obs`) is on for
+the session, so the artifact carries ``spans:`` and ``metrics:``
+sections beside the timing records.
 """
 
 from __future__ import annotations
@@ -21,11 +23,17 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.analysis.perfreport import BENCH_FILENAME, PerfReport
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _REPORT = PerfReport(label="benchmarks")
+
+
+def pytest_configure(config):
+    """Collect spans/metrics for the whole benchmark session."""
+    obs.enable()
 
 
 def run_and_report(benchmark, experiment_id: str, seed: int = 0, quick: bool = False):
@@ -69,4 +77,5 @@ def perf_report() -> PerfReport:
 def pytest_sessionfinish(session, exitstatus):
     """Write the perf artifact once all benchmarks have run."""
     if _REPORT.records:
+        _REPORT.attach_observability()
         _REPORT.write(REPO_ROOT / BENCH_FILENAME)

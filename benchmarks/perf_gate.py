@@ -1,0 +1,219 @@
+"""The CI perf-regression gate: compare two BENCH_*.json artifacts.
+
+The ``perf-gate`` job runs the quick bench on the pull request's code and
+compares the fresh artifact against the committed baseline
+(``BENCH_PR3.json``, the previous PR's artifact).  A regression beyond
+the tolerance -- slower experiment wall time or lower explorer
+throughput -- fails the job.  Commits whose message contains
+``[perf-skip]`` bypass the gate (the escape hatch lives in the workflow,
+not here).
+
+The comparison logic is pure functions over parsed report dicts so the
+gate itself is unit-tested (``tests/analysis/test_perf_gate.py``
+exercises it with a synthetic 2x slowdown); the ``main`` entry point is
+just argparse plus pretty printing around them.
+
+Noise handling: records whose baseline wall time is under ``min_seconds``
+are ignored for per-record checks (a 2ms timing cannot survive a 25%
+tolerance on shared CI hardware); the *sum* of experiment wall times is
+always checked, because it is long enough to be stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Maximum tolerated regression, as a fraction (0.25 == 25% slower /
+#: 25% less throughput).
+DEFAULT_TOLERANCE = 0.25
+
+#: Per-record comparisons need at least this much baseline wall time to
+#: be meaningful on shared CI hardware.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def _records_by_name(report: Dict) -> Dict[str, Dict]:
+    return {record["name"]: record for record in report.get("records", [])}
+
+
+def _comparison(
+    name: str,
+    metric: str,
+    baseline: float,
+    current: float,
+    tolerance: float,
+    higher_is_better: bool,
+) -> Dict[str, object]:
+    """One gate check: how much worse is ``current`` than ``baseline``?
+
+    ``regression`` is the fractional worsening (positive == worse),
+    regardless of the metric's direction.
+    """
+    if baseline <= 0:
+        regression = 0.0
+    elif higher_is_better:
+        regression = (baseline - current) / baseline
+    else:
+        regression = (current - baseline) / baseline
+    return {
+        "name": name,
+        "metric": metric,
+        "baseline": baseline,
+        "current": current,
+        "regression": regression,
+        "regressed": regression > tolerance,
+    }
+
+
+def compare_reports(
+    baseline: Dict,
+    current: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[Dict[str, object]]:
+    """Every gate check for a baseline/current artifact pair.
+
+    Checks, over records present in *both* artifacts:
+
+    * ``wall_seconds`` of each ``experiment:*`` record whose baseline
+      wall time reaches ``min_seconds``;
+    * ``states_per_second`` of each record carrying one, with the same
+      wall-time floor;
+    * the sum of all shared ``experiment:*`` wall times (always -- the
+      aggregate is stable even when the parts are too quick).
+    """
+    base_records = _records_by_name(baseline)
+    cur_records = _records_by_name(current)
+    shared = [name for name in base_records if name in cur_records]
+
+    comparisons: List[Dict[str, object]] = []
+    experiment_base = 0.0
+    experiment_cur = 0.0
+    for name in shared:
+        base = base_records[name]
+        cur = cur_records[name]
+        if name.startswith("experiment:"):
+            experiment_base += base["wall_seconds"]
+            experiment_cur += cur["wall_seconds"]
+            if base["wall_seconds"] >= min_seconds:
+                comparisons.append(
+                    _comparison(
+                        name,
+                        "wall_seconds",
+                        base["wall_seconds"],
+                        cur["wall_seconds"],
+                        tolerance,
+                        higher_is_better=False,
+                    )
+                )
+        base_sps = base.get("states_per_second")
+        cur_sps = cur.get("states_per_second")
+        if (
+            base_sps is not None
+            and cur_sps is not None
+            and base["wall_seconds"] >= min_seconds
+        ):
+            comparisons.append(
+                _comparison(
+                    name,
+                    "states_per_second",
+                    base_sps,
+                    cur_sps,
+                    tolerance,
+                    higher_is_better=True,
+                )
+            )
+    if experiment_base > 0:
+        comparisons.append(
+            _comparison(
+                "experiment:*(total)",
+                "wall_seconds",
+                experiment_base,
+                experiment_cur,
+                tolerance,
+                higher_is_better=False,
+            )
+        )
+    return comparisons
+
+
+def regressions(comparisons: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The checks that failed."""
+    return [c for c in comparisons if c["regressed"]]
+
+
+def render(comparisons: List[Dict[str, object]], tolerance: float) -> str:
+    """A terminal table of every check."""
+    lines = [
+        f"perf gate (tolerance {tolerance:.0%})",
+        f"{'record':<28}{'metric':<20}{'baseline':>12}{'current':>12}"
+        f"{'change':>9}  verdict",
+    ]
+    for c in comparisons:
+        change = -c["regression"] if c["metric"] == "states_per_second" else c["regression"]
+        lines.append(
+            f"{c['name']:<28}{c['metric']:<20}{c['baseline']:>12.4g}"
+            f"{c['current']:>12.4g}{change:>+8.0%}  "
+            + ("REGRESSED" if c["regressed"] else "ok")
+        )
+    return "\n".join(lines)
+
+
+def run_gate(
+    baseline_path: Path,
+    current_path: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    out=None,
+) -> int:
+    """Load, compare, print, and return the process exit code."""
+    out = out if out is not None else sys.stdout
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    current = json.loads(Path(current_path).read_text(encoding="utf-8"))
+    comparisons = compare_reports(
+        baseline, current, tolerance=tolerance, min_seconds=min_seconds
+    )
+    print(render(comparisons, tolerance), file=out)
+    failed = regressions(comparisons)
+    if failed:
+        print(
+            f"FAIL: {len(failed)} regression(s) beyond {tolerance:.0%} "
+            "(commit with [perf-skip] in the message to bypass)",
+            file=out,
+        )
+        return 1
+    print(f"PASS: {len(comparisons)} checks within tolerance", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline BENCH json")
+    parser.add_argument("current", type=Path, help="freshly generated BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="maximum tolerated fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="per-record baseline wall-time floor for comparisons",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        args.baseline,
+        args.current,
+        tolerance=args.tolerance,
+        min_seconds=args.min_seconds,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,18 +7,24 @@
 * :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
   the output format of every benchmark.
 * :mod:`repro.analysis.perfreport` -- wall-clock perf records and the
-  PR-over-PR ``BENCH_PR3.json`` artifact.
+  PR-over-PR ``BENCH_PR4.json`` artifact (with ``spans:``/``metrics:``
+  sections from :mod:`repro.obs`).
 * :mod:`repro.analysis.cache` -- the content-addressed on-disk result
   cache (compiled tables, exploration reports, campaign run metrics).
 """
 
-from repro.analysis.metrics import RunMetrics, measure_run, CampaignSummary, summarize
-from repro.analysis.stats import mean, median, percentile, Summary, five_number
-from repro.analysis.tables import render_table, render_series, format_cell
+from repro.analysis.cache import ResultCache, cached_explore, fingerprint
 from repro.analysis.campaign import Campaign, CampaignOutcome
 from repro.analysis.diagram import sequence_diagram
+from repro.analysis.metrics import (
+    CampaignSummary,
+    RunMetrics,
+    measure_run,
+    summarize,
+)
 from repro.analysis.perfreport import PerfRecord, PerfReport, run_default_bench
-from repro.analysis.cache import ResultCache, cached_explore, fingerprint
+from repro.analysis.stats import Summary, five_number, mean, median, percentile
+from repro.analysis.tables import format_cell, render_series, render_table
 
 __all__ = [
     "ResultCache",

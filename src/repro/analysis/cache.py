@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR3.json``.
+  miss counts into ``BENCH_PR4.json``.
 
 Fingerprints are SHA-256 over a *canonical form*: primitives by value,
 containers recursively (sets sorted), objects by class identity plus
@@ -46,6 +46,8 @@ import shutil
 import types
 from pathlib import Path
 from typing import Optional
+
+from repro import obs
 
 #: Version salt mixed into every fingerprint.  Bump on any change to the
 #: canonical form or to the pickled result layouts.
@@ -193,8 +195,10 @@ class ResultCache:
                 value = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, AttributeError):
             self.misses += 1
+            obs.add("cache.misses")
             return None
         self.hits += 1
+        obs.add("cache.hits")
         return value
 
     def put(self, kind: str, key: str, value) -> None:
@@ -206,6 +210,7 @@ class ResultCache:
             with temporary.open("wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             temporary.replace(path)
+            obs.add("cache.puts")
         except OSError:
             # A read-only or full cache directory must never fail the
             # computation whose result we merely failed to remember.

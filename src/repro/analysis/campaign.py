@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.cache import ResultCache, fingerprint
 from repro.analysis.metrics import CampaignSummary, RunMetrics, measure_run, summarize
 from repro.kernel.errors import VerificationError
@@ -85,19 +86,29 @@ class CampaignOutcome:
 _WORKER_CONTEXT: Optional[Tuple["Campaign", DeterministicRNG]] = None
 
 
-def _pool_run_chunk(keys: Sequence[Tuple[Tuple, int]]) -> List[RunMetrics]:
+def _pool_run_chunk(
+    keys: Sequence[Tuple[Tuple, int]]
+) -> Tuple[List[RunMetrics], Optional[dict]]:
     """Execute a whole chunk of grid cells in one pool task.
 
     Submitting chunks (rather than one task per run) cuts the per-task
     pickle/dispatch round-trips to ``O(chunks)`` instead of ``O(runs)`` --
     the overhead that made fine-grained grids slower in parallel than
     serial.
+
+    Beside the metrics, the chunk ships back the child's observability
+    delta (spans and metric increments accumulated since the chunk
+    started); the parent merges deltas in chunk order, so the registry
+    ends bit-identical to a serial sweep.  ``None`` when observability
+    is disabled.
     """
     campaign, rng = _WORKER_CONTEXT
-    return [
+    cut = obs.mark()
+    measured = [
         campaign._single_run(rng, input_sequence, seed)
         for input_sequence, seed in keys
     ]
+    return measured, obs.delta_since(cut)
 
 
 @dataclass
@@ -140,6 +151,16 @@ class Campaign:
 
     def run(self, rng: DeterministicRNG) -> CampaignOutcome:
         """Execute the sweep and aggregate."""
+        with obs.span(
+            "campaign.run",
+            inputs=len(self.inputs),
+            seeds=self.seeds,
+            workers=self.workers,
+            compiled=self.compiled,
+        ):
+            return self._run(rng)
+
+    def _run(self, rng: DeterministicRNG) -> CampaignOutcome:
         if self.seeds < 1:
             raise VerificationError("seeds must be >= 1")
         if not self.inputs:
@@ -297,6 +318,11 @@ class Campaign:
             keys[start : start + chunksize]
             for start in range(0, len(keys), chunksize)
         ]
+        if obs.enabled():
+            # Fork-pool shape gauges (high-water semantics under merge).
+            obs.gauge_set("campaign.pool.workers", workers)
+            obs.gauge_set("campaign.pool.queue_depth", len(chunks))
+            obs.gauge_set("campaign.pool.chunk_size", chunksize)
         _WORKER_CONTEXT = (self, rng)
         try:
             with ProcessPoolExecutor(
@@ -304,11 +330,13 @@ class Campaign:
             ) as pool:
                 # Executor.map preserves input order, so flattening the
                 # chunk results restores exact grid order no matter which
-                # worker ran which chunk.
-                return [
-                    measured
-                    for chunk in pool.map(_pool_run_chunk, chunks)
-                    for measured in chunk
-                ]
+                # worker ran which chunk.  Each chunk ships its child's
+                # observability delta; merging in this same order keeps
+                # the parent registry bit-identical to a serial sweep.
+                flattened: List[RunMetrics] = []
+                for chunk, delta in pool.map(_pool_run_chunk, chunks):
+                    obs.merge(delta)
+                    flattened.extend(chunk)
+                return flattened
         finally:
             _WORKER_CONTEXT = None

@@ -1,10 +1,12 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR3.json`` at the repo root (previously ``BENCH_PR1.json``),
+``BENCH_PR4.json`` at the repo root (previously ``BENCH_PR1``..``PR3``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
-made it faster" into a diffable trajectory.
+made it faster" into a diffable trajectory; the committed previous-PR
+artifact is the baseline the CI ``perf-gate`` job compares against
+(``benchmarks/perf_gate.py``).
 
 Schema (``repro-perf/1``)::
 
@@ -23,8 +25,17 @@ Schema (``repro-perf/1``)::
           "states_per_second": 34000.0,# optional: explorer throughput
           "extra": {...}               # free-form details (speedups, grid
         }                              # shapes, worker counts, ...)
-      ]
+      ],
+      "spans": [...],                  # optional: per-name span aggregates
+      "metrics": {...}                 # optional: metrics-registry export
     }
+
+The ``spans:`` and ``metrics:`` sections are the perf-report bridge of
+the observability layer (:mod:`repro.obs`): when collection was on while
+the report was built, :meth:`PerfReport.attach_observability` folds the
+span aggregates and the full metrics registry into the artifact, so one
+BENCH file answers both "how long" and "where did the time and states
+go".
 
 All numbers are wall-clock; the subject is whole experiments and sweeps,
 not microseconds.
@@ -41,8 +52,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
+
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR3.json"
+BENCH_FILENAME = "BENCH_PR4.json"
 
 
 @dataclass
@@ -73,6 +86,8 @@ class PerfReport:
     def __init__(self, label: str = "bench") -> None:
         self.label = label
         self.records: List[PerfRecord] = []
+        self.spans: Optional[List[Dict[str, object]]] = None
+        self.metrics: Optional[Dict[str, Dict[str, object]]] = None
 
     def add(
         self,
@@ -102,9 +117,22 @@ class PerfReport:
         self.add(name, time.perf_counter() - start)
         return result
 
+    def attach_observability(self) -> None:
+        """Fold the live span/metrics collectors into this report.
+
+        Populates the ``spans:`` (per-name aggregates) and ``metrics:``
+        (registry export) sections of :meth:`to_dict` from the process
+        collectors of :mod:`repro.obs`.  Call after the measured work,
+        while collection is still enabled; a no-op-shaped result (both
+        sections empty) is attached when nothing was collected.
+        """
+        sections = obs.export_sections()
+        self.spans = sections["spans"]  # type: ignore[assignment]
+        self.metrics = sections["metrics"]  # type: ignore[assignment]
+
     def to_dict(self) -> Dict[str, object]:
         """The JSON-serializable form (see module docstring for schema)."""
-        return {
+        payload: Dict[str, object] = {
             "schema": BENCH_SCHEMA,
             "label": self.label,
             "python": platform.python_version(),
@@ -112,6 +140,11 @@ class PerfReport:
             "cpu_count": os.cpu_count(),
             "records": [asdict(record) for record in self.records],
         }
+        if self.spans is not None:
+            payload["spans"] = self.spans
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     def write(self, path=BENCH_FILENAME) -> Path:
         """Write the report as pretty-printed JSON; returns the path."""
@@ -334,6 +367,189 @@ def measure_compiled_explorer(
     return comparison
 
 
+#: Ceiling asserted on the disabled-instrumentation overhead (percent of
+#: the T2 m=3 warm compiled-family wall time).
+MAX_DISABLED_OVERHEAD_PERCENT = 2.0
+
+
+def _t2_family_tables(m: int):
+    """Warm (system, table) pairs for the T2 exhaustive family."""
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import explore_compiled
+    from repro.workloads import repetition_free_family
+
+    domain = "abcdefgh"[:m]
+    sender, receiver = norepeat_protocol(domain)
+    pairs = []
+    for input_sequence in repetition_free_family(domain):
+        system = System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+        table = CompiledSystem(system)
+        explore_compiled(system, store_parents=False, compiled=table)
+        pairs.append((system, table))
+    return pairs
+
+
+def measure_obs_overhead(
+    report: PerfReport, m: int = 3, rounds: int = 6
+) -> Dict[str, object]:
+    """Measure the cost of *disabled* instrumentation on the hot path.
+
+    The observability calls stay in the code permanently, so the
+    guarantee that matters is: with collection off (the default), the
+    instrumented T2 ``m``-family warm compiled exploration pays <2%
+    over what an uninstrumented build would.  Direct A/B against an
+    uninstrumented build is impossible (it no longer exists), so the
+    probe computes the overhead from first principles, all measured:
+
+    1. time ``rounds`` warm family sweeps with collection off -- the
+       shipped default path, including every disabled-flag test;
+    2. count the *exact* number of disabled entry-point invocations one
+       sweep performs -- ``enabled()`` flag checks on the guarded hot
+       wrappers, plus any full ``span()``/``add()`` disabled calls -- by
+       temporarily wrapping the :mod:`repro.obs` entry points with
+       counting shims (collection stays off, so the counted path is the
+       disabled path);
+    3. microbenchmark the per-call cost of each disabled entry point,
+       net of empty-loop overhead;
+    4. overhead == calls-per-sweep x per-call cost, as a percentage of
+       the sweep's wall time.
+
+    Records ``obs:overhead-disabled`` (with the enabled-collection sweep
+    time alongside, for contrast) and returns its comparison dict.
+    """
+    from repro.verify import explore_compiled
+
+    pairs = _t2_family_tables(m)
+
+    def sweep() -> None:
+        for system, table in pairs:
+            explore_compiled(system, store_parents=False, compiled=table)
+
+    with obs.scoped(enabled_value=False):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            sweep()
+        disabled_seconds = time.perf_counter() - start
+
+    # Count the disabled entry-point invocations of one sweep exactly.
+    # The guarded hot wrappers pay one obs.enabled() flag check each;
+    # anything not yet guarded pays a full disabled span()/add() call.
+    calls = {"flag": 0, "span": 0, "metric": 0}
+    real = (obs.enabled, obs.span, obs.add, obs.observe, obs.gauge_set)
+
+    def counting_enabled():
+        calls["flag"] += 1
+        return real[0]()
+
+    def counting_span(name, **attrs):
+        calls["span"] += 1
+        return real[1](name, **attrs)
+
+    def counting_metric_factory(fn):
+        def counting(*args, **kwargs):
+            calls["metric"] += 1
+            return fn(*args, **kwargs)
+
+        return counting
+
+    with obs.scoped(enabled_value=False):
+        obs.enabled = counting_enabled  # type: ignore[assignment]
+        obs.span = counting_span  # type: ignore[assignment]
+        obs.add = counting_metric_factory(real[2])  # type: ignore[assignment]
+        obs.observe = counting_metric_factory(real[3])  # type: ignore[assignment]
+        obs.gauge_set = counting_metric_factory(real[4])  # type: ignore[assignment]
+        try:
+            sweep()
+        finally:
+            (
+                obs.enabled,
+                obs.span,
+                obs.add,
+                obs.observe,
+                obs.gauge_set,
+            ) = real  # type: ignore[assignment]
+
+    # Per-call costs of the disabled fast paths.  The empty-loop baseline
+    # is subtracted so the figure is the call's own cost, not the probe
+    # loop's; best-of-3 discards scheduler noise in each measurement.
+    probes = 100_000
+
+    def _best_of(fn) -> float:
+        return min(fn() for _ in range(3))
+
+    with obs.scoped(enabled_value=False):
+
+        def _loop_baseline() -> float:
+            start = time.perf_counter()
+            for _ in range(probes):
+                pass
+            return time.perf_counter() - start
+
+        def _flag_loop() -> float:
+            start = time.perf_counter()
+            for _ in range(probes):
+                obs.enabled()
+            return time.perf_counter() - start
+
+        def _span_loop() -> float:
+            start = time.perf_counter()
+            for _ in range(probes):
+                with obs.span("probe"):
+                    pass
+            return time.perf_counter() - start
+
+        def _metric_loop() -> float:
+            start = time.perf_counter()
+            for _ in range(probes):
+                obs.add("probe")
+            return time.perf_counter() - start
+
+        baseline = _best_of(_loop_baseline)
+        per_flag = max(0.0, _best_of(_flag_loop) - baseline) / probes
+        per_span = max(0.0, _best_of(_span_loop) - baseline) / probes
+        per_metric = max(0.0, _best_of(_metric_loop) - baseline) / probes
+
+    # The enabled sweep, for contrast (fresh collectors, discarded).
+    with obs.scoped(enabled_value=True):
+        start = time.perf_counter()
+        sweep()
+        enabled_seconds = time.perf_counter() - start
+
+    sweep_seconds = disabled_seconds / rounds
+    overhead_seconds = (
+        calls["flag"] * per_flag
+        + calls["span"] * per_span
+        + calls["metric"] * per_metric
+    )
+    overhead_percent = (
+        overhead_seconds / sweep_seconds * 100 if sweep_seconds > 0 else 0.0
+    )
+    comparison: Dict[str, object] = {
+        "rounds": rounds,
+        "inputs": len(pairs),
+        "flag_checks_per_sweep": calls["flag"],
+        "span_calls_per_sweep": calls["span"],
+        "metric_calls_per_sweep": calls["metric"],
+        "per_flag_check_ns": per_flag * 1e9,
+        "per_span_call_ns": per_span * 1e9,
+        "per_metric_call_ns": per_metric * 1e9,
+        "overhead_percent": overhead_percent,
+        "max_overhead_percent": MAX_DISABLED_OVERHEAD_PERCENT,
+        "enabled_sweep_seconds": enabled_seconds,
+    }
+    report.add("obs:overhead-disabled", disabled_seconds, **comparison)
+    return comparison
+
+
 def run_default_bench(
     experiment_ids: Tuple[str, ...] = ("T1", "T2", "F1", "F5"),
     seed: int = 0,
@@ -346,30 +562,46 @@ def run_default_bench(
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
     ``cache:stats`` record with the hit/miss counters.
+
+    Observability collection is enabled for the duration (and restored
+    afterwards), so the written artifact carries the ``spans:`` and
+    ``metrics:`` sections beside the timing records, plus the
+    ``obs:overhead-disabled`` probe record asserting the <2% disabled-
+    instrumentation guarantee.
     """
     from repro.experiments import run_experiment
 
     report = PerfReport(label="stp-repro bench")
-    for experiment_id in experiment_ids:
-        start = time.perf_counter()
-        result = run_experiment(
-            experiment_id, seed=seed, quick=quick, cache=cache
-        )
-        report.add(
-            f"experiment:{experiment_id}",
-            time.perf_counter() - start,
-            runs=len(result.rows),
-            states=result.states,
-            states_per_second=(
-                result.states / result.search_seconds
-                if result.states and result.search_seconds
-                else None
-            ),
-            checks_passed=result.all_checks_pass,
-        )
-    measure_explorer(report)
-    measure_compiled_explorer(report)
-    measure_campaign_speedup(report, workers=workers)
-    if cache is not None:
-        report.add("cache:stats", 0.0, **cache.stats())
+    # The overhead probe must run before collection is enabled (it
+    # measures the disabled path under its own scoped collectors).
+    measure_obs_overhead(report)
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        for experiment_id in experiment_ids:
+            start = time.perf_counter()
+            result = run_experiment(
+                experiment_id, seed=seed, quick=quick, cache=cache
+            )
+            report.add(
+                f"experiment:{experiment_id}",
+                time.perf_counter() - start,
+                runs=len(result.rows),
+                states=result.states,
+                states_per_second=(
+                    result.states / result.search_seconds
+                    if result.states and result.search_seconds
+                    else None
+                ),
+                checks_passed=result.all_checks_pass,
+            )
+        measure_explorer(report)
+        measure_compiled_explorer(report)
+        measure_campaign_speedup(report, workers=workers)
+        if cache is not None:
+            report.add("cache:stats", 0.0, **cache.stats())
+        report.attach_observability()
+    finally:
+        if not was_enabled:
+            obs.disable()
     return report

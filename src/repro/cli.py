@@ -17,12 +17,20 @@ Subcommands:
 * ``report`` -- regenerate EXPERIMENTS.md;
 * ``bench`` -- time experiments, exhaustive exploration (object-graph and
   compiled-table), and the serial-vs-parallel campaign sweep, and write
-  the ``BENCH_PR3.json`` perf artifact tracked PR over PR; ``--cache-dir``
-  turns on the content-addressed result cache (``--no-cache`` runs cold);
+  the ``BENCH_PR4.json`` perf artifact tracked PR over PR (now carrying
+  ``spans:`` and ``metrics:`` sections from the observability layer);
+  ``--cache-dir`` turns on the content-addressed result cache
+  (``--no-cache`` runs cold);
 * ``chaos`` -- run the fault-injection matrix (every protocol family
   crossed with the fault vocabulary) plus the F8 recovery sweep under the
   self-healing runner, and write the ``BENCH_PR2.json`` resilience
-  artifact.
+  artifact;
+* ``stats`` -- render the span and metrics tables out of a BENCH_*.json
+  artifact or a ``.jsonl`` span trace.
+
+``bench``, ``chaos``, and ``run`` accept ``--profile cprofile|spans``
+(opt-in profiling hooks: cProfile's top functions, or live span/metrics
+tables) and ``--trace-out FILE`` (full span stream as JSONL).
 """
 
 from __future__ import annotations
@@ -47,7 +55,47 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _profiled(args, label: str):
+    """The profiling context requested by ``--profile``/``--trace-out``.
+
+    A no-op context when neither flag is given, so the commands pay
+    nothing by default.
+    """
+    from repro.obs.profiling import profiled
+
+    return profiled(
+        getattr(args, "profile", None),
+        trace_out=getattr(args, "trace_out", None),
+        label=label,
+    )
+
+
+def _add_profile_arguments(parser) -> None:
+    from repro.obs.profiling import PROFILE_MODES
+
+    parser.add_argument(
+        "--profile",
+        choices=PROFILE_MODES,
+        default=None,
+        help=(
+            "profiling hook: 'cprofile' prints the top functions by "
+            "cumulative time, 'spans' prints the live span/metrics tables"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the full span stream as JSONL (implies span collection)",
+    )
+
+
 def _cmd_run(args) -> int:
+    with _profiled(args, label="stp-repro run"):
+        return _run_experiments(args)
+
+
+def _run_experiments(args) -> int:
     ids = list(args.ids)
     if any(i.lower() == "all" for i in ids):
         ids = sorted(_MODULES)
@@ -208,6 +256,11 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    with _profiled(args, label="stp-repro bench"):
+        return _run_bench(args)
+
+
+def _run_bench(args) -> int:
     from repro.analysis.cache import ResultCache
     from repro.analysis.perfreport import run_default_bench
 
@@ -231,6 +284,11 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    with _profiled(args, label="stp-repro chaos"):
+        return _run_chaos_command(args)
+
+
+def _run_chaos_command(args) -> int:
     from repro.resilience.report import run_chaos
 
     report = run_chaos(
@@ -251,6 +309,46 @@ def _cmd_chaos(args) -> int:
         record.extra.get("checks_passed", True) for record in report.records
     )
     return 0 if (healthy and trend) else 1
+
+
+def _cmd_stats(args) -> int:
+    """Render the observability tables from an artifact on disk.
+
+    Accepts either a perf/chaos artifact (``BENCH_*.json``, whose
+    ``spans:``/``metrics:`` sections are rendered directly) or a span
+    trace (``*.jsonl`` written by ``--trace-out``, whose spans are
+    re-summarized first).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.exporters import (
+        read_spans_jsonl,
+        render_stats,
+        summaries_from_spans,
+    )
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    if path.suffix == ".jsonl":
+        spans = read_spans_jsonl(path)
+        print(render_stats(summaries_from_spans(spans), {}, label=str(path)))
+        return 0
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    summaries = payload.get("spans")
+    metrics = payload.get("metrics")
+    if summaries is None and metrics is None:
+        print(
+            f"{path} has no spans:/metrics: sections -- regenerate it with "
+            "a bench/chaos build that carries the observability layer",
+            file=sys.stderr,
+        )
+        return 1
+    label = payload.get("label", str(path))
+    print(render_stats(summaries or [], metrics or {}, label=label))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -278,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="process-parallel campaign sweeps (identical results)",
     )
+    _add_profile_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     alpha_parser = sub.add_parser("alpha", help="evaluate the tight bound")
@@ -332,7 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR3.json"
+        "bench", help="time the perf suite and write BENCH_PR4.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -357,8 +456,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR3.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR4.json", help="output path for the perf JSON"
     )
+    _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
 
     chaos_parser = sub.add_parser(
@@ -393,7 +493,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos_parser.add_argument(
         "--out", default="BENCH_PR2.json", help="output path for the JSON"
     )
+    _add_profile_arguments(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="render span/metrics tables from a BENCH_*.json or spans .jsonl",
+    )
+    stats_parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_PR4.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR4.json)",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

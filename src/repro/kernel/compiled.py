@@ -48,6 +48,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.kernel.errors import SimulationError
 from repro.kernel.intern import ConfigurationInterner
 from repro.kernel.system import Configuration, Event, System
@@ -95,6 +96,7 @@ class CompiledSystem:
         self._events: List[Event] = []
         self._event_ids: Dict[Event, int] = {}
         self._event_is_drop: List[bool] = []
+        obs.add("compiled.tables")
 
     # -- interning -------------------------------------------------------
 
@@ -145,6 +147,9 @@ class CompiledSystem:
             next_id = self._ensure_state(system.apply(config, event))
             edges.append((event_id, next_id))
         row: Row = tuple(edges)
+        # One guarded call per *materialized* row: the warm fast path
+        # (cached return above) pays nothing.
+        obs.add("compiled.rows_materialized")
         self._rows[state_id] = row
         is_drop = self._event_is_drop
         self._rows_nodrop[state_id] = tuple(
@@ -246,6 +251,7 @@ class CompiledSystem:
                 f"{snapshot.get('schema')!r}"
             )
         compiled = cls(system)
+        obs.add("compiled.tables_revived")
         for config in snapshot["configs"]:  # type: ignore[union-attr]
             compiled._ensure_state(config)
         for event in snapshot["events"]:  # type: ignore[union-attr]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.kernel.errors import SimulationError
 from repro.kernel.system import Configuration, Event, System
 from repro.kernel.trace import Trace
@@ -91,7 +92,7 @@ def measure_recovery(
         wasted = max(resync_time - fault_time - 1, 0)
     else:
         wasted = max(total_steps - fault_time, 0)
-    return RecoveryMetrics(
+    metrics = RecoveryMetrics(
         fault_time=fault_time,
         resynced=resync_time is not None,
         time_to_resync=(
@@ -100,6 +101,19 @@ def measure_recovery(
         retransmissions=retransmissions,
         wasted_steps=wasted,
     )
+    if obs.enabled():
+        # Recovery measurements land in the metrics registry at the
+        # moment they are derived -- consumers (the chaos report, the
+        # nightly CI assertion) read them from here instead of scraping
+        # traces post-hoc.
+        obs.add("recovery.faults")
+        if metrics.resynced:
+            obs.add("recovery.resynced")
+        if metrics.time_to_resync is not None:
+            obs.observe("recovery.time_to_resync", metrics.time_to_resync)
+        obs.observe("recovery.retransmissions", metrics.retransmissions)
+        obs.observe("recovery.wasted_steps", metrics.wasted_steps)
+    return metrics
 
 
 @dataclass(frozen=True)
@@ -166,6 +180,12 @@ class Simulator:
         The adversary's per-run bookkeeping is reset first, so a single
         adversary instance can drive many runs.
         """
+        if not obs.enabled():
+            return self._run(None)
+        with obs.span("simulate", compiled=False) as _span:
+            return self._run(_span)
+
+    def _run(self, _span) -> SimulationResult:
         reset = getattr(self.adversary, "reset", None)
         if reset is not None:
             reset()
@@ -219,6 +239,10 @@ class Simulator:
             getattr(self.adversary, "first_fault_time", None),
             len(trace),
         )
+        if obs.enabled() and _span is not None:
+            obs.add("simulator.runs")
+            obs.add("simulator.steps", len(trace))
+            _span.set(steps=len(trace), completed=completed)
         return SimulationResult(
             trace=trace,
             completed=completed,
@@ -258,6 +282,37 @@ def simulate_compiled(
 
     Other arguments match :class:`Simulator`.
     """
+    if not obs.enabled():
+        return _simulate_compiled(
+            system,
+            adversary,
+            max_steps,
+            stop_on_violation,
+            stop_when_complete,
+            compiled,
+            None,
+        )
+    with obs.span("simulate", compiled=True) as _span:
+        return _simulate_compiled(
+            system,
+            adversary,
+            max_steps,
+            stop_on_violation,
+            stop_when_complete,
+            compiled,
+            _span,
+        )
+
+
+def _simulate_compiled(
+    system: System,
+    adversary,
+    max_steps: int,
+    stop_on_violation: bool,
+    stop_when_complete: bool,
+    compiled,
+    _span,
+) -> SimulationResult:
     from repro.kernel.compiled import CompiledSystem
     from repro.kernel.trace import TraceStep
 
@@ -321,6 +376,10 @@ def simulate_compiled(
         getattr(adversary, "first_fault_time", None),
         len(trace),
     )
+    if obs.enabled() and _span is not None:
+        obs.add("simulator.runs")
+        obs.add("simulator.steps", len(trace))
+        _span.set(steps=len(trace), completed=completed)
     return SimulationResult(
         trace=trace,
         completed=completed,

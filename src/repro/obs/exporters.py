@@ -1,0 +1,148 @@
+"""Pluggable exporters: JSONL span traces and human summary tables.
+
+Three output surfaces, one data model:
+
+* :func:`write_spans_jsonl` / :func:`read_spans_jsonl` -- the full span
+  stream, one JSON object per line (schema ``repro-spans/1`` header
+  line, then :meth:`repro.obs.trace.Span.to_dict` records).  Round-trips
+  exactly: ``read(write(spans)) == spans``.
+* :func:`render_stats` -- the ``stp-repro stats`` terminal tables: span
+  aggregates by name and the metrics registry.
+* the perf-report bridge -- :func:`repro.obs.export_sections`, attached
+  to BENCH_*.json files by
+  :meth:`repro.analysis.perfreport.PerfReport.attach_observability`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.trace import Span
+
+SPANS_SCHEMA = "repro-spans/1"
+
+
+def write_spans_jsonl(
+    path: Union[str, Path], spans: Sequence[Span]
+) -> Path:
+    """Write ``spans`` as JSONL (header line first); returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"schema": SPANS_SCHEMA}) + "\n")
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return target
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Parse a :func:`write_spans_jsonl` file back into spans.
+
+    Raises ``ValueError`` on a missing or mismatched schema header, so a
+    stale artifact fails loudly instead of parsing into nonsense.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty spans file")
+    header = json.loads(lines[0])
+    if header.get("schema") != SPANS_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported spans schema {header.get('schema')!r} "
+            f"(expected {SPANS_SCHEMA!r})"
+        )
+    return [Span.from_dict(json.loads(line)) for line in lines[1:] if line]
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s"
+    return f"{value * 1000:7.2f}ms"
+
+
+def render_span_table(summaries: Sequence[Dict[str, object]]) -> str:
+    """Per-name span aggregates as an aligned terminal table."""
+    if not summaries:
+        return "spans: (none collected)"
+    name_width = max(len(str(row["name"])) for row in summaries)
+    name_width = max(name_width, len("span"))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>7}  {'wall':>9}  "
+        f"{'mean':>9}  {'cpu':>9}  {'errors':>6}"
+    ]
+    for row in summaries:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['count']:>7}  "
+            f"{_format_seconds(float(row['wall_seconds'])):>9}  "
+            f"{_format_seconds(float(row['mean_seconds'])):>9}  "
+            f"{_format_seconds(float(row['cpu_seconds'])):>9}  "
+            f"{row['errors']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics_table(metrics: Dict[str, Dict[str, object]]) -> str:
+    """The metrics registry as an aligned terminal table."""
+    if not metrics:
+        return "metrics: (none collected)"
+    name_width = max(len(name) for name in metrics)
+    name_width = max(name_width, len("metric"))
+    lines = [f"{'metric':<{name_width}}  {'kind':<9}  value"]
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = str(entry.get("kind", "counter"))
+        if kind == "counter":
+            detail = f"{entry['value']}"
+        elif kind == "gauge":
+            detail = (
+                f"{entry['value']} (high-water {entry['high_water']})"
+            )
+        else:  # histogram
+            mean = entry.get("mean")
+            mean_text = f"{mean:.1f}" if isinstance(mean, float) else "-"
+            detail = (
+                f"count={entry['count']} sum={entry['sum']} "
+                f"min={entry['min']} mean={mean_text} max={entry['max']}"
+            )
+        lines.append(f"{name:<{name_width}}  {kind:<9}  {detail}")
+    return "\n".join(lines)
+
+
+def render_stats(
+    summaries: Sequence[Dict[str, object]],
+    metrics: Dict[str, Dict[str, object]],
+    label: Optional[str] = None,
+) -> str:
+    """The full ``stp-repro stats`` output: spans then metrics."""
+    parts = []
+    if label:
+        parts.append(f"observability stats [{label}]")
+    parts.append(render_span_table(summaries))
+    parts.append("")
+    parts.append(render_metrics_table(metrics))
+    return "\n".join(parts)
+
+
+def summaries_from_spans(
+    spans: Sequence[Span],
+) -> List[Dict[str, object]]:
+    """Aggregate raw spans (e.g. parsed from JSONL) per name."""
+    groups: Dict[str, List[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    rows: List[Dict[str, object]] = []
+    for name, members in groups.items():
+        wall = sum(s.wall_seconds for s in members)
+        rows.append(
+            {
+                "name": name,
+                "count": len(members),
+                "wall_seconds": wall,
+                "mean_seconds": wall / len(members),
+                "cpu_seconds": sum(s.cpu_seconds for s in members),
+                "errors": sum(1 for s in members if s.status == "error"),
+            }
+        )
+    rows.sort(key=lambda row: float(row["wall_seconds"]), reverse=True)
+    return rows

@@ -5,7 +5,7 @@ the repository crossed with the fault vocabulary of
 :mod:`repro.adversaries.fault` -- each executed under the self-healing
 :class:`~repro.resilience.runner.ResilientRunner` and summarized as one
 :class:`~repro.analysis.perfreport.PerfRecord`.  The report reuses the
-``repro-perf/1`` schema of the perf artifact (``BENCH_PR3.json``) but is written to its own
+``repro-perf/1`` schema of the perf artifact (``BENCH_PR4.json``) but is written to its own
 artifact, ``BENCH_PR2.json``, so the resilience trajectory diffs
 independently of the raw perf trajectory.
 
@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.adversaries import AgingFairAdversary, RandomAdversary
 from repro.adversaries.fault import (
     BurstDrop,
@@ -212,6 +213,12 @@ def run_chaos(
     from repro.experiments.base import run_experiment
 
     report = PerfReport(label="stp-repro chaos")
+    # Collection is on for the whole matrix so recovery measurements
+    # arrive in the artifact through the metrics registry (histograms
+    # merged across fork workers), not by scraping traces post-hoc --
+    # the nightly CI job asserts exactly this.
+    was_enabled = obs.enabled()
+    obs.enable()
     seeds = 2 if quick else 3
     for scenario in default_scenarios(quick=quick):
         campaign = build_chaos_campaign(scenario, seeds=seeds, workers=workers)
@@ -258,4 +265,7 @@ def run_chaos(
         norepeat_bounded=f8.checks["norepeat_recovery_bounded"],
         window_bounded=f8.checks["window_protocols_recovery_bounded"],
     )
+    report.attach_observability()
+    if not was_enabled:
+        obs.disable()
     return report

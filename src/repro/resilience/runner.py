@@ -48,6 +48,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.campaign import Campaign, CampaignOutcome
 from repro.analysis.metrics import RunMetrics, summarize
 from repro.kernel.errors import VerificationError
@@ -114,10 +115,17 @@ def _key_from_json(text: str) -> RunKey:
 
 
 def _child_main(conn, campaign: Campaign, rng: DeterministicRNG, key: RunKey):
-    """Run one grid key in a forked child; report through the pipe."""
+    """Run one grid key in a forked child; report through the pipe.
+
+    The success payload carries the run's observability delta beside its
+    metrics, so spans and registry increments recorded inside the child
+    (simulator steps, recovery measurements) survive the process
+    boundary -- the supervisor merges them on receipt.
+    """
     try:
+        cut = obs.mark()
         metrics = campaign._single_run(rng, key[0], key[1])
-        conn.send(("ok", metrics))
+        conn.send(("ok", (metrics, obs.delta_since(cut))))
     except BaseException as error:  # reported, not raised: child exits clean
         conn.send(("error", f"{type(error).__name__}: {error}"))
     finally:
@@ -235,6 +243,15 @@ class ResilientRunner:
 
     def run(self, rng: DeterministicRNG) -> ResilientOutcome:
         """Execute the sweep, healing failures, and aggregate."""
+        with obs.span(
+            "resilient.run",
+            workers=self.workers,
+            retries=self.retries,
+            checkpointed=self.checkpoint_path is not None,
+        ):
+            return self._run(rng)
+
+    def _run(self, rng: DeterministicRNG) -> ResilientOutcome:
         if self.campaign.seeds < 1:
             raise VerificationError("seeds must be >= 1")
         if not self.campaign.inputs:
@@ -248,6 +265,8 @@ class ResilientRunner:
         completed = self._load_checkpoint(fingerprint)
         completed = {k: v for k, v in completed.items() if k in set(keys)}
         resumed = len(completed)
+        if resumed:
+            obs.add("resilience.resumed_runs", resumed)
 
         failures: List[RunFailure] = []
         abandoned: List[RunKey] = []
@@ -328,10 +347,13 @@ class ResilientRunner:
                 elapsed_seconds=elapsed,
             )
         )
+        obs.add(f"resilience.failures.{kind}")
         if attempt > self.retries:
             abandoned.append(key)
+            obs.add("resilience.abandoned")
             return
         retried.add(key)
+        obs.add("resilience.retries")
         delay = self.backoff * (2 ** (attempt - 1))
         pending.append((key, attempt + 1, time.monotonic() + delay))
 
@@ -362,6 +384,8 @@ class ResilientRunner:
                     active.append(
                         _Attempt(key, attempt, process, parent_conn, now)
                     )
+                if obs.enabled():
+                    obs.gauge_set("resilience.active_children", len(active))
                 # Reap finished, crashed, and overdue attempts.
                 still_active: List[_Attempt] = []
                 for item in active:
@@ -384,7 +408,9 @@ class ResilientRunner:
                         item.process.join()
                         item.conn.close()
                         if status == "ok":
-                            completed[item.key] = payload
+                            metrics, delta = payload
+                            obs.merge(delta)
+                            completed[item.key] = metrics
                             self._flush_checkpoint(fingerprint, completed)
                         else:
                             self._requeue(

@@ -30,10 +30,28 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.kernel.compiled import CompiledSystem
 from repro.kernel.errors import VerificationError
 from repro.kernel.intern import ConfigurationInterner
 from repro.kernel.system import Configuration, Event, System
+
+
+def _note_search(_span, report: "ExplorationReport", compiled: bool) -> None:
+    """Emit one finished search into the span and metrics registry."""
+    if not obs.enabled():
+        return
+    _span.set(
+        states=report.states,
+        expanded=report.expanded_states,
+        safe=report.all_safe,
+        truncated=report.truncated,
+    )
+    obs.add("explorer.searches")
+    obs.add("explorer.states", report.states)
+    obs.add("explorer.expanded", report.expanded_states)
+    if compiled:
+        obs.add("explorer.compiled_searches")
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,25 @@ def explore(
             violation triggers one deterministic re-exploration with
             parents enabled to recover the shortest path.
     """
+    # Guarded, not unconditionally spanned: the disabled path of the
+    # hottest entry points is one flag test (<2% budget on warm tiny
+    # explorations, asserted by the obs:overhead-disabled probe).
+    if not obs.enabled():
+        return _explore_object(system, max_states, include_drops, store_parents)
+    with obs.span("explore", compiled=False) as _span:
+        report = _explore_object(
+            system, max_states, include_drops, store_parents
+        )
+        _note_search(_span, report, compiled=False)
+        return report
+
+
+def _explore_object(
+    system: System,
+    max_states: int,
+    include_drops: bool,
+    store_parents: bool,
+) -> ExplorationReport:
     if max_states < 1:
         raise VerificationError("max_states must be positive")
     start = time.perf_counter()
@@ -221,6 +258,25 @@ def explore_compiled(
 
     Other arguments match :func:`explore`.
     """
+    if not obs.enabled():
+        return _explore_table(
+            system, max_states, include_drops, store_parents, compiled
+        )
+    with obs.span("explore", compiled=True) as _span:
+        report = _explore_table(
+            system, max_states, include_drops, store_parents, compiled
+        )
+        _note_search(_span, report, compiled=True)
+        return report
+
+
+def _explore_table(
+    system: System,
+    max_states: int,
+    include_drops: bool,
+    store_parents: bool,
+    compiled: Optional[CompiledSystem],
+) -> ExplorationReport:
     if max_states < 1:
         raise VerificationError("max_states must be positive")
     start = time.perf_counter()

@@ -1,0 +1,147 @@
+"""The CI perf-gate comparator, proven against a synthetic 2x slowdown."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from benchmarks.perf_gate import (
+    DEFAULT_TOLERANCE,
+    compare_reports,
+    regressions,
+    render,
+    run_gate,
+)
+
+
+def _baseline_report():
+    return {
+        "schema": "repro-perf/1",
+        "records": [
+            {
+                "name": "experiment:T2",
+                "wall_seconds": 2.0,
+                "states_per_second": 30_000.0,
+            },
+            {"name": "experiment:F5", "wall_seconds": 1.0},
+            {
+                "name": "campaign:f5-parallel",
+                "wall_seconds": 4.0,
+                "states_per_second": 1_500.0,
+            },
+            # Too quick for per-record comparison: must be skipped.
+            {
+                "name": "experiment:F1",
+                "wall_seconds": 0.002,
+                "states_per_second": 99_999.0,
+            },
+            # Present only in the baseline: must be ignored.
+            {"name": "experiment:GONE", "wall_seconds": 5.0},
+        ],
+    }
+
+
+def _current_like_baseline():
+    current = copy.deepcopy(_baseline_report())
+    current["records"] = [
+        r for r in current["records"] if r["name"] != "experiment:GONE"
+    ]
+    return current
+
+
+def test_identical_reports_pass():
+    comparisons = compare_reports(_baseline_report(), _current_like_baseline())
+    assert comparisons, "shared records must produce checks"
+    assert regressions(comparisons) == []
+
+
+def test_synthetic_2x_slowdown_fails_the_gate():
+    current = _current_like_baseline()
+    for record in current["records"]:
+        record["wall_seconds"] *= 2
+        if record.get("states_per_second") is not None:
+            record["states_per_second"] /= 2
+
+    failed = regressions(compare_reports(_baseline_report(), current))
+    failed_keys = {(f["name"], f["metric"]) for f in failed}
+    assert ("experiment:T2", "wall_seconds") in failed_keys
+    assert ("experiment:T2", "states_per_second") in failed_keys
+    assert ("campaign:f5-parallel", "states_per_second") in failed_keys
+    assert ("experiment:*(total)", "wall_seconds") in failed_keys
+    # The sub-floor record stays out even though it also "regressed".
+    assert not any(name == "experiment:F1" for name, _ in failed_keys)
+
+
+def test_regression_just_inside_tolerance_passes():
+    current = _current_like_baseline()
+    for record in current["records"]:
+        record["wall_seconds"] *= 1 + DEFAULT_TOLERANCE - 0.01
+    assert regressions(compare_reports(_baseline_report(), current)) == []
+
+
+def test_regression_just_beyond_tolerance_fails():
+    current = _current_like_baseline()
+    for record in current["records"]:
+        record["wall_seconds"] *= 1 + DEFAULT_TOLERANCE + 0.01
+    failed = regressions(compare_reports(_baseline_report(), current))
+    assert ("experiment:*(total)", "wall_seconds") in {
+        (f["name"], f["metric"]) for f in failed
+    }
+
+
+def test_throughput_improvement_is_not_a_regression():
+    current = _current_like_baseline()
+    for record in current["records"]:
+        if record.get("states_per_second") is not None:
+            record["states_per_second"] *= 3
+    assert regressions(compare_reports(_baseline_report(), current)) == []
+
+
+def test_aggregate_check_survives_all_quick_records():
+    baseline = {
+        "records": [
+            {"name": "experiment:T1", "wall_seconds": 0.003},
+            {"name": "experiment:F1", "wall_seconds": 0.004},
+        ]
+    }
+    current = {
+        "records": [
+            {"name": "experiment:T1", "wall_seconds": 0.009},
+            {"name": "experiment:F1", "wall_seconds": 0.012},
+        ]
+    }
+    comparisons = compare_reports(baseline, current)
+    assert [c["name"] for c in comparisons] == ["experiment:*(total)"]
+    assert regressions(comparisons), "3x aggregate slowdown must fail"
+
+
+def test_render_marks_verdicts():
+    current = _current_like_baseline()
+    for record in current["records"]:
+        record["wall_seconds"] *= 2
+    text = render(
+        compare_reports(_baseline_report(), current), DEFAULT_TOLERANCE
+    )
+    assert "REGRESSED" in text
+    assert "perf gate" in text
+
+
+def test_run_gate_exit_codes(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(_baseline_report()))
+
+    good_path = tmp_path / "good.json"
+    good_path.write_text(json.dumps(_current_like_baseline()))
+    assert run_gate(baseline_path, good_path) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    slow = _current_like_baseline()
+    for record in slow["records"]:
+        record["wall_seconds"] *= 2
+    slow_path = tmp_path / "slow.json"
+    slow_path.write_text(json.dumps(slow))
+    assert run_gate(baseline_path, slow_path) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "[perf-skip]" in out

@@ -1,0 +1,119 @@
+"""Exporter round-trips: JSONL spans, summary tables, the stats renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.exporters import (
+    SPANS_SCHEMA,
+    read_spans_jsonl,
+    render_metrics_table,
+    render_span_table,
+    render_stats,
+    summaries_from_spans,
+    write_spans_jsonl,
+)
+from repro.obs.trace import Span
+
+
+def _sample_spans():
+    return [
+        Span(
+            span_id=0,
+            parent_id=None,
+            name="campaign.run",
+            attrs={"inputs": 4, "workers": 2},
+            pid=100,
+            start_wall=1.0,
+            wall_seconds=2.5,
+            cpu_seconds=2.25,
+        ),
+        Span(
+            span_id=1,
+            parent_id=0,
+            name="simulate",
+            attrs={"steps": 91, "completed": True},
+            pid=100,
+            start_wall=1.1,
+            wall_seconds=0.5,
+            cpu_seconds=0.5,
+            status="error",
+        ),
+    ]
+
+
+def test_jsonl_round_trip_is_exact(tmp_path):
+    spans = _sample_spans()
+    path = write_spans_jsonl(tmp_path / "trace.jsonl", spans)
+    assert read_spans_jsonl(path) == spans
+
+
+def test_jsonl_header_carries_the_schema(tmp_path):
+    path = write_spans_jsonl(tmp_path / "trace.jsonl", _sample_spans())
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {"schema": SPANS_SCHEMA}
+
+
+def test_jsonl_rejects_missing_or_wrong_schema(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_spans_jsonl(empty)
+    stale = tmp_path / "stale.jsonl"
+    stale.write_text(json.dumps({"schema": "repro-spans/0"}) + "\n")
+    with pytest.raises(ValueError, match="unsupported spans schema"):
+        read_spans_jsonl(stale)
+
+
+def test_live_trace_round_trips_through_jsonl(tmp_path):
+    with obs.scoped() as (tracer, _):
+        with obs.span("outer", m=3):
+            with obs.span("inner"):
+                pass
+        collected = list(tracer.spans())
+        path = write_spans_jsonl(tmp_path / "live.jsonl", collected)
+    assert read_spans_jsonl(path) == collected
+
+
+def test_summaries_from_spans_matches_tracer_summaries():
+    with obs.scoped() as (tracer, _):
+        for _ in range(3):
+            with obs.span("hot"):
+                pass
+        with obs.span("cool"):
+            pass
+        assert summaries_from_spans(tracer.spans()) == tracer.summaries()
+
+
+def test_render_tables_contain_the_data():
+    summaries = summaries_from_spans(_sample_spans())
+    table = render_span_table(summaries)
+    assert "campaign.run" in table and "simulate" in table
+
+    metrics = {
+        "cache.hits": {"kind": "counter", "value": 12},
+        "pool.depth": {"kind": "gauge", "value": 2, "high_water": 8},
+        "resync": {
+            "kind": "histogram",
+            "count": 2,
+            "sum": 30,
+            "min": 10,
+            "max": 20,
+            "mean": 15.0,
+        },
+    }
+    table = render_metrics_table(metrics)
+    assert "cache.hits" in table and "12" in table
+    assert "high-water 8" in table
+    assert "count=2" in table and "mean=15.0" in table
+
+    stats = render_stats(summaries, metrics, label="unit")
+    assert stats.startswith("observability stats [unit]")
+
+
+def test_render_tables_degrade_when_empty():
+    assert render_span_table([]) == "spans: (none collected)"
+    assert render_metrics_table({}) == "metrics: (none collected)"

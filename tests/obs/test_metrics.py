@@ -1,0 +1,132 @@
+"""Registry semantics: instrument kinds, snapshot/diff/merge exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_sums_and_merges():
+    counter = Counter()
+    counter.add()
+    counter.add(41)
+    assert counter.value == 42
+    other = Counter()
+    other.merge(counter.diff(None))
+    assert other.value == 42
+
+
+def test_gauge_high_water_merge():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.set(3)
+    assert gauge.value == 3
+    assert gauge.high_water == 10
+    merged = Gauge()
+    merged.set(7)
+    merged.merge(gauge.diff(None))
+    assert merged.high_water == 10, "merge keeps the max across processes"
+
+
+def test_histogram_exact_stats_and_buckets():
+    histogram = Histogram(bounds=(1, 10, 100))
+    for value in (0, 1, 5, 50, 5000):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.sum == 5056
+    assert histogram.min == 0
+    assert histogram.max == 5000
+    assert histogram.mean == pytest.approx(5056 / 5)
+    # bisect_left on inclusive upper edges: <=1, <=10, <=100, overflow.
+    assert histogram.buckets == [2, 1, 1, 1]
+
+
+def test_histogram_merge_is_exact_in_any_order():
+    observations = [3, 17, 17, 250, 8_000]
+    serial = Histogram()
+    for value in observations:
+        serial.observe(value)
+
+    for split in range(len(observations) + 1):
+        left, right = Histogram(), Histogram()
+        for value in observations[:split]:
+            left.observe(value)
+        for value in observations[split:]:
+            right.observe(value)
+        merged = Histogram()
+        merged.merge(right.diff(None))
+        merged.merge(left.diff(None))
+        assert merged.state() == serial.state(), f"split at {split}"
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    ours = Histogram(bounds=(1, 2, 3))
+    theirs = Histogram(bounds=(10, 20))
+    theirs.observe(15)
+    with pytest.raises(ValueError, match="bounds mismatch"):
+        ours.merge(theirs.diff(None))
+
+
+def test_registry_get_or_create_and_kind_clash():
+    registry = MetricsRegistry()
+    assert registry.counter("hits") is registry.counter("hits")
+    with pytest.raises(TypeError, match="is a Counter"):
+        registry.gauge("hits")
+    assert registry.get("missing") is None
+    assert registry.names() == ("hits",)
+
+
+def test_registry_diff_merge_round_trip_is_bit_identical():
+    parent = MetricsRegistry()
+    parent.counter("states").add(100)
+    parent.histogram("steps").observe(7)
+
+    # The child starts from the parent's snapshot (what fork inherits).
+    child = MetricsRegistry()
+    child.merge(parent.snapshot())
+    cut = child.snapshot()
+    child.counter("states").add(23)
+    child.histogram("steps").observe(9)
+    child.gauge("depth").set(4)
+
+    parent.merge(child.diff(cut))
+
+    # A serial execution doing all the work in one registry:
+    serial = MetricsRegistry()
+    serial.counter("states").add(100)
+    serial.histogram("steps").observe(7)
+    serial.counter("states").add(23)
+    serial.histogram("steps").observe(9)
+    serial.gauge("depth").set(4)
+
+    assert parent.to_dict() == serial.to_dict()
+
+
+def test_registry_export_shape():
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").add(3)
+    registry.gauge("pool.depth").set(9)
+    registry.histogram("resync", bounds=DEFAULT_BOUNDS).observe(12)
+    exported = registry.to_dict()
+    assert exported["cache.hits"] == {"kind": "counter", "value": 3}
+    assert exported["pool.depth"]["high_water"] == 9
+    assert exported["resync"]["count"] == 1
+    assert exported["resync"]["mean"] == 12
+    # Every value must survive JSON (the BENCH_*.json bridge).
+    import json
+
+    assert json.loads(json.dumps(exported)) == exported
+
+
+def test_registry_reset():
+    registry = MetricsRegistry()
+    registry.counter("x").add()
+    registry.reset()
+    assert registry.names() == ()

@@ -1,0 +1,81 @@
+"""The <2% disabled-overhead guarantee, plus the enable/scoped switches."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro import obs
+from repro.analysis.perfreport import (
+    MAX_DISABLED_OVERHEAD_PERCENT,
+    PerfReport,
+    measure_obs_overhead,
+)
+
+
+def test_disabled_overhead_under_two_percent():
+    """The permanent instrumentation costs <2% with collection off."""
+    report = PerfReport(label="overhead-test")
+    comparison = measure_obs_overhead(report, m=3, rounds=8)
+    assert comparison["flag_checks_per_sweep"] > 0
+    assert (
+        comparison["overhead_percent"] < MAX_DISABLED_OVERHEAD_PERCENT
+    ), comparison
+    (record,) = report.records
+    assert record.name == "obs:overhead-disabled"
+    assert record.extra["max_overhead_percent"] == MAX_DISABLED_OVERHEAD_PERCENT
+
+
+def test_scoped_restores_previous_state():
+    before = (obs.enabled(), obs.tracer(), obs.registry())
+    with obs.scoped() as (tracer, registry):
+        assert obs.enabled()
+        assert obs.tracer() is tracer
+        assert obs.registry() is registry
+    assert (obs.enabled(), obs.tracer(), obs.registry()) == before
+
+
+def test_enable_disable_round_trip():
+    with obs.scoped(enabled_value=False):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        obs.add("survives.disable")
+        obs.disable()
+        assert not obs.enabled()
+        # Collected data is kept across the switch.
+        assert obs.registry().counter("survives.disable").value == 1
+
+
+def test_env_var_enables_collection_at_import():
+    code = (
+        "from repro import obs; "
+        "print(obs.enabled())"
+    )
+    env = dict(os.environ, STP_REPRO_OBS="1")
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        check=True,
+    )
+    assert out.stdout.strip() == "True"
+
+
+def test_mark_delta_merge_are_noops_while_disabled():
+    with obs.scoped(enabled_value=False):
+        assert obs.mark() is None
+        assert obs.delta_since(None) is None
+        obs.merge(None)  # must not raise
+    with obs.scoped() as (_, registry):
+        cut = obs.mark()
+        assert obs.delta_since(cut) is None, "no new data -> no delta"
+        obs.add("late")
+        delta = obs.delta_since(cut)
+        assert delta is not None
+        obs.merge(delta)
+        assert registry.counter("late").value == 2, "merge folds the delta"

@@ -1,0 +1,150 @@
+"""Tracer semantics: nesting, errors, ids, the drop cap, absorb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+
+def test_disabled_span_is_the_shared_noop():
+    with obs.scoped(enabled_value=False):
+        first = obs.span("anything", m=3)
+        second = obs.span("else")
+    assert first is NOOP_SPAN and second is NOOP_SPAN
+    # The no-op supports the full active-span surface.
+    with first as active:
+        assert active.set(states=7) is active
+
+
+def test_disabled_metrics_collect_nothing():
+    with obs.scoped(enabled_value=False) as (_, registry):
+        obs.add("counter", 5)
+        obs.observe("histogram", 1.0)
+        obs.gauge_set("gauge", 2.0)
+        assert registry.names() == ()
+
+
+def test_spans_nest_through_the_thread_stack():
+    with obs.scoped() as (tracer, _):
+        with obs.span("outer", level=0):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner"):
+                pass
+        spans = tracer.spans()
+    # Completion order: the two inners finish before the outer.
+    assert [s.name for s in spans] == ["inner", "inner", "outer"]
+    outer = spans[2]
+    assert outer.parent_id is None
+    assert all(s.parent_id == outer.span_id for s in spans[:2])
+    assert len({s.span_id for s in spans}) == 3
+    assert outer.attrs == {"level": 0}
+
+
+def test_span_clocks_and_set():
+    with obs.scoped() as (tracer, _):
+        with obs.span("timed") as active:
+            active.set(marked=True)
+        (span,) = tracer.spans()
+    assert span.wall_seconds >= 0.0
+    assert span.cpu_seconds >= 0.0
+    assert span.status == "ok"
+    assert span.attrs == {"marked": True}
+
+
+def test_span_records_error_status():
+    with obs.scoped() as (tracer, _):
+        with pytest.raises(ValueError):
+            with obs.span("explodes"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+    assert span.status == "error"
+    assert span.attrs["error"] == "ValueError"
+
+
+def test_span_ids_are_monotonic_per_tracer():
+    with obs.scoped() as (tracer, _):
+        for _ in range(5):
+            with obs.span("tick"):
+                pass
+        ids = [s.span_id for s in tracer.spans()]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_drop_cap_counts_instead_of_growing():
+    with obs.scoped(max_spans=3) as (tracer, _):
+        for _ in range(10):
+            with obs.span("flood"):
+                pass
+        assert len(tracer.spans()) == 3
+        assert tracer.dropped == 7
+
+
+def test_mark_and_since_ship_only_the_suffix():
+    with obs.scoped() as (tracer, _):
+        with obs.span("before"):
+            pass
+        cut = tracer.mark()
+        with obs.span("after", n=1):
+            pass
+        shipped = tracer.since(cut)
+    assert [d["name"] for d in shipped] == ["after"]
+    assert shipped[0]["attrs"] == {"n": 1}
+
+
+def test_absorb_remaps_ids_and_preserves_batch_links():
+    parent = Tracer()
+    with parent.start("local", {}):
+        pass
+    # A child batch whose ids collide with the parent's sequence.
+    child = Tracer()
+    with child.start("child-outer", {}):
+        with child.start("child-inner", {}):
+            pass
+    shipped = child.since(0)
+    parent.absorb(shipped)
+
+    spans = parent.spans()
+    assert len(spans) == 3
+    assert len({s.span_id for s in spans}) == 3, "absorb must re-id the batch"
+    by_name = {s.name: s for s in spans}
+    assert (
+        by_name["child-inner"].parent_id == by_name["child-outer"].span_id
+    ), "links inside the shipped batch survive the remap"
+    assert by_name["child-outer"].parent_id is None
+
+
+def test_summaries_aggregate_by_name():
+    with obs.scoped() as (tracer, _):
+        for _ in range(3):
+            with obs.span("hot"):
+                pass
+        with pytest.raises(RuntimeError):
+            with obs.span("cold"):
+                raise RuntimeError
+        rows = tracer.summaries()
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["hot"]["count"] == 3
+    assert by_name["cold"]["errors"] == 1
+    for row in rows:
+        assert row["mean_seconds"] * row["count"] == pytest.approx(
+            row["wall_seconds"]
+        )
+
+
+def test_span_dict_round_trip():
+    span = Span(
+        span_id=4,
+        parent_id=2,
+        name="explore",
+        attrs={"m": 3, "compiled": True},
+        pid=123,
+        start_wall=1.5,
+        wall_seconds=0.25,
+        cpu_seconds=0.2,
+        status="ok",
+    )
+    assert Span.from_dict(span.to_dict()) == span
