@@ -2,7 +2,7 @@
 
 The ``perf-gate`` job runs the quick bench on the pull request's code and
 compares the fresh artifact against the committed baseline
-(``BENCH_PR3.json``, the previous PR's artifact).  A regression beyond
+(``BENCH_PR4.json``, the previous PR's artifact).  A regression beyond
 the tolerance -- slower experiment wall time or lower explorer
 throughput -- fails the job.  Commits whose message contains
 ``[perf-skip]`` bypass the gate (the escape hatch lives in the workflow,

@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR4.json``.
+  miss counts into ``BENCH_PR5.json``.
 
 Fingerprints are SHA-256 over a *canonical form*: primitives by value,
 containers recursively (sets sorted), objects by class identity plus
@@ -226,6 +226,72 @@ class ResultCache:
             "root": str(self.root),
         }
 
+    def _entries(self):
+        """``(mtime, size, path)`` for every stored entry; unreadable
+        files (racing deletes, permission holes) are skipped."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((stat.st_mtime, stat.st_size, path))
+        return out
+
+    def disk_stats(self) -> dict:
+        """On-disk shape of the store: entry/byte totals, per kind."""
+        kinds: dict = {}
+        entries = 0
+        total_bytes = 0
+        for _mtime, size, path in self._entries():
+            try:
+                kind = path.relative_to(self.root).parts[0]
+            except (ValueError, IndexError):
+                kind = "?"
+            bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            entries += 1
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "kinds": kinds,
+        }
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict oldest entries (by mtime) until the store fits.
+
+        Content-addressed entries are pure-function results, so eviction
+        is always safe: a future request simply recomputes.  Returns the
+        eviction summary (JSON-friendly).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = sorted(self._entries())
+        total = sum(size for _mtime, size, _path in entries)
+        removed = 0
+        freed = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_entries": len(entries) - removed,
+            "remaining_bytes": total,
+        }
+
     def wipe(self) -> None:
         """Delete the whole cache directory (the invalidation hammer)."""
         shutil.rmtree(self.root, ignore_errors=True)
@@ -243,8 +309,10 @@ def cached_explore(
     include_drops: bool = True,
     cache: Optional[ResultCache] = None,
     reuse_table: bool = True,
+    engine: str = "scalar",
+    reduce: bool = False,
 ):
-    """:func:`~repro.verify.explorer.explore_compiled` behind the cache.
+    """Exhaustive exploration behind the cache, on either engine.
 
     On a report hit the stored :class:`ExplorationReport` is returned
     verbatim (bit-identical to recomputation).  On a miss the search runs
@@ -253,39 +321,127 @@ def cached_explore(
     path often skips all protocol/channel code -- and both the report and
     the (possibly grown) table snapshot are stored.
 
-    With ``cache=None`` this is exactly ``explore_compiled(...)``.
+    Args:
+        engine: ``"scalar"`` for
+            :func:`~repro.verify.explorer.explore_compiled`, ``"batched"``
+            for :func:`~repro.kernel.frontier.explore_batched`.  Unreduced
+            batched reports are bit-identical to scalar ones, so both
+            engines share one report key: a sweep run on either engine
+            warms the cache for the other.
+        reduce: quotient symmetric states (batched engine only).  Reduced
+            reports count equivalence classes, not states, so the mode is
+            folded into the report fingerprint -- reduced and unreduced
+            results never alias.
+
+    The unreduced batched engine additionally keeps a
+    :class:`~repro.kernel.frontier.FrontierSnapshot` per (system,
+    ``include_drops``) point -- budget-independent, with its digest
+    lineage embedded and verified on load.  A stored cut resumes a larger
+    ``max_states`` request from the old frontier instead of re-exploring
+    from the initial state, which is what lets campaign sweeps over
+    adjacent budget points reuse each other's work.
+
+    With ``cache=None`` this is exactly the chosen engine, uncached.
     """
     from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.frontier import (
+        FrontierSnapshot,
+        explore_batched,
+        explore_batched_resumable,
+    )
     from repro.verify.explorer import explore_compiled
 
+    if engine not in ("scalar", "batched"):
+        raise ValueError(f"unknown explorer engine: {engine!r}")
+    if reduce and engine != "batched":
+        raise ValueError("reduce=True requires engine='batched'")
     if cache is None:
-        return explore_compiled(
-            system, max_states=max_states, include_drops=include_drops
+        if engine == "scalar":
+            return explore_compiled(
+                system, max_states=max_states, include_drops=include_drops
+            )
+        return explore_batched(
+            system,
+            max_states=max_states,
+            include_drops=include_drops,
+            reduce=reduce,
         )
     base = system_fingerprint(system)
-    report_key = fingerprint("explore", base, max_states, include_drops)
+    if reduce:
+        report_key = fingerprint(
+            "explore", base, max_states, include_drops, "reduced"
+        )
+    else:
+        report_key = fingerprint("explore", base, max_states, include_drops)
     report = cache.get("explore", report_key)
     if report is not None:
         return report
-    table = None
-    table_key = fingerprint("table", base)
-    if reuse_table:
-        snapshot = cache.get("table", table_key)
+
+    if engine == "batched" and not reduce:
+        # Try to resume a stored frontier cut before reviving a table:
+        # the snapshot embeds its own (warm) table.
+        frontier_key = fingerprint("frontier", base, include_drops)
+        stored = cache.get("frontier", frontier_key)
+        resume = None
+        if (
+            isinstance(stored, FrontierSnapshot)
+            and stored.verify()
+            and stored.fingerprint == base
+            and stored.include_drops == include_drops
+            and max_states >= stored.expanded
+        ):
+            resume = stored
+        table = None
+        if resume is None and reuse_table:
+            table = _revive_table(cache, system, base)
+        report, snapshot = explore_batched_resumable(
+            system,
+            max_states=max_states,
+            include_drops=include_drops,
+            compiled=table,
+            resume_from=resume,
+            fingerprint=base,
+        )
+        cache.put("explore", report_key, report)
         if snapshot is not None:
-            try:
-                table = CompiledSystem.from_snapshot(system, snapshot)
-            except Exception:
-                table = None  # stale/corrupt snapshot: recompile
+            cache.put("frontier", frontier_key, snapshot)
+        if table is not None and reuse_table:
+            cache.put("table", fingerprint("table", base), table.snapshot())
+        return report
+
+    table = _revive_table(cache, system, base) if reuse_table else None
     if table is None:
         table = CompiledSystem(system)
-    report = explore_compiled(
-        system,
-        max_states=max_states,
-        include_drops=include_drops,
-        compiled=table,
-        store_parents=True,
-    )
+    if engine == "batched":
+        report = explore_batched(
+            system,
+            max_states=max_states,
+            include_drops=include_drops,
+            compiled=table,
+            reduce=True,
+        )
+    else:
+        report = explore_compiled(
+            system,
+            max_states=max_states,
+            include_drops=include_drops,
+            compiled=table,
+            store_parents=True,
+        )
     cache.put("explore", report_key, report)
     if reuse_table:
-        cache.put("table", table_key, table.snapshot())
+        cache.put("table", fingerprint("table", base), table.snapshot())
     return report
+
+
+def _revive_table(cache: ResultCache, system, base: str):
+    """A cached compiled table for ``system``, or None."""
+    from repro.kernel.compiled import CompiledSystem
+
+    snapshot = cache.get("table", fingerprint("table", base))
+    if snapshot is None:
+        return None
+    try:
+        return CompiledSystem.from_snapshot(system, snapshot)
+    except Exception:
+        return None  # stale/corrupt snapshot: recompile

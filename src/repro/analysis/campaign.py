@@ -31,7 +31,6 @@ serial path (same results, no speedup).
 from __future__ import annotations
 
 import multiprocessing
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -295,9 +294,13 @@ class Campaign:
             return 1
         if "fork" not in multiprocessing.get_all_start_methods():
             return 1
-        # One hardware thread means forked workers just time-slice the
+        # One *schedulable* CPU means forked workers just time-slice the
         # same core and pay pickling on top -- the BENCH_PR1 regression.
-        if (os.cpu_count() or 1) <= 1:
+        # The affinity/cgroup-aware count matters here: a CI container on
+        # a 64-core host pinned to one core must not fork 4 workers.
+        from repro.analysis.hostinfo import available_cpu_count
+
+        if available_cpu_count() <= 1:
             return 1
         # Tiny grids cannot amortize pool start-up.
         if grid_size < self.workers * _MIN_CHUNK:

@@ -1,0 +1,54 @@
+"""Host CPU topology as the benchmarks should report it.
+
+``os.cpu_count()`` answers "how many logical CPUs does the machine
+have", which is the wrong question in two places this repository cares
+about: under CI runners and cgroup-limited containers the *schedulable*
+set is smaller (an affinity mask or quota), and on Python 3.13+
+``os.process_cpu_count()`` exists precisely to answer the right one.
+BENCH artifacts produced inside such containers used to record
+``cpu_count: 1`` or the full host width interchangeably, making perf
+numbers from different runners incomparable.
+
+Two views, both clamped to at least 1:
+
+* :func:`logical_cpu_count` -- the machine's logical CPU count
+  (``os.cpu_count()``); hardware context for a perf report header.
+* :func:`available_cpu_count` -- CPUs this *process* may actually run
+  on: ``os.process_cpu_count()`` when the interpreter has it, else the
+  scheduling affinity mask, else the logical count.  This is the number
+  worker pools should size against.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cpu_count", "logical_cpu_count"]
+
+
+def logical_cpu_count() -> int:
+    """The machine's logical CPU count (>= 1)."""
+    return os.cpu_count() or 1
+
+
+def available_cpu_count() -> int:
+    """CPUs available to *this process* (>= 1).
+
+    Resolution order: ``os.process_cpu_count()`` (Python 3.13+, respects
+    cgroup/affinity limits) -> ``os.sched_getaffinity(0)`` (Linux
+    affinity mask) -> :func:`logical_cpu_count`.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return count
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            mask = getaffinity(0)
+        except OSError:
+            mask = None
+        if mask:
+            return len(mask)
+    return logical_cpu_count()

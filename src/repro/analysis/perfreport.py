@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR4.json`` at the repo root (previously ``BENCH_PR1``..``PR3``),
+``BENCH_PR5.json`` at the repo root (previously ``BENCH_PR1``..``PR4``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -15,7 +15,9 @@ Schema (``repro-perf/1``)::
       "label": "bench",
       "python": "3.11.7",
       "platform": "linux",
-      "cpu_count": 8,
+      "cpu_count": 8,             # logical CPUs on the machine
+      "cpu_count_available": 2,   # CPUs this process may run on (cgroups,
+                                  # affinity masks -- what pools size to)
       "records": [
         {
           "name": "experiment:T2",
@@ -44,7 +46,6 @@ not microseconds.
 from __future__ import annotations
 
 import json
-import os
 import platform
 import sys
 import time
@@ -55,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR4.json"
+BENCH_FILENAME = "BENCH_PR5.json"
 
 
 @dataclass
@@ -132,12 +133,21 @@ class PerfReport:
 
     def to_dict(self) -> Dict[str, object]:
         """The JSON-serializable form (see module docstring for schema)."""
+        from repro.analysis.hostinfo import (
+            available_cpu_count,
+            logical_cpu_count,
+        )
+
         payload: Dict[str, object] = {
             "schema": BENCH_SCHEMA,
             "label": self.label,
             "python": platform.python_version(),
             "platform": sys.platform,
-            "cpu_count": os.cpu_count(),
+            # Both views: the machine's width for hardware context, the
+            # schedulable width (cgroup quotas, affinity masks) that
+            # actually bounds this run's parallelism.
+            "cpu_count": logical_cpu_count(),
+            "cpu_count_available": available_cpu_count(),
             "records": [asdict(record) for record in self.records],
         }
         if self.spans is not None:
@@ -367,6 +377,123 @@ def measure_compiled_explorer(
     return comparison
 
 
+def measure_batched_explorer(
+    report: PerfReport, m: int = 4, rounds: int = 20
+) -> Dict[str, object]:
+    """Record the frontier engine's speedup over the scalar compiled path.
+
+    The T2 exhaustive sweep re-explores every repetition-free input over
+    alphabet size ``m`` -- 65 systems at ``m=4``, each a narrow chain of
+    states where per-state loop overhead dominates.  The batched engine
+    answers the whole family with one level-synchronous BFS over the
+    union of the state spaces (:class:`repro.verify.FrontierFamily`),
+    after this probe first asserts its 65 reports agree with the scalar
+    engine's in every non-timing field.
+
+    A second timed pass runs the sweep under family-level symmetry
+    reduction (one representative per input-renaming isomorphism class)
+    and asserts the Safety / completion verdicts are unchanged.
+
+    Records ``explore:t2-family-batched`` and
+    ``explore:t2-family-reduced``; returns the batched comparison dict.
+    """
+    from dataclasses import replace
+
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import FrontierFamily, explore_compiled
+    from repro.workloads import repetition_free_family
+
+    domain = "abcdefgh"[:m]
+    sender, receiver = norepeat_protocol(domain)
+    systems = [
+        System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+        for input_sequence in repetition_free_family(domain)
+    ]
+    tables = [CompiledSystem(system) for system in systems]
+    scalar_reports = [
+        explore_compiled(system, store_parents=False, compiled=table)
+        for system, table in zip(systems, tables)
+    ]
+    family = FrontierFamily(systems, tables=tables)
+
+    def _stable(record):
+        return replace(record, elapsed_seconds=0.0, states_per_second=0.0)
+
+    batched_reports = family.explore()
+    identical = all(
+        _stable(batched) == _stable(scalar)
+        for batched, scalar in zip(batched_reports, scalar_reports)
+    )
+    reduced_reports = family.explore(reduce=True)
+    reduction_ratio = family.last_stats.get("reduction_ratio", 1.0)
+    verdicts_identical = all(
+        reduced.all_safe == scalar.all_safe
+        and reduced.completion_reachable == scalar.completion_reachable
+        for reduced, scalar in zip(reduced_reports, scalar_reports)
+    )
+    total_states = sum(r.states for r in scalar_reports)
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for system, table in zip(systems, tables):
+            explore_compiled(system, store_parents=False, compiled=table)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        family.explore()
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        family.explore(reduce=True)
+    reduced_seconds = time.perf_counter() - start
+
+    comparison = {
+        "speedup": (
+            scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+        ),
+        "scalar_seconds": scalar_seconds,
+        "rounds": rounds,
+        "inputs": len(systems),
+        "reports_identical": identical,
+    }
+    report.add(
+        "explore:t2-family-batched",
+        batched_seconds,
+        states=total_states * rounds,
+        states_per_second=(
+            total_states * rounds / batched_seconds
+            if batched_seconds > 0
+            else None
+        ),
+        **comparison,
+    )
+    report.add(
+        "explore:t2-family-reduced",
+        reduced_seconds,
+        states=total_states * rounds,
+        speedup=(
+            scalar_seconds / reduced_seconds if reduced_seconds > 0 else 0.0
+        ),
+        reduction_ratio=reduction_ratio,
+        representatives=family.last_stats.get("representatives"),
+        verdicts_identical=verdicts_identical,
+        rounds=rounds,
+        inputs=len(systems),
+    )
+    return comparison
+
+
 #: Ceiling asserted on the disabled-instrumentation overhead (percent of
 #: the T2 m=3 warm compiled-family wall time).
 MAX_DISABLED_OVERHEAD_PERCENT = 2.0
@@ -556,12 +683,18 @@ def run_default_bench(
     quick: bool = True,
     workers: int = 4,
     cache=None,
+    engine: str = "scalar",
+    reduce: bool = False,
 ) -> PerfReport:
     """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep.
 
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
     ``cache:stats`` record with the hit/miss counters.
+
+    ``engine`` / ``reduce`` select the exhaustive-exploration engine the
+    experiments use (see :func:`repro.analysis.cache.cached_explore`);
+    the dedicated explorer probes always measure both engines.
 
     Observability collection is enabled for the duration (and restored
     afterwards), so the written artifact carries the ``spans:`` and
@@ -581,7 +714,12 @@ def run_default_bench(
         for experiment_id in experiment_ids:
             start = time.perf_counter()
             result = run_experiment(
-                experiment_id, seed=seed, quick=quick, cache=cache
+                experiment_id,
+                seed=seed,
+                quick=quick,
+                cache=cache,
+                engine=engine,
+                reduce=reduce,
             )
             report.add(
                 f"experiment:{experiment_id}",
@@ -594,9 +732,11 @@ def run_default_bench(
                     else None
                 ),
                 checks_passed=result.all_checks_pass,
+                engine=engine,
             )
         measure_explorer(report)
         measure_compiled_explorer(report)
+        measure_batched_explorer(report)
         measure_campaign_speedup(report, workers=workers)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())

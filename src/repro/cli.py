@@ -15,12 +15,20 @@ Subcommands:
 * ``trap`` -- exhaustively search a protocol/channel combination for
   liveness traps (states from which completion is unreachable);
 * ``report`` -- regenerate EXPERIMENTS.md;
-* ``bench`` -- time experiments, exhaustive exploration (object-graph and
-  compiled-table), and the serial-vs-parallel campaign sweep, and write
-  the ``BENCH_PR4.json`` perf artifact tracked PR over PR (now carrying
-  ``spans:`` and ``metrics:`` sections from the observability layer);
-  ``--cache-dir`` turns on the content-addressed result cache
-  (``--no-cache`` runs cold);
+* ``explore`` -- exhaustively explore one protocol/channel/input system
+  and print its report; ``--engine batched`` uses the level-synchronous
+  frontier engine (bit-identical unreduced), ``--reduce`` quotients
+  symmetric states (verdict-preserving);
+* ``cache`` -- inspect and manage the content-addressed result cache:
+  ``cache stats`` (on-disk shape), ``cache clear`` (wipe), ``cache prune
+  --max-size N`` (evict oldest entries until the store fits);
+* ``bench`` -- time experiments, exhaustive exploration (object-graph,
+  compiled-table, and batched-frontier), and the serial-vs-parallel
+  campaign sweep, and write the ``BENCH_PR5.json`` perf artifact tracked
+  PR over PR (carrying ``spans:`` and ``metrics:`` sections from the
+  observability layer); ``--cache-dir`` turns on the content-addressed
+  result cache (``--no-cache`` runs cold); ``--engine``/``--reduce``
+  select the experiments' exploration engine;
 * ``chaos`` -- run the fault-injection matrix (every protocol family
   crossed with the fault vocabulary) plus the F8 recovery sweep under the
   self-healing runner, and write the ``BENCH_PR2.json`` resilience
@@ -41,6 +49,7 @@ from typing import List, Optional
 
 from repro.core.alpha import alpha
 from repro.experiments.base import _MODULES, run_experiment
+from repro.kernel.errors import KernelError
 
 
 def _cmd_list(_args) -> int:
@@ -90,6 +99,28 @@ def _add_profile_arguments(parser) -> None:
     )
 
 
+def _add_engine_arguments(parser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help=(
+            "exhaustive-exploration engine: 'scalar' walks states one at "
+            "a time, 'batched' expands whole frontier levels over the "
+            "compiled table (identical reports, faster)"
+        ),
+    )
+    parser.add_argument(
+        "--reduce",
+        action="store_true",
+        help=(
+            "quotient symmetric states (data-item renaming) in the "
+            "batched engine; verdicts are unchanged, state counts become "
+            "equivalence-class counts"
+        ),
+    )
+
+
 def _cmd_run(args) -> int:
     with _profiled(args, label="stp-repro run"):
         return _run_experiments(args)
@@ -106,6 +137,8 @@ def _run_experiments(args) -> int:
             seed=args.seed,
             quick=args.quick,
             workers=args.workers,
+            engine=getattr(args, "engine", "scalar"),
+            reduce=getattr(args, "reduce", False),
         )
         print(result.rendered)
         if result.notes:
@@ -276,10 +309,108 @@ def _run_bench(args) -> int:
         quick=not args.full,
         workers=args.workers,
         cache=cache,
+        engine=args.engine,
+        reduce=args.reduce,
     )
     print(report.render())
     path = report.write(args.out)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.analysis.cache import ResultCache, cached_explore
+    from repro.channels import channel_by_name, channel_names
+    from repro.kernel.system import System
+    from repro.protocols import protocol_by_name, protocol_names
+
+    items = tuple(item for item in args.input.split(",") if item)
+    domain = tuple(sorted(set(items))) or ("a",)
+    try:
+        sender, receiver = protocol_by_name(
+            args.protocol, domain, max(len(items), 1)
+        )
+    except Exception:
+        print(
+            f"unknown protocol {args.protocol!r}; known: {protocol_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        system = System(
+            sender,
+            receiver,
+            channel_by_name(args.channel),
+            channel_by_name(args.channel),
+            items,
+        )
+    except Exception:
+        print(
+            f"unknown channel {args.channel!r}; known: {channel_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = cached_explore(
+            system,
+            max_states=args.max_states,
+            include_drops=not args.no_drops,
+            cache=cache,
+            engine=args.engine,
+            reduce=args.reduce,
+        )
+    except KernelError as error:
+        print(f"cannot explore this system: {error}", file=sys.stderr)
+        return 2
+    kind = "classes" if args.reduce else "states"
+    print(f"engine:     {args.engine}" + (" (reduced)" if args.reduce else ""))
+    print(f"{kind}:     {report.states}")
+    print(f"expanded:   {report.expanded_states}")
+    print(f"peak layer: {report.peak_frontier}")
+    print(f"safe:       {report.all_safe}   completion reachable: "
+          f"{report.completion_reachable}   truncated: {report.truncated}")
+    if report.violation_path is not None:
+        print(f"violation after {len(report.violation_path)} events:")
+        for event in report.violation_path:
+            print(f"  {event!r}")
+    return 0 if report.all_safe else 1
+
+
+def _parse_size(text: str) -> int:
+    """``"500"``, ``"64K"``, ``"10M"``, ``"2G"`` -> bytes."""
+    units = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    text = text.strip().upper().removesuffix("B")
+    if text and text[-1] in units:
+        return int(float(text[:-1]) * units[text[-1]])
+    return int(text)
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.analysis.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)  # None -> default root
+    if args.action == "stats":
+        print(json.dumps(cache.disk_stats(), indent=2))
+        return 0
+    if args.action == "clear":
+        stats = cache.disk_stats()
+        cache.wipe()
+        print(
+            f"cleared {stats['entries']} entries "
+            f"({stats['bytes']} bytes) from {cache.root}"
+        )
+        return 0
+    # prune
+    try:
+        max_bytes = _parse_size(args.max_size)
+    except ValueError:
+        print(f"bad --max-size {args.max_size!r}", file=sys.stderr)
+        return 2
+    summary = cache.prune(max_bytes)
+    print(json.dumps(summary, indent=2))
     return 0
 
 
@@ -376,6 +507,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="process-parallel campaign sweeps (identical results)",
     )
+    _add_engine_arguments(run_parser)
     _add_profile_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -431,7 +563,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR4.json"
+        "bench", help="time the perf suite and write BENCH_PR5.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -456,10 +588,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR4.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR5.json", help="output path for the perf JSON"
     )
+    _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
+
+    explore_parser = sub.add_parser(
+        "explore", help="exhaustively explore one system and print the report"
+    )
+    explore_parser.add_argument("--protocol", default="norepeat")
+    explore_parser.add_argument(
+        "--channel", default="dup", help="dup, del, reorder, fifo, lossy-fifo"
+    )
+    explore_parser.add_argument(
+        "--input", default="a,b", help="comma-separated data items"
+    )
+    explore_parser.add_argument("--max-states", type=int, default=500_000)
+    explore_parser.add_argument(
+        "--no-drops",
+        action="store_true",
+        help="exclude the environment's explicit drop moves",
+    )
+    explore_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoize via the content-addressed cache rooted here",
+    )
+    _add_engine_arguments(explore_parser)
+    explore_parser.set_defaults(func=_cmd_explore)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect and manage the content-addressed result cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("stats", "print on-disk entry/byte totals per kind"),
+        ("clear", "delete the whole cache directory"),
+        ("prune", "evict oldest entries until the store fits --max-size"),
+    ):
+        action_parser = cache_sub.add_parser(action, help=help_text)
+        action_parser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "cache root (default: $STP_REPRO_CACHE or "
+                "~/.cache/stp-repro)"
+            ),
+        )
+        if action == "prune":
+            action_parser.add_argument(
+                "--max-size",
+                required=True,
+                metavar="SIZE",
+                help="byte budget, with optional K/M/G suffix (e.g. 64M)",
+            )
+        action_parser.set_defaults(func=_cmd_cache, action=action)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -503,8 +689,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR4.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR4.json)",
+        default="BENCH_PR5.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR5.json)",
     )
     stats_parser.set_defaults(func=_cmd_stats)
 

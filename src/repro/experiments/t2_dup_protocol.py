@@ -65,12 +65,17 @@ def run(
     quick: bool = False,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "scalar",
+    reduce: bool = False,
 ) -> ExperimentResult:
     """Build Table 2.
 
     ``workers`` shards the randomized campaigns over processes; ``cache``
-    memoizes campaign runs and exhaustive explorations by content.  The
-    table is identical at any worker count, with or without the cache.
+    memoizes campaign runs and exhaustive explorations by content;
+    ``engine`` / ``reduce`` pick the exhaustive-exploration engine (the
+    batched frontier engine is bit-identical unreduced; reduction keeps
+    the verdicts and counts equivalence classes).  The table is identical
+    at any worker count, with or without the cache, on either engine.
     """
     rng = DeterministicRNG(seed, "t2")
     sizes = (1, 2) if quick else (1, 2, 3, 4)
@@ -133,7 +138,11 @@ def run(
                     input_sequence,
                 )
                 report = cached_explore(
-                    system, max_states=500_000, cache=cache
+                    system,
+                    max_states=500_000,
+                    cache=cache,
+                    engine=engine,
+                    reduce=reduce,
                 )
                 total_states += report.states
                 all_safe = (

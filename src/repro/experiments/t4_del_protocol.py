@@ -47,12 +47,18 @@ LOSS_RATES = (0.0, 0.3, 0.6, 0.9)
 
 
 def run(
-    seed: int = 0, quick: bool = False, cache: Optional[ResultCache] = None
+    seed: int = 0,
+    quick: bool = False,
+    cache: Optional[ResultCache] = None,
+    engine: str = "scalar",
+    reduce: bool = False,
 ) -> ExperimentResult:
     """Build Table 4.
 
-    ``cache`` memoizes the exhaustive explorations by content; the table
-    is identical with or without it.
+    ``cache`` memoizes the exhaustive explorations by content, and
+    ``engine`` / ``reduce`` pick the exhaustive-exploration engine; the
+    table is identical with or without the cache, on either engine
+    (unreduced).
     """
     rng = DeterministicRNG(seed, "t4")
     sizes = (1, 2) if quick else (1, 2, 3)
@@ -99,6 +105,8 @@ def run(
                     max_states=500_000,
                     include_drops=True,
                     cache=cache,
+                    engine=engine,
+                    reduce=reduce,
                 )
                 total += report.states
                 all_safe = (

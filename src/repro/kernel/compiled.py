@@ -78,6 +78,8 @@ class CompiledSystem:
         "_complete",
         "_rows",
         "_rows_nodrop",
+        "_succ",
+        "_succ_nodrop",
         "_edge_by_event",
         "_events",
         "_event_ids",
@@ -92,6 +94,8 @@ class CompiledSystem:
         self._complete = bytearray()
         self._rows: List[Optional[Row]] = []
         self._rows_nodrop: List[Optional[Row]] = []
+        self._succ: List[Optional[Tuple[int, ...]]] = []
+        self._succ_nodrop: List[Optional[Tuple[int, ...]]] = []
         self._edge_by_event: List[Optional[Dict[Event, int]]] = []
         self._events: List[Event] = []
         self._event_ids: Dict[Event, int] = {}
@@ -111,6 +115,8 @@ class CompiledSystem:
             )
             self._rows.append(None)
             self._rows_nodrop.append(None)
+            self._succ.append(None)
+            self._succ_nodrop.append(None)
             self._edge_by_event.append(None)
         return state_id
 
@@ -152,9 +158,8 @@ class CompiledSystem:
         obs.add("compiled.rows_materialized")
         self._rows[state_id] = row
         is_drop = self._event_is_drop
-        self._rows_nodrop[state_id] = tuple(
-            edge for edge in row if not is_drop[edge[0]]
-        )
+        nodrop = tuple(edge for edge in row if not is_drop[edge[0]])
+        self._rows_nodrop[state_id] = nodrop
         return row
 
     def row_without_drops(self, state_id: int) -> Row:
@@ -163,6 +168,39 @@ class CompiledSystem:
         if cached is None:
             self.row(state_id)
             cached = self._rows_nodrop[state_id]
+        return cached
+
+    def succ_row(self, state_id: int) -> Tuple[int, ...]:
+        """Unique successor ids of ``state_id`` in first-occurrence order.
+
+        The event labels are dropped and duplicate targets collapsed (a
+        state reached by several enabled events appears once), which is
+        exactly the view a set-based frontier sweep needs.  Self-loops are
+        kept: whether a self-edge matters is the *consumer's* policy (the
+        batched engine prunes them because set-BFS evolution is unchanged
+        without them).
+
+        Derived lazily from the edge row on first request, so scalar
+        users (which never call this) pay nothing for the cache.
+        """
+        cached = self._succ[state_id]
+        if cached is None:
+            cached = tuple(
+                dict.fromkeys(nid for _, nid in self.row(state_id))
+            )
+            self._succ[state_id] = cached
+        return cached
+
+    def succ_row_without_drops(self, state_id: int) -> Tuple[int, ...]:
+        """:meth:`succ_row` restricted to non-drop events."""
+        cached = self._succ_nodrop[state_id]
+        if cached is None:
+            cached = tuple(
+                dict.fromkeys(
+                    nid for _, nid in self.row_without_drops(state_id)
+                )
+            )
+            self._succ_nodrop[state_id] = cached
         return cached
 
     def enabled(self, state_id: int) -> Tuple[Event, ...]:
@@ -261,9 +299,8 @@ class CompiledSystem:
             if row is None:
                 continue
             compiled._rows[state_id] = row
-            compiled._rows_nodrop[state_id] = tuple(
-                edge for edge in row if not is_drop[edge[0]]
-            )
+            nodrop = tuple(edge for edge in row if not is_drop[edge[0]])
+            compiled._rows_nodrop[state_id] = nodrop
         return compiled
 
 

@@ -16,6 +16,16 @@
 from repro.verify.safety import check_safety, SafetyVerdict
 from repro.verify.liveness import check_liveness, LivenessVerdict
 from repro.verify.explorer import explore, explore_compiled, ExplorationReport
+from repro.kernel.frontier import (
+    FRONTIER_SCHEMA,
+    FrontierFamily,
+    FrontierSnapshot,
+    canonical_input_signature,
+    canonical_state_key,
+    explore_batched,
+    explore_batched_resumable,
+    explore_family_batched,
+)
 from repro.verify.deadlock import (
     assert_outage_recoverable,
     find_liveness_trap,
@@ -37,6 +47,14 @@ __all__ = [
     "explore",
     "explore_compiled",
     "ExplorationReport",
+    "FRONTIER_SCHEMA",
+    "FrontierFamily",
+    "FrontierSnapshot",
+    "canonical_input_signature",
+    "canonical_state_key",
+    "explore_batched",
+    "explore_batched_resumable",
+    "explore_family_batched",
     "assert_outage_recoverable",
     "find_liveness_trap",
     "DeadlockReport",

@@ -188,11 +188,11 @@ def _explore_object(
                         # Fast mode kept no links; re-explore once with
                         # parents to reconstruct the shortest path (BFS is
                         # deterministic, so the same violation is found).
-                        return explore(
-                            system,
-                            max_states=max_states,
-                            include_drops=include_drops,
-                            store_parents=True,
+                        # Recurse into the private body: the re-run is part
+                        # of *this* search, so it must not emit a second
+                        # span or double the explorer.* counters.
+                        return _explore_object(
+                            system, max_states, include_drops, True
                         )
                     elapsed = time.perf_counter() - start
                     return ExplorationReport(
@@ -330,13 +330,11 @@ def _explore_table(
                 if not is_safe(successor_id):
                     if parents is None:
                         # Fast mode kept no links; redo with parents over
-                        # the (now warm) table to recover the path.
-                        return explore_compiled(
-                            system,
-                            max_states=max_states,
-                            include_drops=include_drops,
-                            store_parents=True,
-                            compiled=table,
+                        # the (now warm) table to recover the path.  Same
+                        # private-body recursion as _explore_object: one
+                        # public call, one span, one set of counters.
+                        return _explore_table(
+                            system, max_states, include_drops, True, table
                         )
                     elapsed = time.perf_counter() - start
                     return ExplorationReport(

@@ -124,25 +124,38 @@ class TestParallelDeterminism:
 
 
 class TestParallelFallback:
-    def test_single_core_falls_back_to_serial(self, monkeypatch):
-        import os
+    # The campaign sizes its pool against the affinity/cgroup-aware
+    # schedulable count, not the machine's logical width -- a CI
+    # container pinned to one core of a 64-core host must not fork.
 
-        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    def test_single_core_falls_back_to_serial(self, monkeypatch):
+        from repro.analysis import hostinfo
+
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 1)
         assert norepeat_campaign(workers=4)._effective_workers(1000) == 1
 
     def test_small_grid_falls_back_to_serial(self, monkeypatch):
-        import os
+        from repro.analysis import hostinfo
 
-        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 8)
         campaign = norepeat_campaign(workers=4)
         # Below workers * _MIN_CHUNK the pool cannot amortize start-up.
         assert campaign._effective_workers(15) == 1
         assert campaign._effective_workers(16) == 4
 
-    def test_fallback_still_produces_identical_outcomes(self, monkeypatch):
+    def test_wide_logical_count_does_not_defeat_affinity(self, monkeypatch):
         import os
 
-        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        from repro.analysis import hostinfo
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 1)
+        assert norepeat_campaign(workers=4)._effective_workers(1000) == 1
+
+    def test_fallback_still_produces_identical_outcomes(self, monkeypatch):
+        from repro.analysis import hostinfo
+
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 1)
         serial = norepeat_campaign(workers=1).run(DeterministicRNG(11))
         fallback = norepeat_campaign(workers=4).run(DeterministicRNG(11))
         assert fallback.metrics == serial.metrics

@@ -1,0 +1,62 @@
+"""Affinity/cgroup-aware CPU counting for perf artifacts and pools."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import hostinfo
+from repro.analysis.hostinfo import available_cpu_count, logical_cpu_count
+
+
+class TestInvariants:
+    def test_both_counts_are_positive(self):
+        assert logical_cpu_count() >= 1
+        assert available_cpu_count() >= 1
+
+    def test_available_never_exceeds_logical_here(self):
+        # Not a universal law (affinity can in principle be reconfigured
+        # mid-test), but on any sane runner the schedulable set is a
+        # subset of the machine's logical CPUs.
+        assert available_cpu_count() <= logical_cpu_count()
+
+
+class TestFallbackChain:
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3, raising=False)
+        assert available_cpu_count() == 3
+
+    def test_falls_back_to_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None, raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        assert available_cpu_count() == 2
+
+    def test_affinity_oserror_falls_back_to_logical(self, monkeypatch):
+        def explode(pid):
+            raise OSError("no affinity syscall here")
+
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None, raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", explode, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert available_cpu_count() == 7
+
+    def test_everything_missing_clamps_to_one(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert logical_cpu_count() == 1
+        assert available_cpu_count() == 1
+
+
+class TestPerfReportHeader:
+    def test_report_carries_both_counts(self):
+        from repro.analysis.perfreport import PerfReport
+
+        header = PerfReport().to_dict()
+        assert header["cpu_count"] == logical_cpu_count()
+        assert header["cpu_count_available"] == available_cpu_count()
+        assert hostinfo.__all__ == [
+            "available_cpu_count",
+            "logical_cpu_count",
+        ]
