@@ -1,15 +1,17 @@
 """Nightly CI assertion: frontier instrumentation flows through the registry.
 
-A benchmark session that exercised the batched engine must leave its
-``frontier.*`` gauges in the perf artifact's ``metrics:`` section --
-published by :func:`repro.kernel.frontier.explore_batched` and the
-family sweep at search time, merged through the :mod:`repro.obs`
-registry, not reconstructed from timing records after the fact.  The
-explorer counters must be there too (the batched engine reports through
-the same ``explorer.*`` names as the scalar engines, which is what makes
-the engines swappable in dashboards).
+A benchmark session that exercised the batched and vectorized engines
+must leave their ``frontier.*`` gauges in the perf artifact's
+``metrics:`` section -- published by
+:func:`repro.kernel.frontier.explore_batched`,
+:func:`repro.kernel.vectorized.explore_vectorized`, and the family
+sweeps at search time, merged through the :mod:`repro.obs` registry, not
+reconstructed from timing records after the fact.  The explorer counters
+must be there too (both frontier engines report through the same
+``explorer.*`` names as the scalar engines, which is what makes the
+engines swappable in dashboards).
 
-    python benchmarks/assert_frontier_metrics.py BENCH_PR5.json
+    python benchmarks/assert_frontier_metrics.py BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -20,11 +22,12 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-#: Gauges the batched engine publishes per search / family sweep.
+#: Gauges the frontier engines publish per search / family sweep.
 REQUIRED_GAUGES = (
     "frontier.depth",
     "frontier.width",
     "frontier.reduction_ratio",
+    "frontier.shards",
 )
 
 #: Engine-agnostic counters every exploration must feed.
@@ -64,12 +67,15 @@ def check(report: Dict) -> str:
     assert "explore:t2-family-reduced" in names, (
         "artifact has no reduced family record -- did bench_p5 run?"
     )
+    assert "explore:t2-family-vectorized" in names, (
+        "artifact has no vectorized family record -- did bench_p6 run?"
+    )
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("artifact", type=Path, help="perf BENCH_PR5.json")
+    parser.add_argument("artifact", type=Path, help="perf BENCH_PR6.json")
     args = parser.parse_args(argv)
     report = json.loads(args.artifact.read_text(encoding="utf-8"))
     try:

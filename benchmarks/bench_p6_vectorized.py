@@ -1,0 +1,93 @@
+"""Benchmark: vectorized frontier core vs the batched frontier engine.
+
+Sweeps the full T2 exhaustive family at ``m=4`` (65 repetition-free
+inputs over a 4-letter alphabet, duplicating channels) with the
+dense-array core of :class:`repro.verify.VectorizedFamily` -- cold
+(construction included) and warm, with ``shards=1`` and ``shards=N`` --
+and records all of it in the session perf report (``BENCH_PR6.json``).
+
+Three assertions, mirroring ``bench_p5_frontier.py`` one engine up:
+
+* the vectorized reports are **bit-identical** to the scalar engine's in
+  every non-timing field;
+* the warm vectorized sweep is at least 3x faster than the *batched*
+  engine's warm sweep (measured ~7-9x on the reference container: the
+  per-sweep work collapses to array assembly over warmed level sets);
+* the sharded sweep (``shards=N``) returns reports bit-identical to the
+  unsharded one -- partitioning the frontier may change the schedule,
+  never the answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_vectorized_explorer
+
+MIN_SPEEDUP = 3.0
+
+
+def _measure_cold(report, m: int = 4) -> None:
+    """One cold sweep: family construction + first explore, timed."""
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import VectorizedFamily, vectorized_backend
+    from repro.workloads import repetition_free_family
+
+    domain = "abcdefgh"[:m]
+    sender, receiver = norepeat_protocol(domain)
+    systems = [
+        System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+        for input_sequence in repetition_free_family(domain)
+    ]
+    start = time.perf_counter()
+    reports = VectorizedFamily(systems).explore()
+    cold_seconds = time.perf_counter() - start
+    total_states = sum(r.states for r in reports)
+    report.add(
+        "explore:t2-family-vectorized-cold",
+        cold_seconds,
+        states=total_states,
+        states_per_second=(
+            total_states / cold_seconds if cold_seconds > 0 else None
+        ),
+        inputs=len(systems),
+        backend=vectorized_backend(),
+    )
+
+
+def test_bench_vectorized_engine(benchmark):
+    """T2 m=4 family: identical reports, >=3x over batched, sound shards."""
+    report = perf_report()
+    _measure_cold(report)
+    comparison = benchmark.pedantic(
+        measure_vectorized_explorer,
+        args=(report,),
+        kwargs={"m": 4, "rounds": 20},
+        rounds=1,
+        iterations=1,
+    )
+    assert comparison["reports_identical"], (
+        "vectorized exploration diverged from the scalar engine"
+    )
+    assert comparison["speedup"] >= MIN_SPEEDUP, (
+        f"expected >={MIN_SPEEDUP}x vectorized speedup over the batched "
+        f"engine on the T2 m=4 family, got {comparison['speedup']:.2f}x"
+    )
+    sharded = next(
+        record
+        for record in report.records
+        if record.name == "explore:t2-family-vectorized-sharded"
+    )
+    assert sharded.extra["reports_identical"], (
+        "sharded vectorized exploration diverged from the unsharded sweep"
+    )
+    assert sharded.extra["shards"] > 1

@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR5.json``.
+  miss counts into ``BENCH_PR6.json``.
 
 Fingerprints are SHA-256 over a *canonical form*: primitives by value,
 containers recursively (sets sorted), objects by class identity plus
@@ -311,8 +311,9 @@ def cached_explore(
     reuse_table: bool = True,
     engine: str = "scalar",
     reduce: bool = False,
+    shards: int = 1,
 ):
-    """Exhaustive exploration behind the cache, on either engine.
+    """Exhaustive exploration behind the cache, on any engine.
 
     On a report hit the stored :class:`ExplorationReport` is returned
     verbatim (bit-identical to recomputation).  On a miss the search runs
@@ -324,22 +325,29 @@ def cached_explore(
     Args:
         engine: ``"scalar"`` for
             :func:`~repro.verify.explorer.explore_compiled`, ``"batched"``
-            for :func:`~repro.kernel.frontier.explore_batched`.  Unreduced
-            batched reports are bit-identical to scalar ones, so both
-            engines share one report key: a sweep run on either engine
-            warms the cache for the other.
+            for :func:`~repro.kernel.frontier.explore_batched`,
+            ``"vectorized"`` for
+            :func:`~repro.kernel.vectorized.explore_vectorized`.
+            Unreduced reports are bit-identical across all three, so they
+            share one report key: a sweep run on any engine warms the
+            cache for the others.
         reduce: quotient symmetric states (batched engine only).  Reduced
             reports count equivalence classes, not states, so the mode is
             folded into the report fingerprint -- reduced and unreduced
             results never alias.
+        shards: frontier shards for the vectorized engine (ignored by the
+            others).  Sharding changes the execution schedule, never the
+            report, so it is *not* part of any fingerprint.
 
-    The unreduced batched engine additionally keeps a
+    The unreduced batched and vectorized engines additionally keep a
     :class:`~repro.kernel.frontier.FrontierSnapshot` per (system,
     ``include_drops``) point -- budget-independent, with its digest
     lineage embedded and verified on load.  A stored cut resumes a larger
     ``max_states`` request from the old frontier instead of re-exploring
     from the initial state, which is what lets campaign sweeps over
-    adjacent budget points reuse each other's work.
+    adjacent budget points reuse each other's work.  Both engines read
+    and write the same snapshot entries: either can resume a cut the
+    other captured.
 
     With ``cache=None`` this is exactly the chosen engine, uncached.
     """
@@ -349,9 +357,13 @@ def cached_explore(
         explore_batched,
         explore_batched_resumable,
     )
+    from repro.kernel.vectorized import (
+        explore_vectorized,
+        explore_vectorized_resumable,
+    )
     from repro.verify.explorer import explore_compiled
 
-    if engine not in ("scalar", "batched"):
+    if engine not in ("scalar", "batched", "vectorized"):
         raise ValueError(f"unknown explorer engine: {engine!r}")
     if reduce and engine != "batched":
         raise ValueError("reduce=True requires engine='batched'")
@@ -359,6 +371,13 @@ def cached_explore(
         if engine == "scalar":
             return explore_compiled(
                 system, max_states=max_states, include_drops=include_drops
+            )
+        if engine == "vectorized":
+            return explore_vectorized(
+                system,
+                max_states=max_states,
+                include_drops=include_drops,
+                shards=shards,
             )
         return explore_batched(
             system,
@@ -377,7 +396,7 @@ def cached_explore(
     if report is not None:
         return report
 
-    if engine == "batched" and not reduce:
+    if engine in ("batched", "vectorized") and not reduce:
         # Try to resume a stored frontier cut before reviving a table:
         # the snapshot embeds its own (warm) table.
         frontier_key = fingerprint("frontier", base, include_drops)
@@ -394,14 +413,25 @@ def cached_explore(
         table = None
         if resume is None and reuse_table:
             table = _revive_table(cache, system, base)
-        report, snapshot = explore_batched_resumable(
-            system,
-            max_states=max_states,
-            include_drops=include_drops,
-            compiled=table,
-            resume_from=resume,
-            fingerprint=base,
-        )
+        if engine == "vectorized":
+            report, snapshot = explore_vectorized_resumable(
+                system,
+                max_states=max_states,
+                include_drops=include_drops,
+                compiled=table,
+                resume_from=resume,
+                fingerprint=base,
+                shards=shards,
+            )
+        else:
+            report, snapshot = explore_batched_resumable(
+                system,
+                max_states=max_states,
+                include_drops=include_drops,
+                compiled=table,
+                resume_from=resume,
+                fingerprint=base,
+            )
         cache.put("explore", report_key, report)
         if snapshot is not None:
             cache.put("frontier", frontier_key, snapshot)

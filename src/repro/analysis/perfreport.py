@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR5.json`` at the repo root (previously ``BENCH_PR1``..``PR4``),
+``BENCH_PR6.json`` at the repo root (previously ``BENCH_PR1``..``PR5``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -56,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR5.json"
+BENCH_FILENAME = "BENCH_PR6.json"
 
 
 @dataclass
@@ -494,6 +494,138 @@ def measure_batched_explorer(
     return comparison
 
 
+def measure_vectorized_explorer(
+    report: PerfReport, m: int = 4, rounds: int = 20, shards: int = 0
+) -> Dict[str, object]:
+    """Record the vectorized core's speedup over the *batched* engine.
+
+    Same T2 family workload as :func:`measure_batched_explorer`, but the
+    baseline is now the batched :class:`repro.verify.FrontierFamily`
+    sweep itself -- the vectorized engine's gate (PR 6) is >=3x over the
+    engine PR 5 shipped, not over the scalar path it already beat.  The
+    probe first asserts the vectorized family's reports agree with the
+    scalar engine's in every non-timing field, then times both engines
+    warm over ``rounds`` sweeps.
+
+    A second pass runs the same sweep with ``shards`` frontier shards
+    (default: :func:`repro.analysis.hostinfo.available_cpu_count`) and
+    asserts the reports are bit-identical to the unsharded ones --
+    sharding may only change the schedule, never the answer.
+
+    Records ``explore:t2-family-vectorized`` and
+    ``explore:t2-family-vectorized-sharded``; returns the unsharded
+    comparison dict.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.hostinfo import available_cpu_count
+    from repro.channels import DuplicatingChannel
+    from repro.kernel.compiled import CompiledSystem
+    from repro.kernel.system import System
+    from repro.protocols.norepeat import norepeat_protocol
+    from repro.verify import (
+        FrontierFamily,
+        VectorizedFamily,
+        explore_compiled,
+        vectorized_backend,
+    )
+    from repro.workloads import repetition_free_family
+
+    if shards <= 0:
+        shards = max(available_cpu_count(), 2)
+    domain = "abcdefgh"[:m]
+    sender, receiver = norepeat_protocol(domain)
+    systems = [
+        System(
+            sender,
+            receiver,
+            DuplicatingChannel(),
+            DuplicatingChannel(),
+            input_sequence,
+        )
+        for input_sequence in repetition_free_family(domain)
+    ]
+    tables = [CompiledSystem(system) for system in systems]
+    scalar_reports = [
+        explore_compiled(system, store_parents=False, compiled=table)
+        for system, table in zip(systems, tables)
+    ]
+    batched_family = FrontierFamily(systems, tables=tables)
+    vector_family = VectorizedFamily(systems, tables=tables)
+    sharded_family = VectorizedFamily(systems, tables=tables, shards=shards)
+
+    def _stable(record):
+        return replace(record, elapsed_seconds=0.0, states_per_second=0.0)
+
+    vector_reports = vector_family.explore()
+    identical = all(
+        _stable(fast) == _stable(scalar)
+        for fast, scalar in zip(vector_reports, scalar_reports)
+    )
+    sharded_reports = sharded_family.explore()
+    sharded_identical = all(
+        _stable(sharded) == _stable(fast)
+        for sharded, fast in zip(sharded_reports, vector_reports)
+    )
+    total_states = sum(r.states for r in scalar_reports)
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        batched_family.explore()
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        vector_family.explore()
+    vector_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        sharded_family.explore()
+    sharded_seconds = time.perf_counter() - start
+
+    comparison = {
+        "speedup": (
+            batched_seconds / vector_seconds if vector_seconds > 0 else 0.0
+        ),
+        "batched_seconds": batched_seconds,
+        "rounds": rounds,
+        "inputs": len(systems),
+        "reports_identical": identical,
+        "backend": vectorized_backend(),
+    }
+    report.add(
+        "explore:t2-family-vectorized",
+        vector_seconds,
+        states=total_states * rounds,
+        states_per_second=(
+            total_states * rounds / vector_seconds
+            if vector_seconds > 0
+            else None
+        ),
+        **comparison,
+    )
+    report.add(
+        "explore:t2-family-vectorized-sharded",
+        sharded_seconds,
+        states=total_states * rounds,
+        states_per_second=(
+            total_states * rounds / sharded_seconds
+            if sharded_seconds > 0
+            else None
+        ),
+        speedup=(
+            batched_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
+        ),
+        shards=shards,
+        rounds=rounds,
+        inputs=len(systems),
+        reports_identical=sharded_identical,
+        backend=vectorized_backend(),
+    )
+    return comparison
+
+
 #: Ceiling asserted on the disabled-instrumentation overhead (percent of
 #: the T2 m=3 warm compiled-family wall time).
 MAX_DISABLED_OVERHEAD_PERCENT = 2.0
@@ -685,6 +817,7 @@ def run_default_bench(
     cache=None,
     engine: str = "scalar",
     reduce: bool = False,
+    shards: int = 1,
 ) -> PerfReport:
     """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep.
 
@@ -692,9 +825,10 @@ def run_default_bench(
     through the experiments that memoize work; the report then carries a
     ``cache:stats`` record with the hit/miss counters.
 
-    ``engine`` / ``reduce`` select the exhaustive-exploration engine the
-    experiments use (see :func:`repro.analysis.cache.cached_explore`);
-    the dedicated explorer probes always measure both engines.
+    ``engine`` / ``reduce`` / ``shards`` select the exhaustive-exploration
+    engine the experiments use (see
+    :func:`repro.analysis.cache.cached_explore`); the dedicated explorer
+    probes always measure every engine.
 
     Observability collection is enabled for the duration (and restored
     afterwards), so the written artifact carries the ``spans:`` and
@@ -720,6 +854,7 @@ def run_default_bench(
                 cache=cache,
                 engine=engine,
                 reduce=reduce,
+                shards=shards,
             )
             report.add(
                 f"experiment:{experiment_id}",
@@ -737,6 +872,7 @@ def run_default_bench(
         measure_explorer(report)
         measure_compiled_explorer(report)
         measure_batched_explorer(report)
+        measure_vectorized_explorer(report)
         measure_campaign_speedup(report, workers=workers)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())

@@ -17,18 +17,21 @@ Subcommands:
 * ``report`` -- regenerate EXPERIMENTS.md;
 * ``explore`` -- exhaustively explore one protocol/channel/input system
   and print its report; ``--engine batched`` uses the level-synchronous
-  frontier engine (bit-identical unreduced), ``--reduce`` quotients
-  symmetric states (verdict-preserving);
+  frontier engine (bit-identical unreduced), ``--engine vectorized`` the
+  dense-array frontier core (``--shards N`` forks the expansion across
+  processes, still bit-identical), ``--reduce`` quotients symmetric
+  states (verdict-preserving);
 * ``cache`` -- inspect and manage the content-addressed result cache:
   ``cache stats`` (on-disk shape), ``cache clear`` (wipe), ``cache prune
   --max-size N`` (evict oldest entries until the store fits);
 * ``bench`` -- time experiments, exhaustive exploration (object-graph,
-  compiled-table, and batched-frontier), and the serial-vs-parallel
-  campaign sweep, and write the ``BENCH_PR5.json`` perf artifact tracked
-  PR over PR (carrying ``spans:`` and ``metrics:`` sections from the
-  observability layer); ``--cache-dir`` turns on the content-addressed
-  result cache (``--no-cache`` runs cold); ``--engine``/``--reduce``
-  select the experiments' exploration engine;
+  compiled-table, batched-frontier, and vectorized), and the
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR6.json``
+  perf artifact tracked PR over PR (carrying ``spans:`` and ``metrics:``
+  sections from the observability layer); ``--cache-dir`` turns on the
+  content-addressed result cache (``--no-cache`` runs cold);
+  ``--engine``/``--reduce``/``--shards`` select the experiments'
+  exploration engine;
 * ``chaos`` -- run the fault-injection matrix (every protocol family
   crossed with the fault vocabulary) plus the F8 recovery sweep under the
   self-healing runner, and write the ``BENCH_PR2.json`` resilience
@@ -102,12 +105,23 @@ def _add_profile_arguments(parser) -> None:
 def _add_engine_arguments(parser) -> None:
     parser.add_argument(
         "--engine",
-        choices=("scalar", "batched"),
+        choices=("scalar", "batched", "vectorized"),
         default="scalar",
         help=(
             "exhaustive-exploration engine: 'scalar' walks states one at "
             "a time, 'batched' expands whole frontier levels over the "
-            "compiled table (identical reports, faster)"
+            "compiled table, 'vectorized' expands dense-id arrays with a "
+            "visited bitset (identical reports, faster)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition each vectorized frontier level into N shards and "
+            "expand them in fork-pool workers (bit-identical reports; "
+            "ignored by the other engines)"
         ),
     )
     parser.add_argument(
@@ -139,6 +153,7 @@ def _run_experiments(args) -> int:
             workers=args.workers,
             engine=getattr(args, "engine", "scalar"),
             reduce=getattr(args, "reduce", False),
+            shards=getattr(args, "shards", 1),
         )
         print(result.rendered)
         if result.notes:
@@ -311,6 +326,7 @@ def _run_bench(args) -> int:
         cache=cache,
         engine=args.engine,
         reduce=args.reduce,
+        shards=args.shards,
     )
     print(report.render())
     path = report.write(args.out)
@@ -359,8 +375,9 @@ def _cmd_explore(args) -> int:
             cache=cache,
             engine=args.engine,
             reduce=args.reduce,
+            shards=args.shards,
         )
-    except KernelError as error:
+    except (KernelError, ValueError) as error:
         print(f"cannot explore this system: {error}", file=sys.stderr)
         return 2
     kind = "classes" if args.reduce else "states"
@@ -563,7 +580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR5.json"
+        "bench", help="time the perf suite and write BENCH_PR6.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -588,7 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR5.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR6.json", help="output path for the perf JSON"
     )
     _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -689,8 +706,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR5.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR5.json)",
+        default="BENCH_PR6.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR6.json)",
     )
     stats_parser.set_defaults(func=_cmd_stats)
 

@@ -67,6 +67,7 @@ def run(
     cache: Optional[ResultCache] = None,
     engine: str = "scalar",
     reduce: bool = False,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Build Table 2.
 
@@ -143,6 +144,7 @@ def run(
                     cache=cache,
                     engine=engine,
                     reduce=reduce,
+                    shards=shards,
                 )
                 total_states += report.states
                 all_safe = (

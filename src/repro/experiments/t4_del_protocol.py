@@ -52,6 +52,7 @@ def run(
     cache: Optional[ResultCache] = None,
     engine: str = "scalar",
     reduce: bool = False,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Build Table 4.
 
@@ -107,6 +108,7 @@ def run(
                     cache=cache,
                     engine=engine,
                     reduce=reduce,
+                    shards=shards,
                 )
                 total += report.states
                 all_safe = (

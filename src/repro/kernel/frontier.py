@@ -345,6 +345,67 @@ def _unsafe_initial_report(completion_reachable: bool, start: float):
 # ---------------------------------------------------------------------------
 
 
+def _resume_state(
+    resume_from: Optional[FrontierSnapshot],
+    include_drops: bool,
+    max_states: int,
+) -> Tuple[Optional[FrontierSnapshot], Tuple[str, ...]]:
+    """Validate a resume snapshot against the requested search.
+
+    Returns ``(snapshot, parent_lineage)``: the snapshot to continue from
+    (None when there is nothing usable) and the digest chain a new
+    capture must extend.  Schema and ``include_drops`` mismatches are
+    refused; a budget *below* the snapshot's spend silently starts over
+    (the snapshot holds no information about the earlier truncation
+    prefix).  Shared by the batched and vectorized engines so their
+    resume semantics cannot drift apart.
+    """
+    if resume_from is None:
+        return None, ()
+    snap = resume_from
+    if snap.schema != FRONTIER_SCHEMA:
+        raise VerificationError(
+            f"unsupported frontier snapshot: {snap.schema!r}"
+        )
+    if snap.include_drops != include_drops:
+        raise VerificationError(
+            "frontier snapshot was taken under "
+            f"include_drops={snap.include_drops}; cannot resume with "
+            f"include_drops={include_drops}"
+        )
+    if max_states < snap.expanded:
+        # A smaller budget would have truncated earlier than the
+        # snapshot's cut; the snapshot holds no information about that
+        # earlier prefix, so start over.
+        return None, ()
+    return snap, snap.lineage
+
+
+def _drained_result(snap: FrontierSnapshot, capture: bool, start: float):
+    """The ``(report, snapshot, stats)`` of a finished snapshot.
+
+    A drained search knows its full space: any budget at or above the
+    recorded spend reproduces the finished report without touching the
+    table.
+    """
+    elapsed = time.perf_counter() - start
+    report = _fast_report(
+        states=len(snap.visited),
+        all_safe=True,
+        violation_path=None,
+        completion_reachable=snap.completion_reachable,
+        truncated=False,
+        expanded_states=snap.expanded,
+        peak_frontier=snap.peak_frontier,
+        elapsed_seconds=elapsed,
+        states_per_second=(
+            snap.expanded / elapsed if elapsed > 0 else 0.0
+        ),
+    )
+    stats = {"depth": snap.depth, "width": snap.peak_frontier}
+    return report, (snap if capture else None), stats
+
+
 def _explore_batched_core(
     system: System,
     max_states: int,
@@ -367,48 +428,10 @@ def _explore_batched_core(
         raise VerificationError("max_states must be positive")
     start = time.perf_counter()
 
-    parent_lineage: Tuple[str, ...] = ()
-    if resume_from is not None:
-        snap = resume_from
-        if snap.schema != FRONTIER_SCHEMA:
-            raise VerificationError(
-                f"unsupported frontier snapshot: {snap.schema!r}"
-            )
-        if snap.include_drops != include_drops:
-            raise VerificationError(
-                "frontier snapshot was taken under "
-                f"include_drops={snap.include_drops}; cannot resume with "
-                f"include_drops={include_drops}"
-            )
-        if max_states < snap.expanded:
-            # A smaller budget would have truncated earlier than the
-            # snapshot's cut; the snapshot holds no information about
-            # that earlier prefix, so start over.
-            snap = None
-        else:
-            parent_lineage = snap.lineage
-    else:
-        snap = None
+    snap, parent_lineage = _resume_state(resume_from, include_drops, max_states)
 
     if snap is not None and not snap.truncated:
-        # A drained search: the full space is known, and any budget at or
-        # above the recorded spend reproduces the finished report.
-        elapsed = time.perf_counter() - start
-        report = _fast_report(
-            states=len(snap.visited),
-            all_safe=True,
-            violation_path=None,
-            completion_reachable=snap.completion_reachable,
-            truncated=False,
-            expanded_states=snap.expanded,
-            peak_frontier=snap.peak_frontier,
-            elapsed_seconds=elapsed,
-            states_per_second=(
-                snap.expanded / elapsed if elapsed > 0 else 0.0
-            ),
-        )
-        stats = {"depth": snap.depth, "width": snap.peak_frontier}
-        return report, (snap if capture else None), stats
+        return _drained_result(snap, capture, start)
 
     if snap is not None:
         table = (

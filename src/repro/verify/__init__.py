@@ -26,6 +26,13 @@ from repro.kernel.frontier import (
     explore_batched_resumable,
     explore_family_batched,
 )
+from repro.kernel.vectorized import (
+    VectorizedFamily,
+    explore_family_vectorized,
+    explore_vectorized,
+    explore_vectorized_resumable,
+    vectorized_backend,
+)
 from repro.verify.deadlock import (
     assert_outage_recoverable,
     find_liveness_trap,
@@ -55,6 +62,11 @@ __all__ = [
     "explore_batched",
     "explore_batched_resumable",
     "explore_family_batched",
+    "VectorizedFamily",
+    "explore_family_vectorized",
+    "explore_vectorized",
+    "explore_vectorized_resumable",
+    "vectorized_backend",
     "assert_outage_recoverable",
     "find_liveness_trap",
     "DeadlockReport",

@@ -48,6 +48,43 @@ class TestFallbackChain:
         assert logical_cpu_count() == 1
         assert available_cpu_count() == 1
 
+    def test_zero_process_cpu_count_falls_through(self, monkeypatch):
+        # A probe that answers 0 is as useless as one that answers None:
+        # the chain must keep walking to the affinity mask.
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 0, raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False
+        )
+        assert available_cpu_count() == 3
+
+    def test_empty_affinity_mask_falls_through(self, monkeypatch):
+        # Restricted-affinity edge: an empty schedulable set falls back
+        # to the machine's logical width rather than reporting 0.
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None, raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert available_cpu_count() == 5
+
+    def test_zero_cpu_count_hits_the_or_one_floor(self, monkeypatch):
+        # `os.cpu_count() or 1`: a 0 answer (seen on exotic platforms)
+        # must clamp to 1, not propagate.
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 0)
+        assert logical_cpu_count() == 1
+        assert available_cpu_count() == 1
+
+    def test_single_cpu_affinity_mask(self, monkeypatch):
+        # The container reality this suite usually runs under: one
+        # schedulable CPU pins every derived pool size to serial.
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None, raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        assert available_cpu_count() == 1
+
 
 class TestPerfReportHeader:
     def test_report_carries_both_counts(self):

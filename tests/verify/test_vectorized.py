@@ -1,0 +1,157 @@
+"""Vectorized engine specifics: backends, sharding, gauges, cache wiring.
+
+The bit-identity property sweep lives in
+``test_frontier_equivalence.py``; this file pins the machinery around
+it -- backend selection, the fork-pool sharded expansion (forced on,
+since CI containers usually expose one schedulable CPU), the
+``frontier.*`` observability gauges, and ``engine="vectorized"``
+through :func:`repro.analysis.cache.cached_explore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.analysis import hostinfo
+from repro.analysis.cache import ResultCache, cached_explore
+from repro.channels import DuplicatingChannel
+from repro.kernel import vectorized
+from repro.kernel.compiled import CompiledSystem
+from repro.kernel.system import System
+from repro.protocols.norepeat import norepeat_protocol
+from repro.verify import (
+    explore_compiled,
+    explore_vectorized,
+    vectorized_backend,
+)
+
+
+def build_system(input_sequence=("a", "b")):
+    domain = tuple(sorted(set(input_sequence))) or ("a",)
+    sender, receiver = norepeat_protocol(domain)
+    return System(
+        sender,
+        receiver,
+        DuplicatingChannel(),
+        DuplicatingChannel(),
+        tuple(input_sequence),
+    )
+
+
+def strip_timing(report):
+    return replace(report, elapsed_seconds=0.0, states_per_second=0.0)
+
+
+def gauge(registry, name):
+    return registry.to_dict().get(name, {}).get("value")
+
+
+class TestBackendSelection:
+    def test_backend_reports_numpy_when_present(self):
+        if vectorized._resolve_np() is None:
+            pytest.skip("numpy not installed")
+        assert vectorized_backend() == "numpy"
+
+    def test_backend_reports_python_fallback(self, monkeypatch):
+        monkeypatch.setattr(vectorized, "_np", None)
+        assert vectorized_backend() == "python"
+        report = explore_vectorized(build_system())
+        fresh = explore_compiled(build_system())
+        assert strip_timing(report) == strip_timing(fresh)
+
+
+class TestShardedExpansion:
+    """Fork-pool sharding, forced on despite the 1-CPU container."""
+
+    def test_serial_fallback_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 1)
+        assert vectorized._effective_shard_workers(4) == 1
+
+    def test_workers_capped_by_cpus(self, monkeypatch):
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 2)
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method")
+        assert vectorized._effective_shard_workers(8) == 2
+        assert vectorized._effective_shard_workers(1) == 1
+
+    def test_warm_table_pool_run_is_bit_identical(self, monkeypatch):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method")
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 4)
+        # Warm the table first so the forked workers inherit every row
+        # and actually receive shards (a cold table keeps all expansion
+        # inline in the parent).
+        table = CompiledSystem(build_system())
+        explore_compiled(build_system(), compiled=table)
+        pooled = explore_vectorized(
+            build_system(), compiled=table, shards=3
+        )
+        fresh = explore_compiled(build_system())
+        assert strip_timing(pooled) == strip_timing(fresh)
+
+    def test_cold_table_pool_run_is_bit_identical(self, monkeypatch):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method")
+        monkeypatch.setattr(hostinfo, "available_cpu_count", lambda: 4)
+        pooled = explore_vectorized(build_system(), shards=3)
+        fresh = explore_compiled(build_system())
+        assert strip_timing(pooled) == strip_timing(fresh)
+
+
+class TestGauges:
+    def test_vectorized_run_emits_frontier_gauges(self):
+        with obs.scoped() as (_, registry):
+            report = explore_vectorized(build_system(), shards=2)
+            assert report.all_safe
+            assert gauge(registry, "frontier.shards") == 2
+            assert gauge(registry, "frontier.depth") >= 1
+            assert gauge(registry, "frontier.width") >= 1
+            assert gauge(registry, "frontier.merge_wait") is not None
+
+    def test_explorer_counters_count_one_search(self):
+        with obs.scoped() as (_, registry):
+            report = explore_vectorized(build_system())
+            counters = registry.to_dict()
+            assert counters["explorer.searches"]["value"] == 1
+            assert counters["explorer.states"]["value"] == report.states
+
+
+class TestCacheWiring:
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            cached_explore(build_system(), engine="gpu")
+
+    def test_reduce_requires_batched(self):
+        with pytest.raises(ValueError, match="reduce"):
+            cached_explore(build_system(), engine="vectorized", reduce=True)
+
+    def test_vectorized_report_warms_other_engines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cached_explore(
+            build_system(), max_states=600, cache=cache, engine="vectorized"
+        )
+        for engine in ("scalar", "batched", "vectorized"):
+            warm = cached_explore(
+                build_system(), max_states=600, cache=cache, engine=engine
+            )
+            # A hit returns the stored report verbatim, timing included.
+            assert warm == first, engine
+
+    def test_cross_engine_snapshot_resume(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        small = cached_explore(
+            build_system(), max_states=5, cache=cache, engine="batched"
+        )
+        assert small.truncated
+        resumed = cached_explore(
+            build_system(),
+            max_states=600,
+            cache=cache,
+            engine="vectorized",
+            shards=2,
+        )
+        fresh = explore_compiled(build_system(), max_states=600)
+        assert strip_timing(resumed) == strip_timing(fresh)
