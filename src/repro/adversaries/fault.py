@@ -3,12 +3,22 @@
 Section 5 argues that weak boundedness admits protocols in which *one*
 fault -- one lost message at an unlucky moment -- costs an unbounded number
 of steps to recover from.  The original :class:`FaultInjectingAdversary`
-reproduced exactly that one drop-and-outage shape; the self-stabilizing
-ARQ literature studies a much richer fault vocabulary (bursts, duplication
-storms, reorder windows, crash--restart).  This module provides it as a
+reproduced exactly that one drop-and-outage shape; this module provides
+the richer fault vocabulary of the self-stabilizing ARQ literature
+(bursts, duplication storms, reorder windows, crash--restart) as a
 *pluggable registry* of typed :class:`FaultEvent` specifications composed
 into a :class:`FaultPlan` and executed by :class:`FaultPlanAdversary`,
 which wraps any base adversary.
+
+All of these faults strike a run that *started clean*.  The literature's
+harshest fault -- beginning in an arbitrary corrupted configuration --
+has its own workload family: :mod:`repro.resilience.stabilize` explores
+every corrupt initial state exhaustively and judges per-source
+stabilization, and :mod:`repro.protocols.ss_arq` is the registry's
+protocol that provably converges under it (plain ABP does not).  The
+deepest fault here, ``CrashRestart(state_loss="full")`` (total amnesia),
+is exactly the ``corruption="receiver-amnesia"`` slice of that corrupt
+set.
 
 Every event is triggered either at a step index (``at``) or by a
 ``predicate`` over the trace, and is *armed once*: after firing it stays

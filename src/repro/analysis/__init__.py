@@ -7,13 +7,19 @@
 * :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
   the output format of every benchmark.
 * :mod:`repro.analysis.perfreport` -- wall-clock perf records and the
-  PR-over-PR ``BENCH_PR6.json`` artifact (with ``spans:``/``metrics:``
+  PR-over-PR ``BENCH_PR7.json`` artifact (with ``spans:``/``metrics:``
   sections from :mod:`repro.obs`).
 * :mod:`repro.analysis.cache` -- the content-addressed on-disk result
-  cache (compiled tables, exploration reports, campaign run metrics).
+  cache (compiled tables, exploration reports, campaign run metrics,
+  corrupted-start stabilization verdicts).
 """
 
-from repro.analysis.cache import ResultCache, cached_explore, fingerprint
+from repro.analysis.cache import (
+    ResultCache,
+    cached_explore,
+    cached_stabilize,
+    fingerprint,
+)
 from repro.analysis.campaign import Campaign, CampaignOutcome
 from repro.analysis.diagram import sequence_diagram
 from repro.analysis.metrics import (
@@ -29,6 +35,7 @@ from repro.analysis.tables import format_cell, render_series, render_table
 __all__ = [
     "ResultCache",
     "cached_explore",
+    "cached_stabilize",
     "fingerprint",
     "RunMetrics",
     "measure_run",

@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR6.json`` at the repo root (previously ``BENCH_PR1``..``PR5``),
+``BENCH_PR7.json`` at the repo root (previously ``BENCH_PR1``..``PR6``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -56,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR6.json"
+BENCH_FILENAME = "BENCH_PR7.json"
 
 
 @dataclass
@@ -626,6 +626,70 @@ def measure_vectorized_explorer(
     return comparison
 
 
+def measure_stabilization(
+    report: PerfReport, cache=None
+) -> Dict[str, object]:
+    """Record the corrupted-start sweep on the small lossy-FIFO instance.
+
+    Runs :func:`repro.analysis.cache.cached_stabilize` for plain ABP and
+    the self-stabilizing ARQ, unreduced and reduced, on the batched
+    engine (verdicts are engine-invariant, so the baseline artifact does
+    not need every engine).  Asserts the reduced verdict sheets are
+    bit-identical to the unreduced ones and that the qualitative split
+    holds: ss-ARQ converges from every corrupt start, ABP does not.
+
+    Records ``stabilize:<protocol>`` and ``stabilize:<protocol>-reduced``
+    (each carrying the reduction ratio and depth histogram); returns the
+    headline comparison dict.
+    """
+    from repro.analysis.cache import cached_stabilize
+    from repro.channels import LossyFifoChannel
+    from repro.kernel.system import System
+    from repro.protocols import protocol_by_name
+
+    items = ("a", "b")
+    domain = ("a", "b", "c", "d")
+    results = {}
+    for protocol_name in ("abp", "ss-arq"):
+        baseline = None
+        for reduce in (False, True):
+            sender, receiver = protocol_by_name(
+                protocol_name, domain, len(items)
+            )
+            system = System(
+                sender,
+                receiver,
+                LossyFifoChannel(capacity=1),
+                LossyFifoChannel(capacity=1),
+                items,
+            )
+            start = time.perf_counter()
+            result = cached_stabilize(
+                system, cache=cache, reduce=reduce, domain=domain
+            )
+            wall = time.perf_counter() - start
+            if baseline is None:
+                baseline = result
+            else:
+                assert result.verdicts == baseline.verdicts
+            suffix = "-reduced" if reduce else ""
+            report.add(
+                f"stabilize:{protocol_name}{suffix}",
+                wall,
+                states=result.explored_states,
+                states_per_second=result.states_per_second,
+                **result.summary(),
+            )
+        results[protocol_name] = baseline
+    assert results["ss-arq"].converges
+    assert not results["abp"].converges
+    return {
+        "reduction_ratio": results["abp"].reduction_ratio,
+        "abp_non_stabilizing": results["abp"].non_stabilizing,
+        "ss_arq_max_depth": results["ss-arq"].max_depth,
+    }
+
+
 #: Ceiling asserted on the disabled-instrumentation overhead (percent of
 #: the T2 m=3 warm compiled-family wall time).
 MAX_DISABLED_OVERHEAD_PERCENT = 2.0
@@ -819,7 +883,8 @@ def run_default_bench(
     reduce: bool = False,
     shards: int = 1,
 ) -> PerfReport:
-    """The ``stp-repro bench`` suite: experiments, explorer, parallel sweep.
+    """The ``stp-repro bench`` suite: experiments, explorer, parallel
+    sweep, and the corrupted-start stabilization probe.
 
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
@@ -874,6 +939,7 @@ def run_default_bench(
         measure_batched_explorer(report)
         measure_vectorized_explorer(report)
         measure_campaign_speedup(report, workers=workers)
+        measure_stabilization(report, cache=cache)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())
         report.attach_observability()

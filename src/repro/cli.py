@@ -26,7 +26,7 @@ Subcommands:
   --max-size N`` (evict oldest entries until the store fits);
 * ``bench`` -- time experiments, exhaustive exploration (object-graph,
   compiled-table, batched-frontier, and vectorized), and the
-  serial-vs-parallel campaign sweep, and write the ``BENCH_PR6.json``
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR7.json``
   perf artifact tracked PR over PR (carrying ``spans:`` and ``metrics:``
   sections from the observability layer); ``--cache-dir`` turns on the
   content-addressed result cache (``--no-cache`` runs cold);
@@ -36,6 +36,14 @@ Subcommands:
   crossed with the fault vocabulary) plus the F8 recovery sweep under the
   self-healing runner, and write the ``BENCH_PR2.json`` resilience
   artifact;
+* ``stabilize`` -- corrupted-start exploration: enumerate the corrupt
+  initial configurations of each protocol x channel pair (scrambled
+  local states, forged bounded channel contents), multi-source-BFS from
+  all of them, and report per-source stabilization verdicts and depths;
+  ``--engine``/``--reduce``/``--shards`` select the frontier engine
+  (verdicts are bit-identical across all of them), ``--sample N --seed
+  S`` analyzes a seeded subsample, ``--out`` writes a perf artifact with
+  the ``recovery.stabilization_*`` gauges attached;
 * ``stats`` -- render the span and metrics tables out of a BENCH_*.json
   artifact or a ``.jsonl`` span trace.
 
@@ -394,6 +402,124 @@ def _cmd_explore(args) -> int:
     return 0 if report.all_safe else 1
 
 
+def _cmd_stabilize(args) -> int:
+    with _profiled(args, label="stp-repro stabilize"):
+        return _run_stabilize(args)
+
+
+def _run_stabilize(args) -> int:
+    import time
+
+    from repro import obs
+    from repro.analysis.cache import ResultCache, cached_stabilize
+    from repro.analysis.perfreport import PerfReport
+    from repro.channels import LossyFifoChannel, channel_by_name, channel_names
+    from repro.kernel.system import System
+    from repro.protocols import protocol_by_name, protocol_names
+
+    items = tuple(item for item in args.input.split(",") if item)
+    extra_letters = (
+        tuple(item for item in args.domain.split(",") if item)
+        if args.domain
+        else ()
+    )
+    domain = tuple(sorted(set(items) | set(extra_letters))) or ("a",)
+    protocols = tuple(name for name in args.protocol.split(",") if name)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    def make_channel():
+        if args.channel == "lossy-fifo":
+            return LossyFifoChannel(capacity=args.cap)
+        return channel_by_name(args.channel)
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    report = PerfReport(label="stp-repro stabilize")
+    status = 0
+    try:
+        for name in protocols:
+            try:
+                sender, receiver = protocol_by_name(
+                    name, domain, max(len(items), 1)
+                )
+            except Exception:
+                print(
+                    f"unknown protocol {name!r}; known: {protocol_names()}",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                system = System(
+                    sender, receiver, make_channel(), make_channel(), items
+                )
+            except Exception:
+                print(
+                    f"unknown channel {args.channel!r}; "
+                    f"known: {channel_names()}",
+                    file=sys.stderr,
+                )
+                return 2
+            start = time.perf_counter()
+            try:
+                result = cached_stabilize(
+                    system,
+                    cache=cache,
+                    engine=args.engine,
+                    reduce=args.reduce,
+                    shards=args.shards,
+                    sample=args.sample,
+                    seed=args.seed,
+                    max_states=args.max_states,
+                    corruption=args.corruption,
+                    domain=domain,
+                )
+            except KernelError as error:
+                print(f"cannot analyze {name}: {error}", file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - start
+            verdict = (
+                "SELF-STABILIZING"
+                if result.converges
+                else f"NOT self-stabilizing ({result.non_stabilizing} "
+                f"corrupt starts never converge)"
+            )
+            print(f"{name}: {verdict}")
+            print(
+                f"  corrupt sources: {result.sources}  classes: "
+                f"{result.classes}  reduction ratio: "
+                f"{result.reduction_ratio:.3f}"
+            )
+            print(
+                f"  legitimate states: {result.legitimate_states}  "
+                f"explored: {result.explored_states}  "
+                f"fingerprint: {result.corrupt_fingerprint}"
+            )
+            print(
+                f"  stabilizing: {result.stabilizing}  max depth: "
+                f"{result.max_depth}  histogram: "
+                f"{dict(result.depth_histogram)}"
+            )
+            for example in result.non_stabilizing_examples:
+                print(f"  non-stabilizing start: {example!r}")
+            report.add(
+                f"stabilize:{name}",
+                elapsed,
+                states=result.explored_states,
+                states_per_second=result.states_per_second,
+                **result.summary(),
+            )
+        report.attach_observability()
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if args.out:
+        path = report.write(args.out)
+        print(f"wrote {path}")
+    # A non-stabilizing protocol (plain ABP, by design) is a finding,
+    # not a command failure.
+    return status
+
+
 def _parse_size(text: str) -> int:
     """``"500"``, ``"64K"``, ``"10M"``, ``"2G"`` -> bytes."""
     units = {"K": 1024, "M": 1024**2, "G": 1024**3}
@@ -580,7 +706,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR6.json"
+        "bench", help="time the perf suite and write BENCH_PR7.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -605,7 +731,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR6.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR7.json", help="output path for the perf JSON"
     )
     _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -699,6 +825,80 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_profile_arguments(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
 
+    stabilize_parser = sub.add_parser(
+        "stabilize",
+        help=(
+            "corrupted-start exploration: per-source stabilization "
+            "verdicts and depths"
+        ),
+    )
+    stabilize_parser.add_argument(
+        "--protocol",
+        default="abp,ss-arq",
+        help="comma-separated protocol names (default: abp,ss-arq)",
+    )
+    stabilize_parser.add_argument(
+        "--channel",
+        default="lossy-fifo",
+        help="dup, del, reorder, fifo, lossy-fifo",
+    )
+    stabilize_parser.add_argument(
+        "--cap",
+        type=int,
+        default=1,
+        help="lossy-fifo capacity (bounds the forged channel contents)",
+    )
+    stabilize_parser.add_argument(
+        "--input", default="a,b", help="comma-separated data items"
+    )
+    stabilize_parser.add_argument(
+        "--domain",
+        default="c,d",
+        metavar="ITEMS",
+        help=(
+            "extra data letters beyond the input (comma-separated); "
+            "letters the input never uses are what the symmetry "
+            "reduction collapses"
+        ),
+    )
+    stabilize_parser.add_argument(
+        "--corruption",
+        default="full",
+        choices=("full", "receiver-amnesia"),
+        help=(
+            "corruption model: 'full' scrambles both local states, "
+            "'receiver-amnesia' resets the receiver (the shape a "
+            "state_loss='full' crash leaves behind)"
+        ),
+    )
+    stabilize_parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze a seeded deterministic subsample of N corrupt starts",
+    )
+    stabilize_parser.add_argument("--seed", type=int, default=0)
+    stabilize_parser.add_argument("--max-states", type=int, default=500_000)
+    stabilize_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoize via the content-addressed cache rooted here",
+    )
+    stabilize_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a perf artifact with stabilize:<protocol> records and "
+            "the recovery.stabilization_* gauges attached"
+        ),
+    )
+    _add_engine_arguments(stabilize_parser)
+    stabilize_parser.set_defaults(func=_cmd_stabilize, engine="batched")
+    _add_profile_arguments(stabilize_parser)
+
     stats_parser = sub.add_parser(
         "stats",
         help="render span/metrics tables from a BENCH_*.json or spans .jsonl",
@@ -706,8 +906,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR6.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR6.json)",
+        default="BENCH_PR7.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR7.json)",
     )
     stats_parser.set_defaults(func=_cmd_stats)
 

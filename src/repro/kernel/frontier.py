@@ -187,6 +187,104 @@ def canonical_state_key(system: System) -> Callable[[Configuration], Hashable]:
     return key
 
 
+def stabilization_state_key(
+    system: System, domain: Sequence = ()
+) -> Callable[[Configuration], Hashable]:
+    """Canonicalization hook for *corrupted-start* state sets.
+
+    :func:`canonical_state_key` renames only items of the input sequence,
+    which is the right symmetry group for clean-start exploration -- but
+    corrupt initial configurations may carry forged messages whose
+    payloads are drawn from the whole data ``domain``, including letters
+    the input never uses.  Renaming those by first occurrence while
+    keeping them distinguishable from the input items would break the
+    verdict-preservation argument, so this key instead **pins the input
+    items** (each input item is pre-assigned its placeholder, in input
+    order, before the configuration is traversed) and renames the
+    remaining domain items freely.
+
+    Two configurations share a key iff some bijection on domain items
+    maps one to the other while fixing the input sequence *pointwise* --
+    exactly the symmetries that (for protocols treating data opaquely)
+    map legitimate states to legitimate states and commute with the
+    dynamics, hence preserve per-source stabilization verdicts and
+    depths.  Soundness is property-swept by
+    ``tests/resilience/test_stabilize.py`` against the unreduced runs.
+    """
+    items = frozenset(domain) | frozenset(system.input_sequence)
+    input_sequence = system.input_sequence
+
+    def key(config: Configuration) -> Hashable:
+        mapping: Dict[object, _Placeholder] = {}
+        for item in input_sequence:
+            if item not in mapping:
+                mapping[item] = _placeholder(len(mapping))
+        renamed_config = _rename(tuple(config.__dict__.values())
+                                 if hasattr(config, "__dict__")
+                                 else config, mapping, items)
+        renamed_input = tuple(
+            _rename(item, mapping, items) for item in input_sequence
+        )
+        return (renamed_config, renamed_input)
+
+    return key
+
+
+# ---------------------------------------------------------------------------
+# multi-source BFS (corrupted-start exploration)
+# ---------------------------------------------------------------------------
+
+
+def explore_multi_source_batched(
+    table: CompiledSystem,
+    sources: Sequence[int],
+    legitimate: frozenset,
+    max_states: int = 1_000_000,
+    include_drops: bool = True,
+) -> Tuple[set, Tuple[int, ...]]:
+    """Level-synchronous BFS seeded with a whole corrupt initial set.
+
+    Instead of the singleton clean init, the frontier starts as *every*
+    illegitimate source at once; states of ``legitimate`` (the
+    clean-reachable set) absorb the search -- they are never expanded,
+    because everything reachable from them is legitimate territory the
+    caller already knows.  Returns ``(visited, widths)``: the set of
+    every illegitimate state id reachable from the sources, and the
+    per-level frontier widths (level ``k`` of the BFS is exactly the set
+    of illegitimate states whose shortest corrupt-path distance from the
+    source set is ``k``).
+
+    The result is an order-free pair of sets/counts, so the vectorized
+    twin (:func:`repro.kernel.vectorized.explore_multi_source_vectorized`)
+    produces the identical value on any backend and shard count --
+    per-source stabilization verdicts derived from it cannot depend on
+    the engine.  A ``max_states`` overflow raises
+    :class:`~repro.kernel.errors.VerificationError` rather than
+    truncating: a truncated corrupt reachability graph would make every
+    downstream verdict unsound.
+    """
+    if max_states < 1:
+        raise VerificationError("max_states must be positive")
+    succ = table.succ_row if include_drops else table.succ_row_without_drops
+    frontier = {sid for sid in sources if sid not in legitimate}
+    visited = set(frontier)
+    widths: List[int] = []
+    while frontier:
+        widths.append(len(frontier))
+        if len(visited) > max_states:
+            raise VerificationError(
+                f"corrupted-start exploration exceeded max_states="
+                f"{max_states}; raise the budget (verdicts from a "
+                f"truncated graph would be unsound)"
+            )
+        new = set().union(*map(succ, frontier))
+        new.difference_update(visited)
+        new.difference_update(legitimate)
+        visited.update(new)
+        frontier = new
+    return visited, tuple(widths)
+
+
 # ---------------------------------------------------------------------------
 # snapshots
 # ---------------------------------------------------------------------------

@@ -575,6 +575,67 @@ def _explore_vectorized_core(
     return report, snapshot, stats
 
 
+def explore_multi_source_vectorized(
+    table: CompiledSystem,
+    sources: Sequence[int],
+    legitimate: frozenset,
+    max_states: int = 1_000_000,
+    include_drops: bool = True,
+    shards: int = 1,
+) -> Tuple[set, Tuple[int, ...]]:
+    """Dense-array twin of
+    :func:`repro.kernel.frontier.explore_multi_source_batched`.
+
+    The whole corrupt initial set seeds the first frontier; the
+    legitimate ids are pre-marked in the visited bitset so legitimate
+    successors are absorbed by the same mask that deduplicates revisits.
+    Returns the identical ``(visited, widths)`` pair as the batched
+    engine -- a plain ``set`` of builtin ints and per-level widths -- on
+    either backend and at any ``shards`` value, because each level is
+    the order-free quantity ``union(succ(frontier)) - visited`` however
+    it is computed.  Overflowing ``max_states`` raises
+    :class:`~repro.kernel.errors.VerificationError` exactly where the
+    batched engine would.
+    """
+    if max_states < 1:
+        raise VerificationError("max_states must be positive")
+    _resolve_np()
+    kernel = VectorizedKernel(table, include_drops)
+    plan = _ShardPlan(shards, kernel)
+    illegit_sources = sorted({int(sid) for sid in sources} - set(legitimate))
+    size = max(len(table), 1)
+    if _np is not None:
+        visited = _np.zeros(size, dtype=bool)
+        if legitimate:
+            visited[sorted(legitimate)] = True
+        visited[illegit_sources] = True
+        frontier = _np.asarray(illegit_sources, dtype=_np.int64)
+    else:
+        visited = bytearray(size)
+        for sid in legitimate:
+            visited[sid] = 1
+        for sid in illegit_sources:
+            visited[sid] = 1
+        frontier = list(illegit_sources)
+    discovered = set(illegit_sources)
+    widths: List[int] = []
+    try:
+        while len(frontier):
+            widths.append(len(frontier))
+            if len(discovered) > max_states:
+                raise VerificationError(
+                    f"corrupted-start exploration exceeded max_states="
+                    f"{max_states}; raise the budget (verdicts from a "
+                    f"truncated graph would be unsound)"
+                )
+            new, visited = _expand_level(kernel, plan, frontier, visited)
+            discovered.update(int(sid) for sid in new)
+            frontier = new
+    finally:
+        plan.close()
+    return discovered, tuple(widths)
+
+
 def explore_vectorized(
     system: System,
     max_states: int = 1_000_000,

@@ -58,6 +58,7 @@ def _register_builtins() -> None:
     from repro.protocols.norepeat import norepeat_protocol
     from repro.protocols.norepeat_del import bounded_del_protocol
     from repro.protocols.selective import selective_repeat_protocol
+    from repro.protocols.ss_arq import ss_arq_protocol
     from repro.protocols.stenning import stenning_protocol
     from repro.protocols.trivial import StreamingReceiver, StreamingSender
 
@@ -87,6 +88,9 @@ def _register_builtins() -> None:
     )
     register_protocol(
         "modulo", lambda domain, length: modulo_protocol(domain, 2)
+    )
+    register_protocol(
+        "ss-arq", lambda domain, length: ss_arq_protocol(domain, length)
     )
     register_protocol(
         "streaming",

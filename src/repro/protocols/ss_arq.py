@@ -1,0 +1,163 @@
+"""A self-stabilizing ARQ protocol (receiver-driven resynchronization).
+
+The paper's protocols -- and every other family in this registry --
+assume the run starts from the clean initial configuration.  The
+self-stabilization literature closest to our channel models (Dolev et
+al., *Self-Stabilizing End-to-End Communication in Bounded-Capacity,
+Omitting, Duplicating and Non-FIFO Dynamic Networks*; Delaet et al.,
+*Snap-Stabilization in Message-Passing Systems*) drops that assumption:
+the run may begin in an **arbitrary corrupted configuration** (scrambled
+local states, forged channel contents) and the protocol must converge
+back to its legitimate behaviour on its own.
+
+Plain ABP is *not* self-stabilizing: from the corrupted configuration
+"sender done, receiver never started, channels empty" neither side ever
+sends again (the ABP sender is silent past the end of its tape, the ABP
+receiver is silent until its first write), so the system is stuck in an
+illegitimate fixed point forever.  This protocol closes that hole with
+two moves, both standard in the self-stabilizing ARQ line:
+
+* **the receiver drives**: it periodically broadcasts its progress as a
+  ``("req", count)`` message *unconditionally* -- including from its
+  initial state and after the transfer looks finished -- so there is no
+  configuration from which the control loop goes silent;
+* **the sender adopts**: on any ``("req", j)`` it unconditionally resets
+  its cursor to ``min(j, len(items))`` and restarts its retransmit
+  timer.  Whatever garbage position the sender was corrupted into, the
+  first delivered request overwrites it with the receiver's truth.
+
+Together these give the drain-and-resync property the corrupted-start
+explorer (:mod:`repro.resilience.stabilize`) checks exhaustively: from
+*any* product of observed local states and forged bounded channel
+contents, dropping the in-flight garbage and delivering one fresh
+request returns the system to a configuration of the legitimate
+(clean-reachable) set.  Indexed data (``("data", j, value)``, as in
+Stenning's protocol) rather than ABP's single bit keeps Safety intact
+under duplication and reordering of stale messages.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.kernel.interfaces import ReceiverProtocol, SenderProtocol, Transition
+
+
+class SSArqSender(SenderProtocol):
+    """Sends the item the receiver last asked for, on a retransmit timer.
+
+    Local state: ``(items, cursor, tick)``.  The cursor is *not* trusted
+    state -- any delivered ``("req", j)`` overwrites it -- so corrupting
+    it costs at most one request round-trip.
+    """
+
+    def __init__(self, domain: Sequence, input_length: int,
+                 retransmit_interval: int = 3) -> None:
+        if retransmit_interval < 1:
+            raise ValueError("retransmit_interval must be >= 1")
+        if input_length < 0:
+            raise ValueError("input_length must be >= 0")
+        self._domain = tuple(domain)
+        self.input_length = input_length
+        self.retransmit_interval = retransmit_interval
+        self._alphabet = frozenset(
+            ("data", index, value)
+            for index in range(input_length)
+            for value in self._domain
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self, input_sequence: Tuple) -> Tuple:
+        return (tuple(input_sequence), 0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        items, cursor, tick = state
+        if cursor >= len(items):
+            # Nothing left to offer; the receiver's requests (which never
+            # stop) are what re-arms this sender after corruption.
+            return Transition.stay(state)
+        next_tick = (tick + 1) % self.retransmit_interval
+        if tick == 0:
+            return Transition(
+                state=(items, cursor, next_tick),
+                sends=(("data", cursor, items[cursor]),),
+            )
+        return Transition(state=(items, cursor, next_tick))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        items, cursor, tick = state
+        if isinstance(message, tuple) and len(message) == 2 \
+                and message[0] == "req":
+            # Unconditional adoption: the receiver's counter is the one
+            # source of truth, so a corrupted cursor never survives the
+            # first delivered request.
+            return Transition(state=(items, min(message[1], len(items)), 0))
+        return Transition.stay(state)
+
+
+class SSArqReceiver(ReceiverProtocol):
+    """Requests its next index forever; writes exactly what it asked for.
+
+    Local state: ``(count, tick)``.  Unlike the ABP receiver (silent
+    until its first write), this one emits ``("req", count)`` on every
+    timer expiry from *every* state -- the non-silence that makes the
+    protocol's control loop restartable from arbitrary corruption.
+    """
+
+    def __init__(self, domain: Sequence, input_length: int,
+                 retransmit_interval: int = 3) -> None:
+        if retransmit_interval < 1:
+            raise ValueError("retransmit_interval must be >= 1")
+        if input_length < 0:
+            raise ValueError("input_length must be >= 0")
+        self._domain = tuple(domain)
+        self.input_length = input_length
+        self.retransmit_interval = retransmit_interval
+        self._alphabet = frozenset(
+            ("req", index) for index in range(input_length + 1)
+        )
+
+    @property
+    def message_alphabet(self) -> FrozenSet:
+        return self._alphabet
+
+    def initial_state(self) -> Tuple:
+        return (0, 0)
+
+    def on_step(self, state: Tuple) -> Transition:
+        count, tick = state
+        next_tick = (tick + 1) % self.retransmit_interval
+        if tick == 0:
+            return Transition(
+                state=(count, next_tick), sends=(("req", count),)
+            )
+        return Transition(state=(count, next_tick))
+
+    def on_message(self, state: Tuple, message) -> Transition:
+        count, tick = state
+        if not (isinstance(message, tuple) and len(message) == 3
+                and message[0] == "data"):
+            return Transition.stay(state)
+        _, index, value = message
+        if index == count:
+            return Transition(
+                state=(count + 1, tick),
+                sends=(("req", count + 1),),
+                writes=(value,),
+            )
+        # Stale or premature index: re-assert the current request so a
+        # lost one cannot stall the sender.
+        return Transition(state=(count, tick), sends=(("req", count),))
+
+
+def ss_arq_protocol(
+    domain: Sequence, input_length: int, retransmit_interval: int = 3
+) -> Tuple[SSArqSender, SSArqReceiver]:
+    """Both halves of the self-stabilizing ARQ protocol."""
+    return (
+        SSArqSender(domain, input_length, retransmit_interval),
+        SSArqReceiver(domain, input_length, retransmit_interval),
+    )

@@ -19,8 +19,14 @@ vocabulary of the self-stabilizing ARQ literature.  Three pieces:
   per-run timeouts, retry-with-backoff of crashed or hung workers,
   structured per-run failure records, and JSON checkpoint/resume -- all
   preserving the campaign engine's bit-identical determinism guarantee.
+* **Corrupted-start exploration** (:mod:`repro.resilience.stabilize`):
+  drops the clean-start assumption entirely -- enumerate the corrupt
+  initial configurations of a protocol x channel pair, multi-source-BFS
+  from all of them at once, and judge per-source stabilization
+  (does the run provably re-enter the legitimate set, and in how many
+  levels).  ``stp-repro stabilize`` drives it.
 
-``stp-repro chaos`` drives the whole layer and writes the
+``stp-repro chaos`` drives the fault-plan layer and writes the
 ``BENCH_PR2.json`` resilience report (:mod:`repro.resilience.report`).
 """
 
@@ -52,6 +58,17 @@ from repro.resilience.runner import (
     RunFailure,
 )
 from repro.resilience.report import BENCH_PR2_FILENAME, run_chaos
+from repro.resilience.stabilize import (
+    CORRUPTION_MODES,
+    CorruptedStartReceiver,
+    CorruptedStartSender,
+    OutputProjectedReceiver,
+    StabilizationResult,
+    analyze_stabilization,
+    corrupt_initial_set,
+    corrupt_set_fingerprint,
+    projected_system,
+)
 
 __all__ = [
     "BurstDrop",
@@ -78,4 +95,13 @@ __all__ = [
     "RunFailure",
     "BENCH_PR2_FILENAME",
     "run_chaos",
+    "CORRUPTION_MODES",
+    "CorruptedStartReceiver",
+    "CorruptedStartSender",
+    "OutputProjectedReceiver",
+    "StabilizationResult",
+    "analyze_stabilization",
+    "corrupt_initial_set",
+    "corrupt_set_fingerprint",
+    "projected_system",
 ]

@@ -5,7 +5,7 @@ the repository crossed with the fault vocabulary of
 :mod:`repro.adversaries.fault` -- each executed under the self-healing
 :class:`~repro.resilience.runner.ResilientRunner` and summarized as one
 :class:`~repro.analysis.perfreport.PerfRecord`.  The report reuses the
-``repro-perf/1`` schema of the perf artifact (``BENCH_PR6.json``) but is written to its own
+``repro-perf/1`` schema of the perf artifact (``BENCH_PR7.json``) but is written to its own
 artifact, ``BENCH_PR2.json``, so the resilience trajectory diffs
 independently of the raw perf trajectory.
 
@@ -14,6 +14,10 @@ Records:
 * ``chaos:<scenario>`` -- one per matrix cell: wall time, run count,
   completed/safe rates, mean recovery metrics, retry/resume counters, and
   the fault plan's JSON form;
+* ``stabilize:<protocol>`` -- the corrupted-start verdict sheet
+  (:class:`~repro.resilience.stabilize.StabilizationResult` summary) for
+  plain ABP and the self-stabilizing ARQ on the small lossy-FIFO
+  instance: the exhaustive complement of the sampled crash scenarios;
 * ``experiment:F8`` -- the fault-intensity-vs-recovery sweep, carrying the
   Section 5 trend flags (``hybrid_grows``, ``norepeat_bounded``).
 """
@@ -252,6 +256,37 @@ def run_chaos(
             abandoned=len(resilient.abandoned),
             run_failures=len(resilient.run_failures),
             plan=scenario.plan.to_dict(),
+        )
+
+    # The corrupted-start verdict sheets: the exhaustive complement of
+    # the sampled crash scenarios above (one protocol that provably
+    # converges from every corrupt start, one that provably does not).
+    from repro.channels import LossyFifoChannel
+    from repro.kernel.system import System
+    from repro.protocols import protocol_by_name
+    from repro.resilience.stabilize import analyze_stabilization
+
+    stabilize_items = ("a", "b")
+    stabilize_domain = ("a", "b", "c", "d")
+    for protocol_name in ("abp", "ss-arq"):
+        sender, receiver = protocol_by_name(
+            protocol_name, stabilize_domain, len(stabilize_items)
+        )
+        system = System(
+            sender,
+            receiver,
+            LossyFifoChannel(capacity=1),
+            LossyFifoChannel(capacity=1),
+            stabilize_items,
+        )
+        start = time.perf_counter()
+        result = analyze_stabilization(system, domain=stabilize_domain)
+        report.add(
+            f"stabilize:{protocol_name}",
+            time.perf_counter() - start,
+            states=result.explored_states,
+            states_per_second=result.states_per_second,
+            **result.summary(),
         )
 
     start = time.perf_counter()

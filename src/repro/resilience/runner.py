@@ -66,10 +66,17 @@ class RunFailure:
     Attributes:
         input_sequence / seed: the run's grid key.
         attempt: 1-based attempt number that failed.
-        kind: "timeout", "crash" (process died without reporting), or
-            "error" (the run raised; message carries the repr).
+        kind: "timeout", "crash" (process died without reporting),
+            "error" (the run raised; message carries the repr), or
+            "non_stabilizing" (a corrupted-start run exhausted its step
+            budget without ever converging -- emitted only by runners
+            constructed with ``stabilization=True``, so a stuck
+            corrupted start is reported as what it is instead of a
+            generic step-budget exhaustion).
         message: human-readable failure detail.
-        elapsed_seconds: wall time the attempt consumed before failing.
+        elapsed_seconds: wall time the attempt consumed before failing
+            (0.0 for "non_stabilizing", which is a verdict on a
+            completed attempt, not a supervision event).
     """
 
     input_sequence: Tuple
@@ -158,6 +165,15 @@ class ResilientRunner:
             checkpointing.
         workers: concurrent child processes (defaults to the campaign's
             ``workers`` attribute).
+        stabilization: mark the campaign as a corrupted-start workload
+            (protocols wrapped with
+            :class:`~repro.resilience.stabilize.CorruptedStartSender` /
+            ``CorruptedStartReceiver``).  Runs that burn their whole
+            step budget without completing are then classified as
+            ``non_stabilizing`` :class:`RunFailure` records -- the
+            run-level face of the exhaustive verdict
+            :func:`~repro.resilience.stabilize.analyze_stabilization`
+            computes.
     """
 
     def __init__(
@@ -168,6 +184,7 @@ class ResilientRunner:
         backoff: float = 0.25,
         checkpoint_path=None,
         workers: Optional[int] = None,
+        stabilization: bool = False,
     ) -> None:
         if run_timeout <= 0:
             raise VerificationError("run_timeout must be positive")
@@ -183,6 +200,7 @@ class ResilientRunner:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self.workers = max(workers if workers is not None else campaign.workers, 1)
+        self.stabilization = stabilization
 
     # -- checkpointing -------------------------------------------------
 
@@ -312,6 +330,28 @@ class ResilientRunner:
             for key in ordered_keys
             if not (completed[key].safe and completed[key].completed)
         ]
+        if self.stabilization:
+            # Corrupted-start workload: a run that drained its whole step
+            # budget without completing did not merely "run long" -- it
+            # never re-entered legitimate behaviour.  Name it.
+            for key in ordered_keys:
+                run = completed[key]
+                if run.step_budget_exhausted and not run.completed:
+                    failures.append(
+                        RunFailure(
+                            input_sequence=key[0],
+                            seed=key[1],
+                            attempt=1,
+                            kind="non_stabilizing",
+                            message=(
+                                "corrupted start never converged: "
+                                f"{run.steps} steps exhausted the budget "
+                                "without completion"
+                            ),
+                            elapsed_seconds=0.0,
+                        )
+                    )
+                    obs.add("resilience.failures.non_stabilizing")
         outcome = CampaignOutcome(
             summary=summarize(metrics),
             metrics=tuple(metrics),

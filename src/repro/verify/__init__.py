@@ -25,10 +25,13 @@ from repro.kernel.frontier import (
     explore_batched,
     explore_batched_resumable,
     explore_family_batched,
+    explore_multi_source_batched,
+    stabilization_state_key,
 )
 from repro.kernel.vectorized import (
     VectorizedFamily,
     explore_family_vectorized,
+    explore_multi_source_vectorized,
     explore_vectorized,
     explore_vectorized_resumable,
     vectorized_backend,
@@ -62,8 +65,11 @@ __all__ = [
     "explore_batched",
     "explore_batched_resumable",
     "explore_family_batched",
+    "explore_multi_source_batched",
+    "stabilization_state_key",
     "VectorizedFamily",
     "explore_family_vectorized",
+    "explore_multi_source_vectorized",
     "explore_vectorized",
     "explore_vectorized_resumable",
     "vectorized_backend",
