@@ -1,0 +1,54 @@
+"""CI assertion for the ``fabric-smoke`` job: fabric == serial, in bytes.
+
+Given the plan the queue was bound to and the merged-outcome JSON the
+fabric produced, recomputes the same campaign serially in this process
+and asserts the canonical renderings are **byte-for-byte equal** -- the
+fabric's headline guarantee, checked end-to-end across real worker
+processes, a real shared store, and the CLI:
+
+    python benchmarks/assert_fabric_merge.py fabric_plan.json fabric_merged.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def serial_rendering(plan_payload: dict) -> str:
+    """The canonical JSON of a serial run over the plan's campaign."""
+    from repro.fabric import FabricPlan, outcome_to_json
+
+    plan = FabricPlan.from_dict(plan_payload)
+    campaign = plan.spec.build_campaign()
+    outcome = campaign.run(plan.rng)
+    return outcome_to_json(outcome)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("plan", type=Path, help="fabric plan JSON")
+    parser.add_argument(
+        "merged", type=Path, help="merged-outcome JSON the fabric wrote"
+    )
+    args = parser.parse_args(argv)
+    plan_payload = json.loads(args.plan.read_text(encoding="utf-8"))
+    merged = args.merged.read_text(encoding="utf-8")
+    serial = serial_rendering(plan_payload)
+    if merged != serial:
+        print(
+            "FAIL: fabric merge is not byte-identical to the serial "
+            f"campaign ({len(merged)} vs {len(serial)} bytes)",
+            file=sys.stderr,
+        )
+        return 1
+    cells = len(plan_payload.get("cells", []))
+    print(f"fabric merge == serial campaign, byte-for-byte ({cells} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

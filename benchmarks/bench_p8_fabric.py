@@ -1,0 +1,40 @@
+"""Benchmark: fabric scaling -- cells/sec at 1, 2 and 4 workers, cold vs warm.
+
+Runs the 12-cell demo grid through :func:`repro.fabric.run_fabric` at
+each worker count via the shared probe
+(:func:`repro.analysis.perfreport.measure_fabric_scaling`, the same one
+``stp-repro bench`` runs), so the ``fabric:scaling`` record and its
+per-worker-count ``fabric:cold-w<n>`` records land in the session perf
+report (``BENCH_PR8.json``).
+
+The probe itself asserts correctness at every worker count: identical
+outcomes cold, and a warm re-run that never claims a single cell (the
+content-addressed short-circuit).  This test adds the *scaling* gates,
+conditional on the host actually having CPUs to scale onto:
+
+* >= 2.0x best parallel speedup with 4+ schedulable CPUs;
+* >= 1.25x with 2-3;
+* no gate on a pinned single-CPU container, where the fabric degrades
+  gracefully to a serial drain (correctness still asserted).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_fabric_scaling
+
+
+def test_bench_fabric_scaling(benchmark):
+    """Cold/warm fabric sweep at 1, 2, 4 workers with conditional gates."""
+    report = perf_report()
+    comparison = benchmark.pedantic(
+        measure_fabric_scaling, args=(report,), rounds=1, iterations=1
+    )
+
+    assert comparison["cells"] >= 12
+    cpus = comparison["schedulable_cpus"]
+    speedup = comparison["best_parallel_speedup"]
+    if cpus >= 4:
+        assert speedup >= 2.0, f"expected >=2.0x on {cpus} CPUs, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.25, f"expected >=1.25x on {cpus} CPUs, got {speedup:.2f}x"

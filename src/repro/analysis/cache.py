@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR7.json``.
+  miss counts into ``BENCH_PR8.json``.
 
 :func:`cached_stabilize` extends the same scheme to corrupted-start
 analysis: the report key pins everything the corrupt initial set and its
@@ -35,12 +35,18 @@ addresses in default reprs, for instance) degrades to a cache **miss**,
 never to a false hit on differing inputs.  The canonical form never uses
 Python's ``hash()`` (which is per-process salted).
 
-Storage layout: ``<root>/<kind>/<first two key hex chars>/<key>.pkl``
-with ``root`` defaulting to ``$STP_REPRO_CACHE`` or
-``~/.cache/stp-repro``.  Values are pickled; a corrupt or unreadable
-entry reads as a miss.  ``ResultCache.wipe()`` (or ``rm -rf`` on the
-root) invalidates everything; bumping :data:`CACHE_SCHEMA` does so
-implicitly whenever the result formats change.
+Storage is pluggable (:mod:`repro.fabric.store`): the cache pickles
+values and hands the bytes to a :class:`~repro.fabric.store.CacheStore`.
+The default is a :class:`~repro.fabric.store.LocalDirStore` rooted at
+``$STP_REPRO_CACHE`` or ``~/.cache/stp-repro`` with the historical
+layout ``<root>/<kind>/<first two key hex chars>/<key>.pkl``; any
+shared-filesystem directory (or, later, an object-store shim) makes the
+same cache a multi-worker fabric's shared memory.  Writes are atomic
+and concurrency-safe -- many processes may ``put`` the same key -- and
+a corrupt or unreadable entry reads as a miss.  ``ResultCache.wipe()``
+(or ``rm -rf`` on the root) invalidates everything; bumping
+:data:`CACHE_SCHEMA` does so implicitly whenever the result formats
+change.
 """
 
 from __future__ import annotations
@@ -48,12 +54,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import shutil
 import types
 from pathlib import Path
 from typing import Optional
 
 from repro import obs
+from repro.fabric.store import CacheStore, LocalDirStore, open_store
 
 #: Version salt mixed into every fingerprint.  Bump on any change to the
 #: canonical form or to the pickled result layouts.
@@ -178,49 +184,67 @@ def system_fingerprint(system) -> str:
 
 
 class ResultCache:
-    """A content-addressed pickle store with hit/miss accounting.
+    """Content-addressed pickle caching with hit/miss accounting.
+
+    Fingerprinting, pickling, and accounting live here; raw byte storage
+    is delegated to a pluggable :class:`~repro.fabric.store.CacheStore`,
+    so the same cache object works over a private temp directory, a
+    shared filesystem that several fabric workers write concurrently, or
+    any future object-store shim.
 
     Args:
-        root: cache directory; defaults to ``$STP_REPRO_CACHE`` or
-            ``~/.cache/stp-repro``.  Created lazily on first write.
+        root: cache directory for the default local store; defaults to
+            ``$STP_REPRO_CACHE`` or ``~/.cache/stp-repro``.  Created
+            lazily on first write.
+        store: an explicit :class:`~repro.fabric.store.CacheStore` (or a
+            locator :func:`~repro.fabric.store.open_store` understands);
+            overrides ``root``.
     """
 
-    def __init__(self, root=None) -> None:
-        self.root = Path(root) if root is not None else _default_root()
+    def __init__(self, root=None, store: Optional[CacheStore] = None) -> None:
+        if store is not None:
+            self.store = open_store(store)
+        else:
+            self.store = LocalDirStore(
+                Path(root) if root is not None else _default_root()
+            )
+        # The filesystem root, for local stores; non-local stores expose
+        # their locator through describe() instead.
+        self.root = getattr(self.store, "root", None)
         self.hits = 0
         self.misses = 0
 
     def _path(self, kind: str, key: str) -> Path:
-        return self.root / kind / key[:2] / f"{key}.pkl"
+        return self.store.path_for(kind, key)
 
     def get(self, kind: str, key: str):
         """The stored value, or None on a miss (absent or unreadable)."""
-        path = self._path(kind, key)
-        try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            self.misses += 1
-            obs.add("cache.misses")
-            return None
-        self.hits += 1
-        obs.add("cache.hits")
-        return value
+        data = self.store.read(kind, key)
+        if data is not None:
+            try:
+                value = pickle.loads(data)
+            except Exception:
+                # Torn, truncated, or stale-schema bytes: a miss, never
+                # a corrupt value surfaced to the caller.
+                value = None
+            if value is not None:
+                self.hits += 1
+                obs.add("cache.hits")
+                return value
+        self.misses += 1
+        obs.add("cache.misses")
+        return None
 
     def put(self, kind: str, key: str, value) -> None:
-        """Store ``value`` atomically (write-to-temp then rename)."""
-        path = self._path(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with temporary.open("wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            temporary.replace(path)
+        """Store ``value`` atomically; concurrent writers are safe.
+
+        Storage failure (read-only root, full disk) must never fail the
+        computation whose result we merely failed to remember -- the
+        store contract absorbs it and this method stays silent.
+        """
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.store.write(kind, key, data):
             obs.add("cache.puts")
-        except OSError:
-            # A read-only or full cache directory must never fail the
-            # computation whose result we merely failed to remember.
-            temporary.unlink(missing_ok=True)
 
     def stats(self) -> dict:
         """Hit/miss counters as a JSON-friendly dict."""
@@ -229,40 +253,22 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": (self.hits / total) if total else 0.0,
-            "root": str(self.root),
+            "root": self.store.describe(),
         }
-
-    def _entries(self):
-        """``(mtime, size, path)`` for every stored entry; unreadable
-        files (racing deletes, permission holes) are skipped."""
-        if not self.root.is_dir():
-            return []
-        out = []
-        for path in self.root.rglob("*.pkl"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            out.append((stat.st_mtime, stat.st_size, path))
-        return out
 
     def disk_stats(self) -> dict:
         """On-disk shape of the store: entry/byte totals, per kind."""
         kinds: dict = {}
         entries = 0
         total_bytes = 0
-        for _mtime, size, path in self._entries():
-            try:
-                kind = path.relative_to(self.root).parts[0]
-            except (ValueError, IndexError):
-                kind = "?"
-            bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+        for entry in self.store.entries():
+            bucket = kinds.setdefault(entry.kind, {"entries": 0, "bytes": 0})
             bucket["entries"] += 1
-            bucket["bytes"] += size
+            bucket["bytes"] += entry.size
             entries += 1
-            total_bytes += size
+            total_bytes += entry.size
         return {
-            "root": str(self.root),
+            "root": self.store.describe(),
             "entries": entries,
             "bytes": total_bytes,
             "kinds": kinds,
@@ -272,24 +278,25 @@ class ResultCache:
         """Evict oldest entries (by mtime) until the store fits.
 
         Content-addressed entries are pure-function results, so eviction
-        is always safe: a future request simply recomputes.  Returns the
-        eviction summary (JSON-friendly).
+        is always safe: a future request simply recomputes, and a reader
+        racing an eviction sees a plain miss.  Returns the eviction
+        summary (JSON-friendly).
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
-        entries = sorted(self._entries())
-        total = sum(size for _mtime, size, _path in entries)
+        entries = sorted(
+            self.store.entries(), key=lambda e: (e.mtime, e.kind, e.key)
+        )
+        total = sum(entry.size for entry in entries)
         removed = 0
         freed = 0
-        for _mtime, size, path in entries:
+        for entry in entries:
             if total <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
+            if not self.store.delete(entry.kind, entry.key):
                 continue
-            total -= size
-            freed += size
+            total -= entry.size
+            freed += entry.size
             removed += 1
         return {
             "removed": removed,
@@ -299,12 +306,12 @@ class ResultCache:
         }
 
     def wipe(self) -> None:
-        """Delete the whole cache directory (the invalidation hammer)."""
-        shutil.rmtree(self.root, ignore_errors=True)
+        """Delete the whole store (the invalidation hammer)."""
+        self.store.wipe()
 
     def __repr__(self) -> str:
         return (
-            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"ResultCache(root={self.store.describe()!r}, hits={self.hits}, "
             f"misses={self.misses})"
         )
 

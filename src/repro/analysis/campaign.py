@@ -166,18 +166,14 @@ class Campaign:
             raise VerificationError("campaign needs at least one input")
         if self.workers < 1:
             raise VerificationError("workers must be >= 1")
-        keys: List[Tuple[Tuple, int]] = [
-            (tuple(input_sequence), seed)
-            for input_sequence in self.inputs
-            for seed in range(self.seeds)
-        ]
+        keys = self.grid_keys()
         # Cache lookups happen in the parent so the hit/miss counters are
         # accurate regardless of workers; only misses are dispatched.
         slots: List[Optional[RunMetrics]] = [None] * len(keys)
         if self.cache is not None:
             pending = []
             for index, key in enumerate(keys):
-                stored = self.cache.get("run", self._run_key(rng, key))
+                stored = self.cache.get("run", self.run_key(rng, key))
                 if stored is not None:
                     slots[index] = stored
                 else:
@@ -196,7 +192,7 @@ class Campaign:
             for (index, key), measured in zip(pending, computed):
                 slots[index] = measured
                 if self.cache is not None:
-                    self.cache.put("run", self._run_key(rng, key), measured)
+                    self.cache.put("run", self.run_key(rng, key), measured)
         metrics = slots
         failures = [
             key
@@ -209,8 +205,28 @@ class Campaign:
             failures=tuple(failures),
         )
 
-    def _run_key(self, rng: DeterministicRNG, key: Tuple[Tuple, int]) -> str:
-        """Content address of one grid cell's :class:`RunMetrics`."""
+    def grid_keys(self) -> List[Tuple[Tuple, int]]:
+        """The sweep's grid, in run order (input-major, then seed).
+
+        This is the canonical cell enumeration: :meth:`run` executes in
+        this order, and the fabric planner and merge step reassemble
+        results in this order to stay bit-identical with it.
+        """
+        return [
+            (tuple(input_sequence), seed)
+            for input_sequence in self.inputs
+            for seed in range(self.seeds)
+        ]
+
+    def run_key(self, rng: DeterministicRNG, key: Tuple[Tuple, int]) -> str:
+        """Content address of one grid cell's :class:`RunMetrics`.
+
+        Covers everything the cell's result depends on (protocol pair,
+        factories, budget, RNG identity, input, seed), so any process --
+        or host -- that builds an equal campaign computes the same key.
+        The result cache and the fabric planner share these addresses:
+        a cell computed by either warms the other.
+        """
         input_sequence, seed = key
         return fingerprint(
             "campaign-run",
@@ -223,6 +239,9 @@ class Campaign:
             input_sequence,
             seed,
         )
+
+    # Backwards-compatible alias (pre-fabric internal name).
+    _run_key = run_key
 
     def run_resilient(self, rng: DeterministicRNG, **runner_options):
         """Execute the sweep under the self-healing supervised runner.

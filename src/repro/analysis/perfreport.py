@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR7.json`` at the repo root (previously ``BENCH_PR1``..``PR6``),
+``BENCH_PR8.json`` at the repo root (previously ``BENCH_PR1``..``PR7``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -56,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR7.json"
+BENCH_FILENAME = "BENCH_PR8.json"
 
 
 @dataclass
@@ -690,6 +690,100 @@ def measure_stabilization(
     }
 
 
+def measure_fabric_scaling(
+    report: PerfReport, worker_counts: Tuple[int, ...] = (1, 2, 4)
+) -> Dict[str, object]:
+    """Record fabric cells/sec at each worker count, cold and warm.
+
+    Runs the 12-cell demo grid through :func:`repro.fabric.run_fabric`
+    at every count in ``worker_counts``, cold (fresh store) and then
+    warm (same store), asserting along the way that every cold outcome
+    is identical regardless of worker count and that the warm leg never
+    claims a single cell -- the content-addressed short-circuit.
+
+    Records ``fabric:cold-w<n>`` per worker count plus the headline
+    ``fabric:scaling`` record (cells/sec per count, best parallel
+    speedup over one worker); returns the headline's comparison dict.
+    Scaling *gates* live in ``benchmarks/bench_p8_fabric.py`` -- they
+    are conditional on schedulable CPUs, which a probe that also runs
+    on pinned single-CPU containers must not assert.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.hostinfo import available_cpu_count
+    from repro.fabric import demo_spec, run_fabric
+
+    spec = demo_spec()
+    cells = spec.cell_count
+    rates: Dict[str, float] = {}
+    reference = None
+    total_wall = 0.0
+    root = Path(tempfile.mkdtemp(prefix="stp-fabric-bench-"))
+    try:
+        for workers in worker_counts:
+            # A fresh store per worker count keeps every cold leg cold.
+            cache = ResultCache(root / f"store-w{workers}")
+            start = time.perf_counter()
+            cold = run_fabric(
+                spec,
+                root / f"queue-w{workers}-cold",
+                cache,
+                workers=workers,
+                idle_timeout=30.0,
+            )
+            cold_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_fabric(
+                spec,
+                root / f"queue-w{workers}-warm",
+                cache,
+                workers=workers,
+                idle_timeout=30.0,
+            )
+            warm_wall = time.perf_counter() - start
+            assert cold.cold_cells == cells
+            assert warm.warm_cells == cells
+            assert sum(s.claimed for s in warm.worker_stats) == 0
+            assert warm.outcome == cold.outcome
+            if reference is None:
+                reference = cold.outcome
+            else:
+                assert cold.outcome == reference
+            rates[str(workers)] = cells / cold_wall
+            total_wall += cold_wall + warm_wall
+            report.add(
+                f"fabric:cold-w{workers}",
+                cold_wall,
+                runs=cells,
+                workers=workers,
+                cells=cells,
+                cold_cells_per_second=cells / cold_wall,
+                warm_seconds=warm_wall,
+                warm_cells_per_second=cells / warm_wall,
+                warm_cells_claimed=0,
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    parallel_rates = [
+        rates[str(w)] for w in worker_counts if w > 1 and str(w) in rates
+    ]
+    comparison: Dict[str, object] = {
+        "cells": cells,
+        "schedulable_cpus": available_cpu_count(),
+        "cells_per_second": rates,
+        "best_parallel_speedup": (
+            max(parallel_rates) / rates[str(min(worker_counts))]
+            if parallel_rates
+            else 1.0
+        ),
+    }
+    report.add("fabric:scaling", total_wall, **comparison)
+    return comparison
+
+
 #: Ceiling asserted on the disabled-instrumentation overhead (percent of
 #: the T2 m=3 warm compiled-family wall time).
 MAX_DISABLED_OVERHEAD_PERCENT = 2.0
@@ -884,7 +978,8 @@ def run_default_bench(
     shards: int = 1,
 ) -> PerfReport:
     """The ``stp-repro bench`` suite: experiments, explorer, parallel
-    sweep, and the corrupted-start stabilization probe.
+    sweep, the corrupted-start stabilization probe, and the fabric
+    scaling probe (``fabric:scaling``).
 
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
@@ -940,6 +1035,7 @@ def run_default_bench(
         measure_vectorized_explorer(report)
         measure_campaign_speedup(report, workers=workers)
         measure_stabilization(report, cache=cache)
+        measure_fabric_scaling(report)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())
         report.attach_observability()

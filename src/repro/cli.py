@@ -22,11 +22,19 @@ Subcommands:
   processes, still bit-identical), ``--reduce`` quotients symmetric
   states (verdict-preserving);
 * ``cache`` -- inspect and manage the content-addressed result cache:
-  ``cache stats`` (on-disk shape), ``cache clear`` (wipe), ``cache prune
-  --max-size N`` (evict oldest entries until the store fits);
+  ``cache stats`` (on-disk shape, ``--json`` for machine form),
+  ``cache clear`` (wipe), ``cache prune --max-size N`` (evict oldest
+  entries until the store fits);
+* ``fabric`` -- the distributed campaign fabric: ``fabric plan`` (split
+  a spec into content-addressed cells and show warm/cold against a
+  store), ``fabric run`` (plan + N local workers + merge, bit-identical
+  to serial), ``fabric merge`` (reassemble a finished queue's outcome),
+  ``fabric status`` (queue ticket counts);
+* ``worker`` -- one pull-based fabric worker loop over a shared queue
+  directory and cache store (start several, on one host or many);
 * ``bench`` -- time experiments, exhaustive exploration (object-graph,
   compiled-table, batched-frontier, and vectorized), and the
-  serial-vs-parallel campaign sweep, and write the ``BENCH_PR7.json``
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR8.json``
   perf artifact tracked PR over PR (carrying ``spans:`` and ``metrics:``
   sections from the observability layer); ``--cache-dir`` turns on the
   content-addressed result cache (``--no-cache`` runs cold);
@@ -45,7 +53,7 @@ Subcommands:
   S`` analyzes a seeded subsample, ``--out`` writes a perf artifact with
   the ``recovery.stabilization_*`` gauges attached;
 * ``stats`` -- render the span and metrics tables out of a BENCH_*.json
-  artifact or a ``.jsonl`` span trace.
+  artifact or a ``.jsonl`` span trace (``--json`` for machine form).
 
 ``bench``, ``chaos``, and ``run`` accept ``--profile cprofile|spans``
 (opt-in profiling hooks: cProfile's top functions, or live span/metrics
@@ -536,7 +544,22 @@ def _cmd_cache(args) -> int:
 
     cache = ResultCache(args.cache_dir)  # None -> default root
     if args.action == "stats":
-        print(json.dumps(cache.disk_stats(), indent=2))
+        stats = cache.disk_stats()
+        if getattr(args, "json", False):
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"root:    {stats['root']}")
+        print(f"entries: {stats['entries']}")
+        print(f"bytes:   {stats['bytes']}")
+        if stats["kinds"]:
+            width = max(len(kind) for kind in stats["kinds"])
+            print(f"{'kind'.ljust(width)}  entries  bytes")
+            for kind in sorted(stats["kinds"]):
+                bucket = stats["kinds"][kind]
+                print(
+                    f"{kind.ljust(width)}  {bucket['entries']:7d}  "
+                    f"{bucket['bytes']}"
+                )
         return 0
     if args.action == "clear":
         stats = cache.disk_stats()
@@ -606,9 +629,19 @@ def _cmd_stats(args) -> int:
     if not path.exists():
         print(f"no such file: {path}", file=sys.stderr)
         return 2
+    as_json = getattr(args, "json", False)
     if path.suffix == ".jsonl":
         spans = read_spans_jsonl(path)
-        print(render_stats(summaries_from_spans(spans), {}, label=str(path)))
+        summaries = summaries_from_spans(spans)
+        if as_json:
+            print(
+                json.dumps(
+                    {"label": str(path), "spans": summaries, "metrics": {}},
+                    indent=2,
+                )
+            )
+        else:
+            print(render_stats(summaries, {}, label=str(path)))
         return 0
     payload = json.loads(path.read_text(encoding="utf-8"))
     summaries = payload.get("spans")
@@ -621,8 +654,175 @@ def _cmd_stats(args) -> int:
         )
         return 1
     label = payload.get("label", str(path))
-    print(render_stats(summaries or [], metrics or {}, label=label))
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "label": label,
+                    "spans": summaries or [],
+                    "metrics": metrics or {},
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_stats(summaries or [], metrics or {}, label=label))
     return 0
+
+
+def _fabric_spec_from_args(args):
+    """Resolve ``--spec FILE`` or the demo-grid flags to a FabricSpec."""
+    import json
+    from pathlib import Path
+
+    from repro.fabric import FabricSpec, demo_spec
+
+    if getattr(args, "spec", None):
+        payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        return FabricSpec.from_dict(payload)
+    return demo_spec(
+        inputs=args.inputs,
+        seeds=args.seeds,
+        length=args.length,
+        protocol=args.protocol,
+        channel=args.channel,
+    )
+
+
+def _cmd_worker(args) -> int:
+    from repro.fabric import run_worker
+
+    stats = run_worker(
+        args.queue,
+        args.cache_dir,
+        run_timeout=args.run_timeout,
+        idle_timeout=args.idle_timeout,
+        max_cells=args.max_cells,
+        worker_id=args.worker_id,
+        lease_timeout=args.lease_timeout,
+    )
+    print(
+        f"worker {stats.worker_id}: claimed {stats.claimed}, computed "
+        f"{stats.computed}, warm {stats.warm}, failed {stats.failed}, "
+        f"requeued leases {stats.requeued_leases} in "
+        f"{stats.elapsed_seconds:.2f}s"
+    )
+    return 0 if stats.failed == 0 else 1
+
+
+def _cmd_fabric(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.cache import ResultCache
+    from repro.fabric import (
+        FabricError,
+        WorkQueue,
+        merge_outcome,
+        outcome_to_json,
+        plan_cells,
+        run_fabric,
+        split_warm_cold,
+    )
+
+    if args.action == "status":
+        queue = WorkQueue(args.queue)
+        counts = queue.counts()
+        try:
+            plan = queue.load_plan()
+            print(f"plan:  {plan.plan_fingerprint[:16]}... "
+                  f"({len(plan.cells)} cells)")
+        except FabricError:
+            print("plan:  (none bound)")
+        for state, count in counts.items():
+            print(f"{state + ':':8}{count}")
+        return 0
+
+    if args.action == "merge":
+        queue = WorkQueue(args.queue)
+        plan = queue.load_plan()
+        cache = ResultCache(args.cache_dir)
+        try:
+            outcome = merge_outcome(plan, cache, wait_timeout=args.wait)
+        except FabricError as error:
+            print(f"merge failed: {error}", file=sys.stderr)
+            return 1
+        rendered = outcome_to_json(outcome)
+        if args.out:
+            Path(args.out).write_text(rendered, encoding="utf-8")
+            print(f"wrote {args.out}")
+        print(
+            f"merged {outcome.summary.runs} cells: "
+            f"safe {outcome.summary.safe}, "
+            f"completed {outcome.summary.completed}"
+        )
+        return 0 if not outcome.failures else 1
+
+    spec = _fabric_spec_from_args(args)
+
+    if args.action == "plan":
+        plan = plan_cells(
+            spec, rng_seed=args.rng_seed, rng_path=args.rng_path
+        )
+        line = (
+            f"plan {plan.plan_fingerprint[:16]}...: "
+            f"{len(plan.cells)} cells"
+        )
+        if args.cache_dir:
+            warm, cold = split_warm_cold(plan, ResultCache(args.cache_dir))
+            line += f" ({len(warm)} warm, {len(cold)} cold)"
+        print(line)
+        if args.queue:
+            queue = WorkQueue(args.queue)
+            queue.init(plan)
+            for cell in plan.cells:
+                queue.enqueue(cell.cell_id)
+            print(f"queued {len(plan.cells)} tickets under {args.queue}")
+        if args.out:
+            Path(args.out).write_text(
+                json.dumps(plan.to_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.out}")
+        return 0
+
+    # run
+    import tempfile
+
+    queue_dir = args.queue or tempfile.mkdtemp(prefix="stp-fabric-queue-")
+    cache = ResultCache(args.cache_dir)
+    try:
+        result = run_fabric(
+            spec,
+            queue_dir,
+            cache,
+            workers=args.workers,
+            rng_seed=args.rng_seed,
+            rng_path=args.rng_path,
+            run_timeout=args.run_timeout,
+        )
+    except FabricError as error:
+        print(f"fabric run failed: {error}", file=sys.stderr)
+        return 1
+    outcome = result.outcome
+    print(
+        f"fabric: {len(result.plan.cells)} cells "
+        f"({result.warm_cells} warm, {result.cold_cells} cold) over "
+        f"{len(result.worker_stats)} workers"
+    )
+    for stats in result.worker_stats:
+        print(
+            f"  {stats.worker_id}: claimed {stats.claimed}, computed "
+            f"{stats.computed}, warm {stats.warm}, failed {stats.failed}"
+        )
+    print(
+        f"outcome: runs {outcome.summary.runs}, safe "
+        f"{outcome.summary.safe}, completed {outcome.summary.completed}"
+    )
+    if args.out:
+        Path(args.out).write_text(outcome_to_json(outcome), encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0 if not outcome.failures else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -706,7 +906,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR7.json"
+        "bench", help="time the perf suite and write BENCH_PR8.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -731,7 +931,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR7.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR8.json", help="output path for the perf JSON"
     )
     _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -788,7 +988,142 @@ def main(argv: Optional[List[str]] = None) -> int:
                 metavar="SIZE",
                 help="byte budget, with optional K/M/G suffix (e.g. 64M)",
             )
+        if action == "stats":
+            action_parser.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the stats as JSON instead of the table",
+            )
         action_parser.set_defaults(func=_cmd_cache, action=action)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help=(
+            "run one pull-based fabric worker over a shared queue "
+            "directory and cache store"
+        ),
+    )
+    worker_parser.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="the shared work-queue directory (see 'fabric plan --queue')",
+    )
+    worker_parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the shared result store cells are published into",
+    )
+    worker_parser.add_argument(
+        "--run-timeout", type=float, default=60.0,
+        help="wall-second budget per cell attempt",
+    )
+    worker_parser.add_argument(
+        "--idle-timeout", type=float, default=10.0,
+        help="give up after this long with nothing claimable",
+    )
+    worker_parser.add_argument(
+        "--lease-timeout", type=float, default=60.0,
+        help="heartbeat age after which another worker's lease is requeued",
+    )
+    worker_parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after claiming N cells (default: until drained)",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None,
+        help="lease audit tag (default: <hostname>-<pid>)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
+
+    fabric_parser = sub.add_parser(
+        "fabric",
+        help=(
+            "distributed campaign fabric: plan cells, run local workers, "
+            "merge results (bit-identical to serial)"
+        ),
+    )
+    fabric_sub = fabric_parser.add_subparsers(dest="action", required=True)
+
+    def _add_spec_arguments(action_parser) -> None:
+        action_parser.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="JSON FabricSpec (overrides the demo-grid flags)",
+        )
+        action_parser.add_argument("--protocol", default="norepeat")
+        action_parser.add_argument("--channel", default="dup")
+        action_parser.add_argument(
+            "--inputs", type=int, default=6,
+            help="number of demo input sequences (prefix lengths)",
+        )
+        action_parser.add_argument(
+            "--seeds", type=int, default=2, help="seeds per input"
+        )
+        action_parser.add_argument(
+            "--length", type=int, default=8,
+            help="longest demo input length",
+        )
+        action_parser.add_argument("--rng-seed", type=int, default=0)
+        action_parser.add_argument("--rng-path", default="fabric")
+
+    fabric_plan = fabric_sub.add_parser(
+        "plan",
+        help="split a spec into content-addressed cells; optionally enqueue",
+    )
+    _add_spec_arguments(fabric_plan)
+    fabric_plan.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="bind a work queue here and enqueue every cell",
+    )
+    fabric_plan.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="report warm/cold against this store",
+    )
+    fabric_plan.add_argument(
+        "--out", default=None, metavar="FILE", help="write the plan JSON"
+    )
+    fabric_plan.set_defaults(func=_cmd_fabric, action="plan")
+
+    fabric_run = fabric_sub.add_parser(
+        "run", help="plan + N local workers + merge, in one command"
+    )
+    _add_spec_arguments(fabric_run)
+    fabric_run.add_argument("--workers", type=int, default=2)
+    fabric_run.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="queue directory (default: a fresh temp dir)",
+    )
+    fabric_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result store (default: $STP_REPRO_CACHE)",
+    )
+    fabric_run.add_argument("--run-timeout", type=float, default=60.0)
+    fabric_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the canonical merged-outcome JSON",
+    )
+    fabric_run.set_defaults(func=_cmd_fabric, action="run")
+
+    fabric_merge = fabric_sub.add_parser(
+        "merge", help="reassemble a queue's outcome from the shared store"
+    )
+    fabric_merge.add_argument("--queue", required=True, metavar="DIR")
+    fabric_merge.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result store the cells were published into",
+    )
+    fabric_merge.add_argument(
+        "--wait", type=float, default=0.0,
+        help="poll up to this many seconds for straggler cells",
+    )
+    fabric_merge.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the canonical merged-outcome JSON",
+    )
+    fabric_merge.set_defaults(func=_cmd_fabric, action="merge")
+
+    fabric_status = fabric_sub.add_parser(
+        "status", help="show a queue's ticket counts"
+    )
+    fabric_status.add_argument("--queue", required=True, metavar="DIR")
+    fabric_status.set_defaults(func=_cmd_fabric, action="status")
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -906,8 +1241,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR7.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR7.json)",
+        default="BENCH_PR8.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR8.json)",
+    )
+    stats_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {label, spans, metrics} as JSON instead of the tables",
     )
     stats_parser.set_defaults(func=_cmd_stats)
 

@@ -1,0 +1,213 @@
+"""One-host fabric orchestration: plan, enqueue, work, merge.
+
+:func:`run_fabric` wires the fabric pieces together for the common case
+of N worker processes on one machine sharing a local queue directory and
+cache store.  The exact same queue/store layout works with workers on
+other hosts pointed at a shared filesystem -- this module just saves the
+local case from shell plumbing.
+
+The flow:
+
+1. plan the spec into content-addressed cells (:func:`plan_cells`);
+2. bind a :class:`WorkQueue` to the plan and enqueue the *cold* cells --
+   warm cells (already in the shared store) go straight to ``done/``,
+   never recomputed;
+3. run N :class:`FabricWorker` loops -- forked processes when the
+   platform has ``fork`` and ``workers > 1``, an inline loop otherwise
+   (same results, no speedup), each shipping its observability delta
+   back over a pipe so the parent registry sees the whole sweep;
+4. merge cells back into a :class:`CampaignOutcome`
+   (:func:`merge_outcome`), bit-identical to a serial ``Campaign.run``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.cache import ResultCache
+from repro.analysis.campaign import CampaignOutcome
+from repro.fabric.merge import merge_outcome
+from repro.fabric.planner import FabricPlan, plan_cells, split_warm_cold
+from repro.fabric.queue import WorkQueue
+from repro.fabric.spec import FabricError, FabricSpec
+from repro.fabric.worker import FabricWorker, WorkerStats
+
+
+@dataclass(frozen=True)
+class FabricResult:
+    """Everything one fabric run produced.
+
+    Attributes:
+        outcome: the merged campaign outcome (bit-identical to serial).
+        plan: the executed plan.
+        warm_cells / cold_cells: how the planner split the grid against
+            the shared store before any work started.
+        worker_stats: per-worker accounting, in worker order.
+    """
+
+    outcome: CampaignOutcome
+    plan: FabricPlan
+    warm_cells: int
+    cold_cells: int
+    worker_stats: Tuple[WorkerStats, ...]
+
+
+def _worker_child(conn, queue_root, cache_locator, options) -> None:
+    """Entry point of a forked fabric worker process."""
+    try:
+        cut = obs.mark()
+        worker = FabricWorker(
+            queue=WorkQueue(queue_root, lease_timeout=options["lease_timeout"]),
+            cache=ResultCache(cache_locator),
+            run_timeout=options["run_timeout"],
+            idle_timeout=options["idle_timeout"],
+            worker_id=options["worker_id"],
+        )
+        stats = worker.run()
+        conn.send(("ok", (stats, obs.delta_since(cut))))
+    except BaseException as error:  # reported, not raised
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def run_fabric(
+    spec: FabricSpec,
+    queue_dir,
+    cache: ResultCache,
+    workers: int = 2,
+    rng_seed: int = 0,
+    rng_path: str = "fabric",
+    run_timeout: float = 60.0,
+    lease_timeout: float = 60.0,
+    idle_timeout: float = 30.0,
+) -> FabricResult:
+    """Execute ``spec`` over ``workers`` local fabric workers.
+
+    ``cache.root`` must be a real directory (shared store); the queue is
+    created under ``queue_dir``.  Returns the merged outcome plus the
+    plan and per-worker stats.  Platforms without ``fork`` -- or
+    ``workers <= 1`` -- degrade to one inline worker loop with identical
+    results.
+    """
+    if workers < 1:
+        raise FabricError("workers must be >= 1")
+    if cache.root is None:
+        raise FabricError(
+            "run_fabric needs a directory-backed shared cache"
+        )
+    with obs.span("fabric.run", workers=workers):
+        plan = plan_cells(spec, rng_seed=rng_seed, rng_path=rng_path)
+        queue = WorkQueue(queue_dir, lease_timeout=lease_timeout)
+        queue.init(plan)
+        warm, cold = split_warm_cold(plan, cache)
+        for cell in cold:
+            queue.enqueue(cell.cell_id)
+        for cell in warm:
+            # Already in the shared store: record completion without a
+            # ticket ever entering pending/.
+            queue.mark_done(cell.cell_id, {"warm": True})
+        obs.gauge_set("fabric.plan.warm_cells", len(warm))
+        obs.gauge_set("fabric.plan.cold_cells", len(cold))
+
+        options = {
+            "run_timeout": run_timeout,
+            "lease_timeout": lease_timeout,
+            "idle_timeout": idle_timeout,
+        }
+        if (
+            workers > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            stats = _run_forked(queue, cache, workers, options)
+        else:
+            worker = FabricWorker(
+                queue=queue,
+                cache=cache,
+                run_timeout=run_timeout,
+                idle_timeout=idle_timeout,
+                worker_id="inline-0",
+            )
+            stats = [worker.run()]
+
+        failed = queue.failed_tickets()
+        if failed:
+            raise FabricError(
+                f"{len(failed)} cells failed permanently; first: "
+                f"{failed[0].get('error', '?')}"
+            )
+        outcome = merge_outcome(plan, cache, wait_timeout=run_timeout)
+    return FabricResult(
+        outcome=outcome,
+        plan=plan,
+        warm_cells=len(warm),
+        cold_cells=len(cold),
+        worker_stats=tuple(stats),
+    )
+
+
+def _run_forked(
+    queue: WorkQueue, cache: ResultCache, workers: int, options
+) -> List[WorkerStats]:
+    context = multiprocessing.get_context("fork")
+    children = []
+    for index in range(workers):
+        child_options = dict(options, worker_id=f"fabric-{index}")
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        # Not daemonic: each worker forks its own supervised per-cell
+        # children, and daemons may not have children.
+        process = context.Process(
+            target=_worker_child,
+            args=(child_conn, queue.root, cache.root, child_options),
+        )
+        process.start()
+        child_conn.close()
+        children.append((process, parent_conn, child_options["worker_id"]))
+    stats: List[WorkerStats] = []
+    errors: List[str] = []
+    try:
+        for process, conn, worker_id in children:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                process.join()
+                errors.append(
+                    f"worker {worker_id} died with exit code "
+                    f"{process.exitcode}"
+                )
+                continue
+            process.join()
+            conn.close()
+            if status == "ok":
+                worker_stats, delta = payload
+                obs.merge(delta)
+                stats.append(worker_stats)
+            else:
+                errors.append(f"worker {worker_id}: {payload}")
+    finally:
+        for process, conn, _ in children:
+            if process.is_alive():
+                process.terminate()
+                process.join()
+    # Dead workers leave their leases behind; the queue heals (any
+    # survivor requeues them), so partial worker loss is only an error
+    # when *every* worker failed and nothing can drain the queue.
+    if errors and not stats:
+        raise FabricError(
+            f"all {workers} fabric workers failed; first: {errors[0]}"
+        )
+    if not queue.drained():
+        # Survivors exited idle while dead workers' leases were still
+        # fresh.  Drain the leftovers inline rather than failing.
+        sweeper = FabricWorker(
+            queue=queue,
+            cache=cache,
+            run_timeout=options["run_timeout"],
+            idle_timeout=options["idle_timeout"],
+            worker_id="sweeper",
+        )
+        stats.append(sweeper.run())
+    return stats

@@ -1,0 +1,114 @@
+"""Reassembling fabric cells into a campaign outcome.
+
+The merge step is where the fabric's headline guarantee is cashed in:
+reading every cell's :class:`RunMetrics` back from the shared store *in
+grid order* and aggregating with the same :func:`summarize` the serial
+path uses produces a :class:`CampaignOutcome` **equal** to
+``Campaign.run`` over the same grid -- not statistically close,
+``==``-equal, because each cell is a pure function of its content
+address and the aggregation order is pinned by the plan.
+
+:func:`outcome_to_json` renders an outcome as canonical JSON (sorted
+keys, fixed separators, trailing newline), so "bit-identical" can be
+asserted as byte equality of files -- which is exactly what the CI
+fabric-smoke job and the property tests do.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro import obs
+from repro.analysis.cache import ResultCache
+from repro.analysis.campaign import CampaignOutcome
+from repro.analysis.metrics import RunMetrics, summarize
+from repro.fabric.planner import CELL_KIND, FabricPlan
+from repro.fabric.spec import FabricError
+
+
+def merge_outcome(
+    plan: FabricPlan,
+    cache: ResultCache,
+    wait_timeout: float = 0.0,
+) -> CampaignOutcome:
+    """Assemble the campaign outcome from the shared store.
+
+    Reads every planned cell back by fingerprint, in the plan's grid
+    order, and aggregates exactly as :meth:`Campaign.run` does.  With a
+    positive ``wait_timeout``, cells still being computed are polled for
+    up to that many seconds (the wait is recorded on the
+    ``fabric.merge_wait`` gauge); a cell still missing afterwards is an
+    error naming the stragglers -- never a partial, silently-wrong
+    outcome.
+    """
+    with obs.span("fabric.merge", cells=len(plan.cells)):
+        metrics = _collect(plan, cache, wait_timeout)
+    failures = [
+        (cell.input_sequence, cell.seed)
+        for cell, measured in zip(plan.cells, metrics)
+        if not (measured.safe and measured.completed)
+    ]
+    return CampaignOutcome(
+        summary=summarize(metrics),
+        metrics=tuple(metrics),
+        failures=tuple(failures),
+    )
+
+
+def _collect(
+    plan: FabricPlan, cache: ResultCache, wait_timeout: float
+) -> List[RunMetrics]:
+    slots: List[Optional[RunMetrics]] = [None] * len(plan.cells)
+    deadline = time.monotonic() + max(wait_timeout, 0.0)
+    waited = 0.0
+    while True:
+        missing = []
+        for index, cell in enumerate(plan.cells):
+            if slots[index] is None:
+                slots[index] = cache.get(CELL_KIND, cell.cell_id)
+                if slots[index] is None:
+                    missing.append(cell)
+        if not missing:
+            break
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise FabricError(
+                f"{len(missing)} of {len(plan.cells)} cells missing from "
+                f"store {cache.store.describe()} after waiting "
+                f"{waited:.1f}s; first missing cell "
+                f"{missing[0].cell_id[:12]}... "
+                f"(input={missing[0].input_sequence!r}, "
+                f"seed={missing[0].seed})"
+            )
+        step = min(0.05, remaining)
+        time.sleep(step)
+        waited += step
+    if obs.enabled() and waited:
+        obs.gauge_set("fabric.merge_wait", waited)
+    return slots  # type: ignore[return-value]
+
+
+def outcome_to_json(outcome: CampaignOutcome) -> str:
+    """Canonical JSON for byte-for-byte outcome comparison.
+
+    Deterministic by construction: sorted keys, fixed separators, no
+    floats introduced beyond what :class:`RunMetrics` carries, one
+    trailing newline.  Two outcomes are equal iff their renderings are
+    byte-equal, which lets shell-level CI assert the fabric/serial
+    equivalence with ``cmp``.
+    """
+    payload = {
+        "schema": "stp-fabric-report/1",
+        "summary": asdict(outcome.summary),
+        "metrics": [asdict(m) for m in outcome.metrics],
+        "failures": [
+            [list(input_sequence), seed]
+            for input_sequence, seed in outcome.failures
+        ],
+    }
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    )

@@ -1,0 +1,308 @@
+"""A crash-safe, server-less work queue on a shared directory.
+
+Any filesystem both sides can see *is* the coordination layer: there is
+no broker process to run, crash, or firewall.  Correctness rests on one
+primitive -- ``os.rename`` within a filesystem is atomic -- so every
+state transition of a ticket is a rename, and a ticket is always in
+exactly one state directory:
+
+.. code-block:: text
+
+    <root>/
+      plan.json         # the bound FabricPlan (schema stp-fabric/1)
+      pending/<id>.json  # enqueued, unclaimed
+      leased/<id>.json   # claimed by a worker; mtime is the heartbeat
+      done/<id>.json     # completed (result lives in the shared cache)
+      failed/<id>.json   # exhausted its attempts
+
+Claiming is ``rename(pending/X, leased/X)``: of N racing workers
+exactly one rename succeeds and the rest observe ``FileNotFoundError``
+and move on -- mutual exclusion without locks.  A worker heartbeats by
+touching its leased ticket; any participant may requeue leased tickets
+whose heartbeat is older than the lease timeout (the worker died, or
+the host did), so a crashed claim always returns to ``pending`` with an
+incremented attempt count.
+
+The requeue-vs-slow-worker race is benign by design: if a lease expires
+while the original worker is merely slow, the cell may be computed
+twice, but cells are pure functions stored content-addressed in the
+shared cache -- both computations publish byte-identical results and
+``done`` tickets are idempotent.  At-least-once execution plus
+deterministic results equals exactly-once observable effect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.fabric.planner import FabricPlan
+from repro.fabric.spec import FABRIC_SCHEMA, FabricError
+
+#: Ticket states, as subdirectory names.
+STATES = ("pending", "leased", "done", "failed")
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique enough to audit who held a lease."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkQueue:
+    """One campaign plan's tickets on a shared directory.
+
+    Args:
+        root: the queue directory (shared between all participants).
+        lease_timeout: seconds without a heartbeat before a leased
+            ticket is considered abandoned and eligible for requeue.
+        max_attempts: total attempts a cell gets before it is parked in
+            ``failed/`` (mirrors the resilient runner's retry budget).
+    """
+
+    def __init__(
+        self, root, lease_timeout: float = 60.0, max_attempts: int = 3
+    ) -> None:
+        if lease_timeout <= 0:
+            raise FabricError("lease_timeout must be positive")
+        if max_attempts < 1:
+            raise FabricError("max_attempts must be >= 1")
+        self.root = Path(root)
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
+
+    # -- layout --------------------------------------------------------
+
+    def _dir(self, state: str) -> Path:
+        return self.root / state
+
+    def _ticket_path(self, state: str, cell_id: str) -> Path:
+        return self._dir(state) / f"{cell_id}.json"
+
+    @property
+    def plan_path(self) -> Path:
+        return self.root / "plan.json"
+
+    # -- plan binding --------------------------------------------------
+
+    def init(self, plan: FabricPlan) -> None:
+        """Create the queue layout and bind it to ``plan``.
+
+        Re-initializing with the *same* plan is a no-op (any host may
+        race to set up a shared queue); a different plan is refused
+        rather than silently mixed.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        for state in STATES:
+            self._dir(state).mkdir(exist_ok=True)
+        payload = plan.to_dict()
+        if self.plan_path.exists():
+            existing = self.load_plan()
+            if existing.plan_fingerprint != plan.plan_fingerprint:
+                raise FabricError(
+                    f"queue {self.root} is bound to plan "
+                    f"{existing.plan_fingerprint[:12]}..., refusing to "
+                    f"rebind to {plan.plan_fingerprint[:12]}..."
+                )
+            return
+        self._write_json(self.plan_path, payload)
+
+    def load_plan(self) -> FabricPlan:
+        """The plan this queue is bound to."""
+        try:
+            payload = json.loads(self.plan_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise FabricError(
+                f"queue {self.root} has no readable plan.json: {error}"
+            ) from None
+        return FabricPlan.from_dict(payload)
+
+    # -- ticket lifecycle ----------------------------------------------
+
+    def enqueue(self, cell_id: str, attempt: int = 1) -> bool:
+        """Add a pending ticket; False if the cell is already tracked."""
+        if any(
+            self._ticket_path(state, cell_id).exists() for state in STATES
+        ):
+            return False
+        self._write_json(
+            self._ticket_path("pending", cell_id),
+            {"schema": FABRIC_SCHEMA, "cell_id": cell_id, "attempt": attempt},
+        )
+        return True
+
+    def mark_done(self, cell_id: str, info: Optional[Dict] = None) -> None:
+        """Record completion and release any lease (idempotent)."""
+        payload = {"schema": FABRIC_SCHEMA, "cell_id": cell_id}
+        payload.update(info or {})
+        self._write_json(self._ticket_path("done", cell_id), payload)
+        self._ticket_path("leased", cell_id).unlink(missing_ok=True)
+        # A ticket requeued by an overeager lease expiry may also sit in
+        # pending; completion supersedes it.
+        self._ticket_path("pending", cell_id).unlink(missing_ok=True)
+
+    def claim(self, worker_id: Optional[str] = None) -> Optional[Dict]:
+        """Atomically claim one pending ticket, or None if none remain.
+
+        Scans in sorted order so contending workers walk the same list
+        and the rename race spreads them across distinct tickets after
+        at most a few collisions.
+        """
+        worker_id = worker_id or default_worker_id()
+        pending = self._dir("pending")
+        if not pending.is_dir():
+            return None
+        for path in sorted(pending.glob("*.json")):
+            cell_id = path.stem
+            leased = self._ticket_path("leased", cell_id)
+            try:
+                os.rename(path, leased)
+            except OSError:
+                continue  # lost the race for this ticket; try the next
+            try:
+                ticket = json.loads(leased.read_text())
+            except (OSError, json.JSONDecodeError):
+                # Torn ticket (should not happen: writes are atomic).
+                # Park it as failed rather than looping on it forever.
+                self._write_json(
+                    self._ticket_path("failed", cell_id),
+                    {
+                        "schema": FABRIC_SCHEMA,
+                        "cell_id": cell_id,
+                        "error": "unreadable ticket",
+                    },
+                )
+                leased.unlink(missing_ok=True)
+                continue
+            ticket["worker"] = worker_id
+            self._write_json(leased, ticket)
+            obs.add("fabric.cells_claimed")
+            return ticket
+        return None
+
+    def heartbeat(self, cell_id: str) -> None:
+        """Refresh the lease on a claimed ticket."""
+        try:
+            os.utime(self._ticket_path("leased", cell_id))
+        except OSError:
+            pass  # lease was expired/completed under us; harmless
+
+    def release_failed(self, ticket: Dict, message: str) -> str:
+        """Handle a failed attempt: requeue with backoff budget or park.
+
+        Returns ``"requeued"`` or ``"failed"``.
+        """
+        cell_id = ticket["cell_id"]
+        attempt = int(ticket.get("attempt", 1))
+        self._ticket_path("leased", cell_id).unlink(missing_ok=True)
+        if attempt + 1 > self.max_attempts:
+            self._write_json(
+                self._ticket_path("failed", cell_id),
+                {
+                    "schema": FABRIC_SCHEMA,
+                    "cell_id": cell_id,
+                    "attempt": attempt,
+                    "error": message,
+                },
+            )
+            obs.add("fabric.cells_failed")
+            return "failed"
+        self._write_json(
+            self._ticket_path("pending", cell_id),
+            {
+                "schema": FABRIC_SCHEMA,
+                "cell_id": cell_id,
+                "attempt": attempt + 1,
+                "last_error": message,
+            },
+        )
+        obs.add("fabric.cells_requeued")
+        return "requeued"
+
+    def requeue_expired(self) -> int:
+        """Return abandoned leases (stale heartbeat) to ``pending``.
+
+        Any participant may call this; it is how the fabric heals from
+        workers that died without releasing their claim.  Returns the
+        number of tickets requeued.
+        """
+        leased = self._dir("leased")
+        if not leased.is_dir():
+            return 0
+        now = time.time()
+        requeued = 0
+        for path in sorted(leased.glob("*.json")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed or requeued under us
+            if age <= self.lease_timeout:
+                continue
+            try:
+                ticket = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            cell_id = path.stem
+            if self._ticket_path("done", cell_id).exists():
+                path.unlink(missing_ok=True)
+                continue
+            outcome = self.release_failed(
+                ticket,
+                f"lease expired after {self.lease_timeout}s "
+                f"(worker {ticket.get('worker', '?')})",
+            )
+            if outcome == "requeued":
+                requeued += 1
+            obs.add("fabric.lease_expired")
+        return requeued
+
+    # -- inspection ----------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Ticket counts per state."""
+        return {
+            state: (
+                len(list(self._dir(state).glob("*.json")))
+                if self._dir(state).is_dir()
+                else 0
+            )
+            for state in STATES
+        }
+
+    def drained(self) -> bool:
+        """True when no ticket is pending or leased."""
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["leased"] == 0
+
+    def done_ids(self) -> List[str]:
+        done = self._dir("done")
+        if not done.is_dir():
+            return []
+        return sorted(path.stem for path in done.glob("*.json"))
+
+    def failed_tickets(self) -> List[Dict]:
+        failed = self._dir("failed")
+        if not failed.is_dir():
+            return []
+        tickets = []
+        for path in sorted(failed.glob("*.json")):
+            try:
+                tickets.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return tickets
+
+    # -- plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _write_json(path: Path, payload: Dict) -> None:
+        """Atomic JSON publish (unique tmp + rename), like the store."""
+        temporary = path.parent / (
+            f".{path.stem}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        )
+        temporary.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(temporary, path)

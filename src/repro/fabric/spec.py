@@ -1,0 +1,224 @@
+"""Portable campaign specifications for the distributed fabric.
+
+A :class:`~repro.analysis.campaign.Campaign` holds live automata and
+factory closures -- perfect in one process, meaningless on another host.
+The fabric therefore plans and ships :class:`FabricSpec`: a plain-data,
+JSON-serializable description that names its protocol and channel
+through the existing registries (:mod:`repro.protocols.registry`,
+:mod:`repro.channels.registry`) and its adversary through the small
+named vocabulary below.  Any worker that can import this library can
+rebuild the *same* campaign from the spec -- same automata, same factory
+functions, and therefore the same content fingerprints for every grid
+cell, which is what lets a cell computed anywhere warm the shared cache
+for everyone.
+
+Fingerprint stability is the load-bearing property: the campaign's
+per-cell cache key (:meth:`Campaign.run_key`) fingerprints the factory
+*functions*, and :func:`~repro.analysis.cache.canonical` identifies a
+function by its qualified name, code digest, and closure contents.  The
+builders below are module-level, so two processes (or hosts) that build
+a campaign from equal specs produce byte-equal fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Tuple
+
+from repro.kernel.errors import KernelError
+
+
+class FabricError(KernelError):
+    """A fabric plan, queue, or merge operation was invalid."""
+
+
+#: Version tag embedded in plans and queue tickets; bump on any change
+#: to the spec fields or the ticket layout.
+FABRIC_SCHEMA = "stp-fabric/1"
+
+#: Named adversary vocabulary.  Registry-style: a spec names one of
+#: these instead of carrying a closure.
+ADVERSARY_NAMES = ("aging-fair", "eager")
+
+
+def _aging_fair_factory(patience: int, deliver_weight: float):
+    """An ``adversary_factory`` for the fair randomized scheduler.
+
+    Module-level on purpose: the inner function's fingerprint covers its
+    closure (``patience``, ``deliver_weight``), so equal parameters give
+    equal fingerprints in every process.
+    """
+    from repro.adversaries import AgingFairAdversary, RandomAdversary
+
+    def factory(rng):
+        return AgingFairAdversary(
+            RandomAdversary(rng, deliver_weight=deliver_weight),
+            patience=patience,
+        )
+
+    return factory
+
+
+def _eager_factory(patience: int, deliver_weight: float):
+    """An ``adversary_factory`` for the deterministic eager scheduler."""
+    from repro.adversaries import EagerAdversary
+
+    def factory(rng):
+        return EagerAdversary()
+
+    return factory
+
+
+_ADVERSARY_BUILDERS = {
+    "aging-fair": _aging_fair_factory,
+    "eager": _eager_factory,
+}
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A registry-named, JSON-portable campaign description.
+
+    Attributes:
+        protocol: protocol registry name (``stp-repro`` knows them via
+            :func:`repro.protocols.protocol_names`).
+        channel: channel registry name.
+        inputs: the input sequences to sweep (tuple of tuples).
+        seeds: repetitions per input.
+        max_steps: per-run step budget.
+        adversary: one of :data:`ADVERSARY_NAMES`.
+        patience: fairness patience for ``aging-fair``.
+        deliver_weight: delivery bias for the randomized scheduler.
+        compiled: route runs through the compiled transition-table
+            kernel (bit-identical, faster).
+    """
+
+    protocol: str
+    channel: str
+    inputs: Tuple[Tuple[str, ...], ...]
+    seeds: int = 1
+    max_steps: int = 50_000
+    adversary: str = "aging-fair"
+    patience: int = 64
+    deliver_weight: float = 1.0
+    compiled: bool = False
+
+    def __post_init__(self):
+        if self.adversary not in _ADVERSARY_BUILDERS:
+            raise FabricError(
+                f"unknown adversary {self.adversary!r}; "
+                f"known: {sorted(_ADVERSARY_BUILDERS)}"
+            )
+        if not self.inputs:
+            raise FabricError("a fabric spec needs at least one input")
+        if self.seeds < 1:
+            raise FabricError("seeds must be >= 1")
+        # Normalize eagerly so to_dict/from_dict round-trips exactly and
+        # equal grids always mean equal specs.
+        object.__setattr__(
+            self,
+            "inputs",
+            tuple(tuple(sequence) for sequence in self.inputs),
+        )
+
+    @property
+    def domain(self) -> Tuple[str, ...]:
+        """The sorted data alphabet the inputs draw from."""
+        letters = {item for sequence in self.inputs for item in sequence}
+        return tuple(sorted(letters)) or ("a",)
+
+    @property
+    def cell_count(self) -> int:
+        """Grid size: ``len(inputs) * seeds``."""
+        return len(self.inputs) * self.seeds
+
+    def build_campaign(self, workers: int = 1, cache=None):
+        """The live :class:`Campaign` this spec describes.
+
+        Every process that builds from an equal spec gets a campaign
+        with byte-equal per-cell fingerprints.
+        """
+        from repro.analysis.campaign import Campaign
+        from repro.channels import channel_by_name
+        from repro.protocols import protocol_by_name
+
+        input_length = max((len(seq) for seq in self.inputs), default=1)
+        sender, receiver = protocol_by_name(
+            self.protocol, self.domain, max(input_length, 1)
+        )
+        adversary_factory = _ADVERSARY_BUILDERS[self.adversary](
+            self.patience, self.deliver_weight
+        )
+        return Campaign(
+            sender=sender,
+            receiver=receiver,
+            channel_factory=_channel_factory(self.channel),
+            inputs=self.inputs,
+            adversary_factory=adversary_factory,
+            seeds=self.seeds,
+            max_steps=self.max_steps,
+            workers=workers,
+            compiled=self.compiled,
+            cache=cache,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON form (plain dict; inputs become lists)."""
+        payload = asdict(self)
+        payload["inputs"] = [list(sequence) for sequence in self.inputs]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FabricSpec":
+        """Rebuild from :meth:`to_dict` output; unknown keys are an error."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(payload) - known
+        if unknown:
+            raise FabricError(f"unknown spec fields: {sorted(unknown)}")
+        data = dict(payload)
+        data["inputs"] = tuple(
+            tuple(sequence) for sequence in data.get("inputs", ())
+        )
+        return cls(**data)
+
+
+def _channel_factory(name: str):
+    """A per-run channel factory resolved by registry name.
+
+    Module-level closure (stable fingerprint), resolving lazily so the
+    factory pickles by name and never drags a channel instance along.
+    """
+
+    def factory():
+        from repro.channels import channel_by_name
+
+        return channel_by_name(name)
+
+    return factory
+
+
+def demo_spec(
+    inputs: int = 6,
+    seeds: int = 2,
+    length: int = 8,
+    protocol: str = "norepeat",
+    channel: str = "dup",
+) -> FabricSpec:
+    """The default multi-cell sweep the CLI and CI smoke job use.
+
+    ``inputs`` prefix lengths of a ``length``-letter repetition-free
+    input under the fair random adversary -- the F5-style throughput
+    workload as a named, portable grid (``inputs * seeds`` cells,
+    12 with the defaults).
+    """
+    domain = tuple(f"d{index}" for index in range(length))
+    prefixes = tuple(
+        domain[: length - offset] for offset in range(inputs)
+    )
+    return FabricSpec(
+        protocol=protocol,
+        channel=channel,
+        inputs=prefixes,
+        seeds=seeds,
+        deliver_weight=3.0,
+    )

@@ -1,0 +1,200 @@
+"""Pluggable byte stores for the content-addressed result cache.
+
+:class:`~repro.analysis.cache.ResultCache` used to *be* a directory of
+pickle files; the distributed campaign fabric needs the same cache to be
+shareable between worker processes on one host today and between hosts
+on a shared filesystem (or an object-store shim) tomorrow.  This module
+separates the two concerns: the cache keeps its fingerprint discipline
+and hit/miss accounting, and delegates raw byte storage to a
+:class:`CacheStore`.
+
+The store contract is deliberately tiny -- content-addressed blobs need
+only four verbs -- and every implementation must honour two invariants
+the fabric leans on:
+
+* **Atomic visibility.**  A reader never observes a partially written
+  entry: :meth:`CacheStore.write` publishes all-or-nothing.  The local
+  implementation writes to a uniquely named temporary file in the target
+  directory and ``os.replace``\\ s it into place, so concurrent writers
+  of the same key -- multiple fabric workers finishing the same warm
+  cell -- each publish a complete value and the last rename wins.
+  Values are pure-function results, so any complete value is the right
+  one.
+* **Failure degrades to a miss.**  A full disk, a permission hole, or a
+  reader racing a delete must surface as "absent" (``None`` /
+  ``False``), never as an exception that fails the computation whose
+  result we merely failed to remember.
+
+:class:`LocalDirStore` is the only implementation shipped here; its
+layout (``<root>/<kind>/<key[:2]>/<key>.pkl``) is byte-compatible with
+the pre-fabric ``ResultCache`` directories, so existing warm caches stay
+warm across the refactor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored blob, as :meth:`CacheStore.entries` reports it.
+
+    Attributes:
+        kind / key: the content address.
+        size: stored byte count.
+        mtime: last-modified timestamp (eviction order for pruning).
+    """
+
+    kind: str
+    key: str
+    size: int
+    mtime: float
+
+
+class CacheStore:
+    """Abstract content-addressed byte store.
+
+    Implementations map ``(kind, key)`` pairs to opaque byte blobs.  The
+    base class defines the contract; it stores nothing itself.
+    """
+
+    def read(self, kind: str, key: str) -> Optional[bytes]:
+        """The stored bytes, or None when absent or unreadable."""
+        raise NotImplementedError
+
+    def write(self, kind: str, key: str, data: bytes) -> bool:
+        """Publish ``data`` atomically; False when storage failed."""
+        raise NotImplementedError
+
+    def delete(self, kind: str, key: str) -> bool:
+        """Remove one entry; False when it was already gone."""
+        raise NotImplementedError
+
+    def entries(self) -> List[StoreEntry]:
+        """Every stored entry (racing deletes are skipped, not raised)."""
+        raise NotImplementedError
+
+    def wipe(self) -> None:
+        """Delete everything the store holds."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A human-readable locator ("/path/to/root", "s3://bucket")."""
+        raise NotImplementedError
+
+
+# Per-process tmp-name sequence.  The unique suffix is
+# (pid, sequence, random token): pid separates processes, the sequence
+# separates threads/re-entrant writes inside one process, and the token
+# keeps names unique even across pid reuse on a shared filesystem.
+_TMP_SEQUENCE = itertools.count()
+
+
+class LocalDirStore(CacheStore):
+    """A directory of content-addressed files.
+
+    Layout: ``<root>/<kind>/<key[:2]>/<key>.pkl`` -- identical to the
+    historical ``ResultCache`` layout.  Safe for many concurrent writer
+    *processes* sharing one root (fabric workers, parallel CI jobs):
+    every write goes through a uniquely named temporary file followed by
+    an atomic rename.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """The final on-disk location of one entry."""
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def read(self, kind: str, key: str) -> Optional[bytes]:
+        try:
+            return self.path_for(kind, key).read_bytes()
+        except OSError:
+            return None
+
+    def write(self, kind: str, key: str, data: bytes) -> bool:
+        path = self.path_for(kind, key)
+        # Unique per write: concurrent writers of the same key (several
+        # fabric workers completing one cell) never share a temporary
+        # name, so none can observe -- or rename -- another's partial
+        # file.  A fixed tmp name keyed only by pid could collide across
+        # hosts or recycled pids on a shared filesystem.
+        temporary = path.parent / (
+            f"{key}.{os.getpid()}.{next(_TMP_SEQUENCE)}."
+            f"{secrets.token_hex(4)}.tmp"
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temporary.write_bytes(data)
+            os.replace(temporary, path)
+            return True
+        except OSError:
+            try:
+                temporary.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+
+    def delete(self, kind: str, key: str) -> bool:
+        try:
+            self.path_for(kind, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def entries(self) -> List[StoreEntry]:
+        if not self.root.is_dir():
+            return []
+        found: List[StoreEntry] = []
+        for path in self.root.rglob("*.pkl"):
+            try:
+                stat = path.stat()
+                relative = path.relative_to(self.root).parts
+            except (OSError, ValueError):
+                continue
+            if len(relative) < 2:
+                continue
+            found.append(
+                StoreEntry(
+                    kind=relative[0],
+                    key=path.stem,
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        return found
+
+    def wipe(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def __repr__(self) -> str:
+        return f"LocalDirStore({str(self.root)!r})"
+
+
+def open_store(locator) -> CacheStore:
+    """Resolve a store locator to a :class:`CacheStore`.
+
+    Today every locator is a filesystem path (str or Path) and resolves
+    to a :class:`LocalDirStore`; a :class:`CacheStore` instance passes
+    through unchanged.  Object-store shims plug in here without touching
+    any caller.
+    """
+    if isinstance(locator, CacheStore):
+        return locator
+    return LocalDirStore(locator)
+
+
+def iter_kinds(entries: Iterable[StoreEntry]):
+    """The distinct kinds present in ``entries``, sorted."""
+    return sorted({entry.kind for entry in entries})

@@ -2,7 +2,9 @@
 
 One module-level switch, one process-wide tracer, one process-wide
 metrics registry.  The instrumented layers (explorer, compiled kernel,
-simulator, campaign engine, resilient runner, result cache) call the
+simulator, campaign engine, resilient runner, result cache, work
+fabric -- ``fabric.cells_claimed`` / ``fabric.cells_warm`` /
+``fabric.lease_expired`` / ``fabric.merge_wait`` and friends) call the
 helpers below unconditionally; when observability is **disabled** (the
 default) every helper is a single flag test --
 
@@ -12,7 +14,7 @@ default) every helper is a single flag test --
 -- so instrumentation stays in the code permanently at <2% overhead on
 the hottest compiled-kernel paths (asserted by
 :func:`repro.analysis.perfreport.measure_obs_overhead` and the
-``obs:overhead-disabled`` record of ``BENCH_PR7.json``).
+``obs:overhead-disabled`` record of ``BENCH_PR8.json``).
 
 Enable with :func:`enable`, the ``--profile spans`` CLI flag, or the
 ``STP_REPRO_OBS=1`` environment variable.  :func:`scoped` swaps in fresh

@@ -139,6 +139,82 @@ def _child_main(conn, campaign: Campaign, rng: DeterministicRNG, key: RunKey):
         conn.close()
 
 
+def supervised_single_run(
+    campaign: Campaign,
+    rng: DeterministicRNG,
+    key: RunKey,
+    run_timeout: float = 60.0,
+    heartbeat=None,
+) -> RunMetrics:
+    """One grid run under the resilient runner's supervision discipline.
+
+    Executes ``campaign._single_run(rng, *key)`` in a forked child with a
+    wall-clock budget, exactly as :class:`ResilientRunner` supervises its
+    attempts -- same :func:`_child_main` entry point, same obs-delta
+    merge -- but for a single cell, which is the unit a fabric worker
+    claims from the queue.  ``heartbeat`` (when given) is called roughly
+    every 100ms while the child runs, so the caller can keep a queue
+    lease fresh without threading.
+
+    Raises :class:`VerificationError` on timeout, crash, or an error
+    raised inside the run; the caller owns the retry policy (the queue's
+    attempt budget, for fabric workers).
+
+    Falls back to a plain in-process run where ``fork`` is unavailable
+    (no timeout enforcement, same bit-identical metrics).
+    """
+    if run_timeout <= 0:
+        raise VerificationError("run_timeout must be positive")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return campaign._single_run(rng, key[0], key[1])
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_child_main,
+        args=(child_conn, campaign, rng, key),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    started = time.monotonic()
+    try:
+        while True:
+            if parent_conn.poll(0.1):
+                break
+            if heartbeat is not None:
+                heartbeat()
+            if time.monotonic() - started > run_timeout:
+                process.terminate()
+                process.join()
+                raise VerificationError(
+                    f"run {key!r} exceeded {run_timeout}s"
+                )
+            if not process.is_alive():
+                raise VerificationError(
+                    f"run {key!r} worker died with exit code "
+                    f"{process.exitcode}"
+                )
+        try:
+            status, payload = parent_conn.recv()
+        except EOFError:
+            process.join()
+            raise VerificationError(
+                f"run {key!r} worker died with exit code "
+                f"{process.exitcode}"
+            ) from None
+        process.join()
+        if status != "ok":
+            raise VerificationError(f"run {key!r} failed: {payload}")
+        metrics, delta = payload
+        obs.merge(delta)
+        return metrics
+    finally:
+        parent_conn.close()
+        if process.is_alive():
+            process.terminate()
+            process.join()
+
+
 @dataclass
 class _Attempt:
     """Bookkeeping for one in-flight child process."""

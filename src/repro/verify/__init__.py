@@ -11,6 +11,13 @@
   executable content of the dup-/del-decisive tuple arguments (Lemmas 1-4):
   every witness it returns is replayed through the ordinary simulator and
   re-confirmed as a genuine Safety violation.
+
+Verification sweeps too large for one process distribute through
+:mod:`repro.fabric`: campaign grids split into content-addressed work
+cells (the same sha256 fingerprints :func:`repro.analysis.cache.cached_explore`
+and :func:`repro.analysis.cache.cached_stabilize` key their memoization
+on), so a cell verified warm by any worker -- or by a plain serial run
+-- is never re-verified anywhere.
 """
 
 from repro.verify.safety import check_safety, SafetyVerdict

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
+import pytest
+
 from dataclasses import replace
 
 from repro.analysis.cache import (
@@ -102,6 +106,101 @@ class TestResultCache:
         stats = cache.stats()
         assert stats["hits"] == 0 and stats["misses"] == 0
         assert stats["root"] == str(tmp_path)
+
+
+KEY = "f" * 64
+
+
+def _hammer_one_key(root, writer_index: int, rounds: int) -> None:
+    """Child process body: repeatedly publish one key's value.
+
+    Each writer's payload is internally consistent (every element equals
+    the writer index), so any torn or interleaved write would surface as
+    a mixed or truncated list on the reader side.
+    """
+    cache = ResultCache(root)
+    payload = [writer_index] * 2048
+    for _ in range(rounds):
+        assert cache.put("stress", KEY, payload) or True
+    cache.put("stress", KEY, payload)
+
+
+class TestConcurrentCache:
+    """Multi-process writers and prune-vs-put races.
+
+    These are the contracts the fabric leans on: any number of workers
+    may publish the same content-addressed key at once, and eviction may
+    race an in-flight put -- readers must only ever see a complete value
+    or a plain miss, never an exception or a torn read.
+    """
+
+    def test_processes_hammering_one_key_never_tear(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        context = multiprocessing.get_context("fork")
+        writers = 4
+        children = [
+            context.Process(
+                target=_hammer_one_key, args=(tmp_path, index, 50)
+            )
+            for index in range(writers)
+        ]
+        for child in children:
+            child.start()
+        reader = ResultCache(tmp_path)
+        observed = set()
+        try:
+            while any(child.is_alive() for child in children):
+                value = reader.get("stress", KEY)
+                if value is not None:
+                    # Complete and self-consistent, or the write tore.
+                    assert len(value) == 2048
+                    assert len(set(value)) == 1
+                    observed.add(value[0])
+        finally:
+            for child in children:
+                child.join()
+                assert child.exitcode == 0
+        final = reader.get("stress", KEY)
+        assert final is not None and len(set(final)) == 1
+        assert set(observed) <= set(range(writers))
+        # Exactly one file remains: no tmp-file droppings survive.
+        store_files = list(tmp_path.rglob("*"))
+        assert [p for p in store_files if p.suffix == ".tmp"] == []
+
+    def test_prune_racing_put_degrades_to_miss(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        context = multiprocessing.get_context("fork")
+        writer = context.Process(
+            target=_hammer_one_key, args=(tmp_path, 7, 200)
+        )
+        writer.start()
+        pruner = ResultCache(tmp_path)
+        try:
+            for _ in range(100):
+                # Evict everything, repeatedly, while the writer races.
+                pruner.prune(0)
+                value = pruner.get("stress", KEY)
+                assert value is None or (
+                    len(value) == 2048 and set(value) == {7}
+                )
+        finally:
+            writer.join()
+            assert writer.exitcode == 0
+
+    def test_inflight_tmp_files_are_invisible(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("kind", KEY, 1)
+        # Simulate an in-flight writer: a tmp file sitting beside the
+        # entry, as the atomic-rename protocol produces mid-write.
+        target = cache._path("kind", KEY)
+        (target.parent / f"{KEY}.999.0.deadbeef.tmp").write_bytes(b"partial")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 1  # the tmp file is not an entry
+        summary = cache.prune(0)
+        assert summary["removed"] == 1
+        assert cache.get("kind", KEY) is None  # miss, not corruption
 
 
 class TestCachedExplore:

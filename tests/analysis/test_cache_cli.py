@@ -46,10 +46,24 @@ def strip_timing(report):
 class TestCacheSubcommand:
     def test_stats_on_empty_cache(self, tmp_path, capsys):
         root = tmp_path / "cache"
-        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        assert main(
+            ["cache", "stats", "--cache-dir", str(root), "--json"]
+        ) == 0
         stats = json.loads(capsys.readouterr().out)
         assert stats["entries"] == 0
         assert stats["bytes"] == 0
+
+    def test_stats_human_table(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        cached_explore(build_system(), cache=ResultCache(root))
+        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert str(root) in out
+        assert "entries:" in out
+        assert "explore" in out
+        # Default output is the table, not JSON.
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
 
     def test_stats_after_explore(self, tmp_path, capsys):
         root = tmp_path / "cache"
@@ -66,7 +80,9 @@ class TestCacheSubcommand:
             == 0
         )
         capsys.readouterr()
-        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        assert main(
+            ["cache", "stats", "--cache-dir", str(root), "--json"]
+        ) == 0
         stats = json.loads(capsys.readouterr().out)
         assert stats["entries"] >= 2  # report + frontier snapshot
         assert set(stats["kinds"]) >= {"explore", "frontier"}

@@ -160,6 +160,30 @@ class TestParallelFallback:
         fallback = norepeat_campaign(workers=4).run(DeterministicRNG(11))
         assert fallback.metrics == serial.metrics
 
+    def test_cpu_count_is_reread_per_invocation(self, monkeypatch):
+        # An affinity change between sweeps (cgroup resize, taskset) must
+        # be reflected immediately -- the count is never cached at import
+        # or on the campaign instance.
+        from repro.analysis import hostinfo
+
+        campaign = norepeat_campaign(workers=4)
+        reads = []
+
+        def counting(count):
+            def read():
+                reads.append(count)
+                return count
+
+            return read
+
+        monkeypatch.setattr(hostinfo, "available_cpu_count", counting(1))
+        assert campaign._effective_workers(1000) == 1
+        monkeypatch.setattr(hostinfo, "available_cpu_count", counting(8))
+        assert campaign._effective_workers(1000) == 4
+        monkeypatch.setattr(hostinfo, "available_cpu_count", counting(1))
+        assert campaign._effective_workers(1000) == 1
+        assert reads == [1, 8, 1]
+
 
 class TestCompiledCampaign:
     def test_compiled_kernel_matches_object_path(self):

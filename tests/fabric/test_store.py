@@ -1,0 +1,161 @@
+"""Tests for the pluggable byte store (repro.fabric.store)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.fabric.store import (
+    CacheStore,
+    LocalDirStore,
+    StoreEntry,
+    iter_kinds,
+    open_store,
+)
+
+KEY = "a" * 64
+
+
+class TestLocalDirStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        assert store.write("kind", KEY, b"payload")
+        assert store.read("kind", KEY) == b"payload"
+
+    def test_absent_reads_none(self, tmp_path):
+        assert LocalDirStore(tmp_path).read("kind", KEY) is None
+
+    def test_layout_matches_historical_cache(self, tmp_path):
+        """Pre-fabric warm caches must stay warm across the refactor."""
+        store = LocalDirStore(tmp_path)
+        store.write("explore", KEY, b"x")
+        assert (tmp_path / "explore" / KEY[:2] / f"{KEY}.pkl").is_file()
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        store.write("kind", KEY, b"old")
+        store.write("kind", KEY, b"new")
+        assert store.read("kind", KEY) == b"new"
+        # No temporary droppings left behind.
+        assert [p for p in tmp_path.rglob("*.tmp")] == []
+
+    def test_write_failure_returns_false(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the root dir should go")
+        store = LocalDirStore(target / "sub")
+        assert store.write("kind", KEY, b"data") is False
+
+    def test_delete(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        store.write("kind", KEY, b"data")
+        assert store.delete("kind", KEY) is True
+        assert store.delete("kind", KEY) is False
+        assert store.read("kind", KEY) is None
+
+    def test_entries_and_wipe(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        store.write("one", KEY, b"aa")
+        store.write("two", "b" * 64, b"bbbb")
+        entries = store.entries()
+        assert {e.kind for e in entries} == {"one", "two"}
+        assert iter_kinds(entries) == ["one", "two"]
+        sizes = {e.kind: e.size for e in entries}
+        assert sizes == {"one": 2, "two": 4}
+        store.wipe()
+        assert store.entries() == []
+
+    def test_entries_on_missing_root(self, tmp_path):
+        assert LocalDirStore(tmp_path / "nope").entries() == []
+
+    def test_describe(self, tmp_path):
+        assert LocalDirStore(tmp_path).describe() == str(tmp_path)
+
+
+class TestOpenStore:
+    def test_path_becomes_local_store(self, tmp_path):
+        store = open_store(tmp_path)
+        assert isinstance(store, LocalDirStore)
+        assert store.root == tmp_path
+
+    def test_store_instance_passes_through(self, tmp_path):
+        original = LocalDirStore(tmp_path)
+        assert open_store(original) is original
+
+    def test_abstract_contract(self):
+        store = CacheStore()
+        for call in (
+            lambda: store.read("k", KEY),
+            lambda: store.write("k", KEY, b""),
+            lambda: store.delete("k", KEY),
+            lambda: store.entries(),
+            lambda: store.wipe(),
+            lambda: store.describe(),
+        ):
+            with pytest.raises(NotImplementedError):
+                call()
+
+
+class MemoryStore(CacheStore):
+    """A dict-backed store: the object-store-shim shape, in miniature."""
+
+    def __init__(self):
+        self.blobs = {}
+
+    def read(self, kind, key):
+        return self.blobs.get((kind, key))
+
+    def write(self, kind, key, data):
+        self.blobs[(kind, key)] = data
+        return True
+
+    def delete(self, kind, key):
+        return self.blobs.pop((kind, key), None) is not None
+
+    def entries(self):
+        return [
+            StoreEntry(kind=kind, key=key, size=len(data), mtime=0.0)
+            for (kind, key), data in self.blobs.items()
+        ]
+
+    def wipe(self):
+        self.blobs.clear()
+
+    def describe(self):
+        return "memory://"
+
+
+class TestCachePluggability:
+    """ResultCache over a non-filesystem store: the point of the refactor."""
+
+    def test_cache_over_memory_store(self):
+        cache = ResultCache(store=MemoryStore())
+        cache.put("kind", KEY, {"value": 9})
+        assert cache.get("kind", KEY) == {"value": 9}
+        assert cache.root is None
+        assert cache.stats()["root"] == "memory://"
+
+    def test_disk_stats_and_prune_over_memory_store(self):
+        store = MemoryStore()
+        cache = ResultCache(store=store)
+        cache.put("kind", "a" * 64, [1] * 100)
+        cache.put("kind", "b" * 64, [2] * 100)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2
+        summary = cache.prune(0)
+        assert summary["removed"] == 2
+        assert store.blobs == {}
+
+    def test_corrupt_blob_is_a_miss(self):
+        store = MemoryStore()
+        cache = ResultCache(store=store)
+        store.write("kind", KEY, b"not a pickle")
+        assert cache.get("kind", KEY) is None
+
+    def test_values_are_plain_pickles(self, tmp_path):
+        """The store sees bytes; the cache owns the serialization."""
+        cache = ResultCache(tmp_path)
+        cache.put("kind", KEY, ("x", 1))
+        raw = cache.store.read("kind", KEY)
+        assert pickle.loads(raw) == ("x", 1)

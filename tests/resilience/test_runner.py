@@ -223,3 +223,78 @@ class TestValidation:
             ResilientRunner(campaign, retries=-1)
         with pytest.raises(VerificationError):
             ResilientRunner(campaign, backoff=-0.5)
+
+
+class TestSupervisedSingleRun:
+    """The per-cell supervision primitive the fabric workers reuse."""
+
+    def test_matches_inline_single_run(self):
+        from repro.resilience.runner import supervised_single_run
+
+        campaign = small_campaign()
+        rng = DeterministicRNG(3, "sup")
+        key = (("a", "b"), 1)
+        supervised = supervised_single_run(campaign, rng, key)
+        inline = campaign._single_run(rng, key[0], key[1])
+        assert supervised == inline
+
+    def test_timeout_raises(self, tmp_path):
+        from repro.resilience.runner import supervised_single_run
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(
+                str(tmp_path / "m1"), "hang"
+            )
+        )
+        with pytest.raises(VerificationError, match="exceeded"):
+            supervised_single_run(
+                campaign,
+                DeterministicRNG(0),
+                (("a", "b"), 0),
+                run_timeout=0.3,
+            )
+
+    def test_crash_raises(self, tmp_path):
+        from repro.resilience.runner import supervised_single_run
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(
+                str(tmp_path / "m2"), "crash"
+            )
+        )
+        with pytest.raises(VerificationError, match="died"):
+            supervised_single_run(
+                campaign, DeterministicRNG(0), (("a", "b"), 0)
+            )
+
+    def test_error_raises_with_message(self, tmp_path):
+        from repro.resilience.runner import supervised_single_run
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(
+                str(tmp_path / "m3"), "error"
+            )
+        )
+        with pytest.raises(VerificationError, match="injected failure"):
+            supervised_single_run(
+                campaign, DeterministicRNG(0), (("a", "b"), 0)
+            )
+
+    def test_heartbeat_is_called_while_running(self, tmp_path):
+        from repro.resilience.runner import supervised_single_run
+
+        campaign = small_campaign(
+            adversary_factory=lambda rng: _SabotagedAdversary(
+                str(tmp_path / "m4"), "hang"
+            )
+        )
+        beats = []
+        with pytest.raises(VerificationError):
+            supervised_single_run(
+                campaign,
+                DeterministicRNG(0),
+                (("a", "b"), 0),
+                run_timeout=0.5,
+                heartbeat=lambda: beats.append(1),
+            )
+        assert beats  # the lease stayed fresh while the child hung
