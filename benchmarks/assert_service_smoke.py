@@ -1,0 +1,94 @@
+"""CI assertion for the ``service-smoke`` job: coalescing accounting.
+
+The smoke job fires N *identical* concurrent requests and M *distinct*
+ones at a fresh ``stp-repro serve`` instance, captures
+``stp-repro request stats --json``, and hands the stats here.  The
+checks pin the service's core guarantee from the shell's point of view:
+
+* the identical batch computed **exactly once** -- every other answer
+  was coalesced onto the in-flight job or read warm from the store, so
+  ``computed == 1 + distinct`` and
+  ``coalesced + warm == identical - 1`` (robust to timing: a request
+  arriving while the first is still running coalesces, one arriving
+  after it finished reads warm -- both count, neither recomputes);
+* nothing was shed (the batch fits the admission gate) and nothing
+  errored;
+* every dispatched job's ledger ticket reached ``done`` (no leaked
+  leases, no failed tickets).
+
+Usage::
+
+    python benchmarks/assert_service_smoke.py service_stats.json \\
+        --identical 6 --distinct 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def check(stats: Dict, identical: int, distinct: int) -> str:
+    """Raise AssertionError on failure; return the success summary."""
+    counters = stats["counters"]
+    computed = counters["computed"]
+    coalesced = counters["coalesced"]
+    warm = counters["warm"]
+    expected_computed = 1 + distinct
+    assert computed == expected_computed, (
+        f"expected exactly {expected_computed} computations "
+        f"(1 for the identical batch + {distinct} distinct), "
+        f"got {computed}: {counters}"
+    )
+    assert coalesced + warm == identical - 1, (
+        f"expected the other {identical - 1} identical requests to "
+        f"coalesce or hit warm, got coalesced={coalesced} warm={warm}: "
+        f"{counters}"
+    )
+    assert counters["shed"] == 0, f"requests were shed: {counters}"
+    assert counters["errors"] == 0, f"requests errored: {counters}"
+    queue = stats.get("queue", {})
+    assert queue.get("pending", 0) == 0 and queue.get("leased", 0) == 0, (
+        f"job ledger not drained: {queue}"
+    )
+    assert queue.get("failed", 0) == 0, f"failed ledger tickets: {queue}"
+    assert stats.get("in_flight", 0) == 0, "jobs still in flight"
+    return (
+        f"service smoke ok: {computed} computed, {coalesced} coalesced, "
+        f"{warm} warm over {counters['requests']} requests"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "stats", type=Path, help="output of `stp-repro request stats --json`"
+    )
+    parser.add_argument(
+        "--identical",
+        type=int,
+        required=True,
+        help="size of the identical-request batch the job fired",
+    )
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        required=True,
+        help="number of distinct requests the job fired",
+    )
+    args = parser.parse_args(argv)
+    stats = json.loads(args.stats.read_text(encoding="utf-8"))
+    try:
+        summary = check(stats, args.identical, args.distinct)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Benchmark: verification-service throughput -- cold vs warm requests/sec.
+
+Stands up a real :class:`~repro.service.server.VerificationService` on a
+loopback socket via the shared probe
+(:func:`repro.analysis.perfreport.measure_service_throughput`, the same
+one ``stp-repro bench`` runs), so the ``service:throughput`` record
+lands in the session perf report (``BENCH_PR9.json``).
+
+The probe itself asserts the accounting invariants: the cold batch
+computes every distinct request exactly once, and the warm batch
+computes nothing (every answer read from the content-addressed store or
+coalesced).  This test adds the gates:
+
+* warm requests/sec strictly above cold -- unconditional: the warm path
+  is a cache read against the cold path's full verification, so it must
+  win even on a pinned single-CPU container;
+* an identical-concurrent batch coalesces onto exactly one computation
+  (the job-board guarantee the CI service-smoke job also checks from
+  the shell).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_service_throughput
+from repro.service.client import run_load
+from repro.service.server import ServiceThread, build_service
+
+
+def test_bench_service_throughput(benchmark):
+    """Cold/warm request batches through a live service, with gates."""
+    report = perf_report()
+    comparison = benchmark.pedantic(
+        measure_service_throughput, args=(report,), rounds=1, iterations=1
+    )
+
+    assert comparison["requests"] >= 8
+    assert comparison["computed"] == comparison["requests"]
+    cold = comparison["cold_requests_per_second"]
+    warm = comparison["warm_requests_per_second"]
+    assert warm > cold, (
+        f"warm must beat cold: warm={warm:.1f} cold={cold:.1f} req/s"
+    )
+
+
+def test_identical_concurrent_requests_compute_once():
+    """Six identical concurrent requests -> exactly one computation."""
+    root = Path(tempfile.mkdtemp(prefix="stp-service-coalesce-"))
+    try:
+        service = build_service(root / "store", root / "queue", workers=2)
+        params = {
+            "protocol": "ss-arq",
+            "channel": "lossy-fifo",
+            "input": "a,b",
+            "max_states": 150_000,
+        }
+        with ServiceThread(service) as host:
+            assert host.port is not None
+            result = run_load(
+                "127.0.0.1",
+                host.port,
+                [("stabilize", params)] * 6,
+                concurrency=6,
+            )
+        assert result.ok, [m.get("type") for m in result.responses]
+        stats = service.stats
+        assert stats.computed == 1, stats
+        assert stats.coalesced + stats.warm == 5, stats
+        assert stats.shed == 0, stats
+        # Identical answers, byte for byte, however each was reached.
+        outcomes = {
+            json.dumps(m["outcome"], sort_keys=True)
+            for m in result.responses
+        }
+        assert len(outcomes) == 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -9,15 +9,21 @@ or read EXPERIMENTS.md for the archived copies.
 
 Every experiment timed here is also appended to a
 :class:`repro.analysis.perfreport.PerfReport`; at session end the report
-is written to ``BENCH_PR8.json`` at the repo root, the same artifact
+is written to ``BENCH_PR9.json`` at the repo root, the same artifact
 ``stp-repro bench`` produces, so benchmark runs leave a diffable perf
 trail PR over PR.  Observability collection (:mod:`repro.obs`) is on for
 the session, so the artifact carries ``spans:`` and ``metrics:``
 sections beside the timing records.
+
+Setting ``STP_REPRO_TRACE_OUT=<path>`` additionally writes the session's
+full span stream to that path as JSONL at session end -- the nightly
+workflow uses this to upload a debuggable trace when a benchmark leg
+fails.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
@@ -29,6 +35,8 @@ from repro.analysis.perfreport import BENCH_FILENAME, PerfReport
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _REPORT = PerfReport(label="benchmarks")
+
+TRACE_OUT_ENV = "STP_REPRO_TRACE_OUT"
 
 
 def pytest_configure(config):
@@ -79,3 +87,8 @@ def pytest_sessionfinish(session, exitstatus):
     if _REPORT.records:
         _REPORT.attach_observability()
         _REPORT.write(REPO_ROOT / BENCH_FILENAME)
+    trace_out = os.environ.get(TRACE_OUT_ENV)
+    if trace_out:
+        from repro.obs.exporters import write_spans_jsonl
+
+        write_spans_jsonl(trace_out, obs.tracer().spans())

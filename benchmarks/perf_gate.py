@@ -2,11 +2,13 @@
 
 The ``perf-gate`` job runs the quick bench on the pull request's code and
 compares the fresh artifact against the committed baseline
-(``BENCH_PR4.json``, the previous PR's artifact).  A regression beyond
-the tolerance -- slower experiment wall time or lower explorer
-throughput -- fails the job.  Commits whose message contains
-``[perf-skip]`` bypass the gate (the escape hatch lives in the workflow,
-not here).
+(the previous PR's artifact).  A regression beyond the tolerance --
+slower experiment wall time or lower explorer throughput -- fails the
+job, as does a current artifact whose ``service:throughput`` record
+shows warm requests/sec at or below cold (checked absolutely, no
+baseline required; see :func:`service_checks`).  Commits whose message
+contains ``[perf-skip]`` bypass the gate (the escape hatch lives in the
+workflow, not here).
 
 The comparison logic is pure functions over parsed report dicts so the
 gate itself is unit-tested (``tests/analysis/test_perf_gate.py``
@@ -141,6 +143,38 @@ def compare_reports(
     return comparisons
 
 
+def service_checks(current: Dict) -> List[Dict[str, object]]:
+    """Absolute checks on the current artifact's ``service:throughput``.
+
+    The verification service's reason to exist is that warm requests
+    never pay for cold computation, so the gate requires warm
+    requests/sec strictly above cold on the *current* artifact (no
+    baseline needed -- the property is self-contained).  Skipped when
+    the record is absent (a bench subset was run) or when the run had
+    fewer than 2 schedulable CPUs: on a single-CPU runner the service
+    thread, worker pool, and load-generating clients all contend for one
+    core and the measurement is noise-bound.
+    """
+    record = _records_by_name(current).get("service:throughput")
+    if record is None:
+        return []
+    if current.get("cpu_count_available", 0) < 2:
+        return []
+    extra = record.get("extra", {})
+    cold = float(extra.get("cold_requests_per_second", 0.0))
+    warm = float(extra.get("warm_requests_per_second", 0.0))
+    return [
+        {
+            "name": "service:throughput",
+            "metric": "warm_vs_cold_rps",
+            "baseline": cold,
+            "current": warm,
+            "regression": 0.0 if warm > cold else 1.0,
+            "regressed": not warm > cold,
+        }
+    ]
+
+
 def regressions(comparisons: List[Dict[str, object]]) -> List[Dict[str, object]]:
     """The checks that failed."""
     return [c for c in comparisons if c["regressed"]]
@@ -177,6 +211,7 @@ def run_gate(
     comparisons = compare_reports(
         baseline, current, tolerance=tolerance, min_seconds=min_seconds
     )
+    comparisons.extend(service_checks(current))
     print(render(comparisons, tolerance), file=out)
     failed = regressions(comparisons)
     if failed:

@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR8.json``.
+  miss counts into ``BENCH_PR9.json``.
 
 :func:`cached_stabilize` extends the same scheme to corrupted-start
 analysis: the report key pins everything the corrupt initial set and its
@@ -180,6 +180,63 @@ def system_fingerprint(system) -> str:
         system.channel_sr,
         system.channel_rs,
         system.input_sequence,
+    )
+
+
+def explore_report_key(
+    system,
+    max_states: int = 1_000_000,
+    include_drops: bool = True,
+    reduce: bool = False,
+) -> str:
+    """The cache key of an exhaustive-exploration report.
+
+    The single source of truth for explore-report addressing: both
+    :func:`cached_explore`'s warm probe and the service coalescer
+    (:mod:`repro.service`) key through here, so a request fingerprinted
+    by one layer always finds work the other layer started or finished.
+    ``engine`` and ``shards`` are deliberately absent -- unreduced
+    reports are bit-identical across every engine, so they share one
+    address.  Reduced reports count equivalence classes instead of
+    states and therefore get a distinct key.
+    """
+    base = system_fingerprint(system)
+    if reduce:
+        return fingerprint("explore", base, max_states, include_drops, "reduced")
+    return fingerprint("explore", base, max_states, include_drops)
+
+
+def stabilize_report_key(
+    system,
+    max_states: int = 500_000,
+    include_drops: bool = True,
+    corruption: str = "full",
+    channel_depth=None,
+    sample=None,
+    seed: int = 0,
+    reduce: bool = False,
+    domain=None,
+) -> str:
+    """The cache key of a corrupted-start stabilization result.
+
+    Shared by :func:`cached_stabilize` and the service coalescer, same
+    discipline as :func:`explore_report_key`.  The key pins everything
+    the corrupt initial set and its verdicts depend on; ``engine`` and
+    ``shards`` are excluded because multi-source verdicts are
+    bit-identical across engines.
+    """
+    base = system_fingerprint(system)
+    return fingerprint(
+        "stabilize",
+        base,
+        max_states,
+        include_drops,
+        corruption,
+        channel_depth,
+        sample,
+        seed,
+        bool(reduce),
+        tuple(domain) if domain is not None else None,
     )
 
 
@@ -399,12 +456,12 @@ def cached_explore(
             reduce=reduce,
         )
     base = system_fingerprint(system)
-    if reduce:
-        report_key = fingerprint(
-            "explore", base, max_states, include_drops, "reduced"
-        )
-    else:
-        report_key = fingerprint("explore", base, max_states, include_drops)
+    report_key = explore_report_key(
+        system,
+        max_states=max_states,
+        include_drops=include_drops,
+        reduce=reduce,
+    )
     report = cache.get("explore", report_key)
     if report is not None:
         return report
@@ -531,18 +588,16 @@ def cached_stabilize(
 
     if cache is None:
         return compute()
-    base = system_fingerprint(system)
-    key = fingerprint(
-        "stabilize",
-        base,
-        max_states,
-        include_drops,
-        corruption,
-        channel_depth,
-        sample,
-        seed,
-        bool(reduce),
-        tuple(domain) if domain is not None else None,
+    key = stabilize_report_key(
+        system,
+        max_states=max_states,
+        include_drops=include_drops,
+        corruption=corruption,
+        channel_depth=channel_depth,
+        sample=sample,
+        seed=seed,
+        reduce=reduce,
+        domain=domain,
     )
     result = cache.get("stabilize", key)
     if result is None:

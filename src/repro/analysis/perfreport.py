@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR8.json`` at the repo root (previously ``BENCH_PR1``..``PR7``),
+``BENCH_PR9.json`` at the repo root (previously ``BENCH_PR1``..``PR8``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -56,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR8.json"
+BENCH_FILENAME = "BENCH_PR9.json"
 
 
 @dataclass
@@ -784,6 +784,108 @@ def measure_fabric_scaling(
     return comparison
 
 
+#: The distinct request mix the service-throughput probe replays: a few
+#: cheap exhaustive explorations plus corrupted-start analyses whose
+#: cold computation dwarfs a cache read, so the cold/warm contrast
+#: measures the service's answer paths, not socket noise.
+SERVICE_BENCH_REQUESTS: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("explore", {"protocol": "norepeat", "channel": "dup",
+                 "input": "a,b,c", "max_states": 50_000}),
+    ("explore", {"protocol": "norepeat", "channel": "dup",
+                 "input": "a,b,c,d", "max_states": 50_000}),
+    ("explore", {"protocol": "norepeat", "channel": "dup",
+                 "input": "a,b,c,d,e", "max_states": 50_000}),
+    ("explore", {"protocol": "stenning", "channel": "dup",
+                 "input": "a,b,c,d", "max_states": 50_000}),
+    ("stabilize", {"protocol": "ss-arq", "channel": "lossy-fifo",
+                   "input": "a,b", "max_states": 150_000}),
+    ("stabilize", {"protocol": "ss-arq", "channel": "lossy-fifo",
+                   "input": "a,b", "max_states": 150_000,
+                   "corruption": "receiver-amnesia"}),
+    ("stabilize", {"protocol": "ss-arq", "channel": "lossy-fifo",
+                   "input": "a,b", "max_states": 150_000, "domain": "c"}),
+    ("stabilize", {"protocol": "abp", "channel": "lossy-fifo",
+                   "input": "a,b", "max_states": 150_000}),
+)
+
+
+def measure_service_throughput(
+    report: PerfReport,
+    requests: Tuple[Tuple[str, Dict[str, object]], ...] = (
+        SERVICE_BENCH_REQUESTS
+    ),
+    workers: int = 2,
+    concurrency: int = 4,
+) -> Dict[str, object]:
+    """Record cold-vs-warm requests/sec through the verification service.
+
+    Stands up a real :class:`~repro.service.server.VerificationService`
+    on a loopback socket (fresh store and ledger), replays the distinct
+    request mix cold (every answer computed through the worker pool),
+    then replays the identical batch again warm (every answer read from
+    the content-addressed store), and records both rates in the headline
+    ``service:throughput`` record.  Warm must beat cold -- the service's
+    entire reason to exist is that the second asker never pays for the
+    first asker's computation -- and ``benchmarks/perf_gate.py`` gates
+    exactly that on the committed artifact.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.hostinfo import available_cpu_count
+    from repro.service.client import run_load
+    from repro.service.server import ServiceThread, build_service
+
+    root = Path(tempfile.mkdtemp(prefix="stp-service-bench-"))
+    try:
+        service = build_service(
+            root / "store", root / "queue", workers=workers
+        )
+        with ServiceThread(service) as host:
+            assert host.port is not None
+            cold = run_load(
+                "127.0.0.1", host.port, requests, concurrency=concurrency
+            )
+            warm = run_load(
+                "127.0.0.1", host.port, requests, concurrency=concurrency
+            )
+        assert cold.ok and warm.ok
+        stats = service.stats
+        # Cold batch: every distinct request computed exactly once
+        # (identical concurrent requests coalesce); warm batch: nothing
+        # computed at all.
+        assert stats.computed == len(requests), stats
+        assert stats.warm + stats.coalesced == len(requests), stats
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    comparison: Dict[str, object] = {
+        "requests": len(requests),
+        "workers": workers,
+        "client_concurrency": concurrency,
+        "schedulable_cpus": available_cpu_count(),
+        "cold_seconds": cold.elapsed_seconds,
+        "warm_seconds": warm.elapsed_seconds,
+        "cold_requests_per_second": cold.requests_per_second,
+        "warm_requests_per_second": warm.requests_per_second,
+        "warm_speedup": (
+            warm.requests_per_second / cold.requests_per_second
+            if cold.requests_per_second > 0
+            else 0.0
+        ),
+        "computed": stats.computed,
+        "warm_answers": stats.warm,
+        "coalesced": stats.coalesced,
+    }
+    report.add(
+        "service:throughput",
+        cold.elapsed_seconds + warm.elapsed_seconds,
+        runs=2 * len(requests),
+        **comparison,
+    )
+    return comparison
+
+
 #: Ceiling asserted on the disabled-instrumentation overhead (percent of
 #: the T2 m=3 warm compiled-family wall time).
 MAX_DISABLED_OVERHEAD_PERCENT = 2.0
@@ -978,8 +1080,9 @@ def run_default_bench(
     shards: int = 1,
 ) -> PerfReport:
     """The ``stp-repro bench`` suite: experiments, explorer, parallel
-    sweep, the corrupted-start stabilization probe, and the fabric
-    scaling probe (``fabric:scaling``).
+    sweep, the corrupted-start stabilization probe, the fabric scaling
+    probe (``fabric:scaling``), and the verification-service throughput
+    probe (``service:throughput``).
 
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
@@ -1036,6 +1139,7 @@ def run_default_bench(
         measure_campaign_speedup(report, workers=workers)
         measure_stabilization(report, cache=cache)
         measure_fabric_scaling(report)
+        measure_service_throughput(report)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())
         report.attach_observability()

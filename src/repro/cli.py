@@ -34,7 +34,7 @@ Subcommands:
   directory and cache store (start several, on one host or many);
 * ``bench`` -- time experiments, exhaustive exploration (object-graph,
   compiled-table, batched-frontier, and vectorized), and the
-  serial-vs-parallel campaign sweep, and write the ``BENCH_PR8.json``
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR9.json``
   perf artifact tracked PR over PR (carrying ``spans:`` and ``metrics:``
   sections from the observability layer); ``--cache-dir`` turns on the
   content-addressed result cache (``--no-cache`` runs cold);
@@ -52,6 +52,15 @@ Subcommands:
   (verdicts are bit-identical across all of them), ``--sample N --seed
   S`` analyzes a seeded subsample, ``--out`` writes a perf artifact with
   the ``recovery.stabilization_*`` gauges attached;
+* ``serve`` -- run the verification service: an asyncio front-end
+  speaking newline-delimited JSON (schema ``stp-service/1``) that
+  answers warm requests from the result cache, coalesces identical
+  concurrent requests onto one computation, dispatches cold work to a
+  bounded pool over the fabric's queue ledger, and sheds load with
+  typed ``busy`` errors past ``--max-queue-depth``;
+* ``request`` -- send one request (``explore``/``stabilize``/
+  ``campaign``, or ``ping``/``stats``/``shutdown``) to a running
+  service and print the canonical outcome JSON;
 * ``stats`` -- render the span and metrics tables out of a BENCH_*.json
   artifact or a ``.jsonl`` span trace (``--json`` for machine form).
 
@@ -825,6 +834,155 @@ def _cmd_fabric(args) -> int:
     return 0 if not outcome.failures else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.requests import ServiceLimits
+    from repro.service.server import serve
+
+    limits = ServiceLimits(
+        max_states=args.max_states,
+        max_steps=args.max_steps,
+        max_queue_depth=args.max_queue_depth,
+        run_timeout=args.run_timeout,
+    )
+    print(
+        f"serving stp-service/1 on {args.host} "
+        f"(cache {args.cache_dir}, queue {args.queue}, "
+        f"{args.workers} workers)",
+        flush=True,
+    )
+    try:
+        asyncio.run(
+            serve(
+                args.cache_dir,
+                args.queue,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                limits=limits,
+                port_file=args.port_file,
+                progress_interval=args.progress_interval,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _service_port(args) -> int:
+    from pathlib import Path
+
+    if args.port_file:
+        return int(Path(args.port_file).read_text().strip())
+    if args.port:
+        return args.port
+    print("need --port or --port-file", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _request_params(args) -> dict:
+    if args.kind == "explore":
+        params = {
+            "protocol": args.protocol,
+            "channel": args.channel,
+            "input": args.input,
+            "max_states": args.max_states,
+            "engine": args.engine,
+        }
+        if args.reduce:
+            params["reduce"] = True
+        return params
+    if args.kind == "stabilize":
+        params = {
+            "protocol": args.protocol,
+            "channel": args.channel,
+            "input": args.input,
+            "max_states": args.max_states,
+        }
+        if args.domain:
+            params["domain"] = args.domain
+        return params
+    if args.kind == "campaign":
+        spec = _fabric_spec_from_args(args)
+        return {"spec": spec.to_dict(), "rng_seed": args.seed}
+    return {}
+
+
+def _cmd_request(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service.client import ServiceClient
+
+    port = _service_port(args)
+    client = ServiceClient(args.host, port, timeout=args.timeout)
+
+    def on_event(message) -> None:
+        if message.get("type") == "progress":
+            print(
+                f"... {message['elapsed_seconds']}s "
+                f"{message.get('counters', {})}",
+                file=sys.stderr,
+            )
+
+    with client:
+        if args.kind == "ping":
+            ok = client.ping()
+            print("pong" if ok else "no answer")
+            return 0 if ok else 1
+        if args.kind == "shutdown":
+            ok = client.shutdown()
+            print("shutting down" if ok else "no answer")
+            return 0 if ok else 1
+        if args.kind == "stats":
+            message = client.stats()
+            if args.json:
+                print(json.dumps(message, sort_keys=True, indent=2))
+            else:
+                for name, value in sorted(message["counters"].items()):
+                    print(f"{name:18} {value}")
+                print(f"{'in_flight':18} {message['in_flight']}")
+            return 0
+        message = client.call(
+            args.kind,
+            _request_params(args),
+            subscribe=args.subscribe,
+            on_event=on_event if args.subscribe else None,
+        )
+    if message.get("type") == "error":
+        code = message.get("code", "internal")
+        print(
+            f"error [{code}]: {message.get('message')}",
+            file=sys.stderr,
+        )
+        if message.get("details"):
+            print(
+                json.dumps(message["details"], sort_keys=True, indent=2),
+                file=sys.stderr,
+            )
+        return {"bad_request": 2, "busy": 3, "budget_exceeded": 4}.get(
+            code, 1
+        )
+    outcome = message["outcome"]
+    # Canonical rendering (sorted keys, compact separators): identical
+    # outcomes are byte-identical files, so the CI smoke gate can `cmp`
+    # the answers of coalesced requests.
+    rendered = (
+        json.dumps(outcome, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    if args.out:
+        Path(args.out).write_text(rendered)
+    else:
+        sys.stdout.write(rendered)
+    print(
+        f"key {message['key'][:16]}... warm={message['warm']} "
+        f"coalesced={message['coalesced']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``stp-repro``."""
     parser = argparse.ArgumentParser(
@@ -906,7 +1064,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR8.json"
+        "bench", help="time the perf suite and write BENCH_PR9.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -931,7 +1089,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR8.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR9.json", help="output path for the perf JSON"
     )
     _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -1234,6 +1392,147 @@ def main(argv: Optional[List[str]] = None) -> int:
     stabilize_parser.set_defaults(func=_cmd_stabilize, engine="batched")
     _add_profile_arguments(stabilize_parser)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the verification service (stp-service/1 over TCP)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free one, see --port-file)",
+    )
+    serve_parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="write the bound port here once listening (for scripts)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="bounded worker pool size (concurrent cold computations)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=".stp-service-store",
+        metavar="DIR",
+        help="content-addressed result store shared with the fabric",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        default=".stp-service-queue",
+        metavar="DIR",
+        help="job-ledger directory (a fabric WorkQueue layout)",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=16,
+        help="in-flight job ceiling; beyond it requests are shed (busy)",
+    )
+    serve_parser.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help="largest per-request exploration state budget admitted",
+    )
+    serve_parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=100_000,
+        help="largest per-run campaign step budget admitted",
+    )
+    serve_parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=60.0,
+        help="wall-second supervision budget per campaign cell",
+    )
+    serve_parser.add_argument(
+        "--progress-interval",
+        type=float,
+        default=0.5,
+        help="seconds between progress events for subscribed requests",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    request_parser = sub.add_parser(
+        "request",
+        help="send one request to a running verification service",
+    )
+    request_parser.add_argument(
+        "kind",
+        choices=(
+            "explore", "stabilize", "campaign", "ping", "stats", "shutdown"
+        ),
+    )
+    request_parser.add_argument("--host", default="127.0.0.1")
+    request_parser.add_argument("--port", type=int, default=0)
+    request_parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="read the port from a file written by `serve --port-file`",
+    )
+    request_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client-side socket timeout in seconds",
+    )
+    request_parser.add_argument(
+        "--subscribe",
+        action="store_true",
+        help="stream progress events to stderr while the job runs",
+    )
+    request_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the canonical outcome JSON here instead of stdout",
+    )
+    request_parser.add_argument(
+        "--json", action="store_true", help="stats: emit the raw JSON"
+    )
+    request_parser.add_argument("--protocol", default="norepeat")
+    request_parser.add_argument(
+        "--channel", default="dup", help="explore/stabilize channel name"
+    )
+    request_parser.add_argument(
+        "--input", default="a,b", help="comma-separated data items"
+    )
+    request_parser.add_argument(
+        "--domain", default=None, help="stabilize: extra domain letters"
+    )
+    request_parser.add_argument("--max-states", type=int, default=100_000)
+    request_parser.add_argument(
+        "--engine", choices=("scalar", "batched", "vectorized"),
+        default="scalar",
+    )
+    request_parser.add_argument("--reduce", action="store_true")
+    request_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="campaign: a FabricSpec JSON file (default: the demo grid)",
+    )
+    request_parser.add_argument(
+        "--inputs", type=int, default=6, help="campaign demo-grid inputs"
+    )
+    request_parser.add_argument(
+        "--seeds", type=int, default=2, help="campaign demo-grid seeds"
+    )
+    request_parser.add_argument(
+        "--length", type=int, default=8, help="campaign demo-grid length"
+    )
+    request_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign RNG seed"
+    )
+    request_parser.set_defaults(func=_cmd_request)
+
     stats_parser = sub.add_parser(
         "stats",
         help="render span/metrics tables from a BENCH_*.json or spans .jsonl",
@@ -1241,8 +1540,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR8.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR8.json)",
+        default="BENCH_PR9.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR9.json)",
     )
     stats_parser.add_argument(
         "--json",

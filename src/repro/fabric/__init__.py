@@ -45,6 +45,7 @@ _EXPORTS: Dict[str, str] = {
     "demo_spec": "repro.fabric.spec",
     # planner
     "CELL_KIND": "repro.fabric.planner",
+    "SERVICE_CELL_KIND": "repro.fabric.planner",
     "FabricPlan": "repro.fabric.planner",
     "WorkCell": "repro.fabric.planner",
     "plan_cells": "repro.fabric.planner",

@@ -34,6 +34,14 @@ from repro.kernel.rng import DeterministicRNG
 #: kind ``Campaign.run`` uses, deliberately.
 CELL_KIND = "run"
 
+#: Cache kind for whole campaign-request outcomes, keyed by the plan
+#: fingerprint.  The service front-end (:mod:`repro.service`) publishes
+#: the merged outcome here beside the per-cell :data:`CELL_KIND`
+#: entries, so a repeated campaign request is answered from the store
+#: without re-planning or re-merging -- the service's cell kind on the
+#: same content-addressed fabric.
+SERVICE_CELL_KIND = "campaign"
+
 
 @dataclass(frozen=True)
 class WorkCell:

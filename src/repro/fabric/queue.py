@@ -89,6 +89,18 @@ class WorkQueue:
 
     # -- plan binding --------------------------------------------------
 
+    def init_layout(self) -> None:
+        """Create the state directories without binding a plan.
+
+        The service front-end (:mod:`repro.service`) reuses this queue
+        as its job ledger: tickets are keyed by report fingerprints
+        rather than by one campaign plan's cells, so there is no plan to
+        bind.  Idempotent and race-safe, like :meth:`init`.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        for state in STATES:
+            self._dir(state).mkdir(exist_ok=True)
+
     def init(self, plan: FabricPlan) -> None:
         """Create the queue layout and bind it to ``plan``.
 
@@ -96,9 +108,7 @@ class WorkQueue:
         race to set up a shared queue); a different plan is refused
         rather than silently mixed.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
-        for state in STATES:
-            self._dir(state).mkdir(exist_ok=True)
+        self.init_layout()
         payload = plan.to_dict()
         if self.plan_path.exists():
             existing = self.load_plan()
@@ -145,18 +155,26 @@ class WorkQueue:
         # pending; completion supersedes it.
         self._ticket_path("pending", cell_id).unlink(missing_ok=True)
 
-    def claim(self, worker_id: Optional[str] = None) -> Optional[Dict]:
+    def claim(
+        self, worker_id: Optional[str] = None, cell_id: Optional[str] = None
+    ) -> Optional[Dict]:
         """Atomically claim one pending ticket, or None if none remain.
 
         Scans in sorted order so contending workers walk the same list
         and the rename race spreads them across distinct tickets after
-        at most a few collisions.
+        at most a few collisions.  With ``cell_id`` the claim is
+        *targeted*: only that ticket is attempted (the service pool
+        claims the exact job it was dispatched for, never a sibling's).
         """
         worker_id = worker_id or default_worker_id()
         pending = self._dir("pending")
         if not pending.is_dir():
             return None
-        for path in sorted(pending.glob("*.json")):
+        if cell_id is not None:
+            candidates = [self._ticket_path("pending", cell_id)]
+        else:
+            candidates = sorted(pending.glob("*.json"))
+        for path in candidates:
             cell_id = path.stem
             leased = self._ticket_path("leased", cell_id)
             try:

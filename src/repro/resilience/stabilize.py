@@ -57,7 +57,7 @@ The pipeline, end to end:
 data-item renaming over the full domain), explores one representative
 per class, and expands each representative's verdict to its whole class
 -- bit-identical per-source verdicts at a fraction of the graph, which
-is the symmetry-reduction payoff ``BENCH_PR8.json`` records.
+is the symmetry-reduction payoff ``BENCH_PR9.json`` records.
 """
 
 from __future__ import annotations

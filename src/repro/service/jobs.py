@@ -1,0 +1,132 @@
+"""In-flight job tracking and service counters.
+
+The :class:`JobBoard` is the coalescing heart of the service: one entry
+per *distinct* job key currently being computed, each holding the
+``asyncio.Future`` every interested connection awaits.  A request whose
+key is already on the board attaches to the existing future instead of
+dispatching new work -- identical concurrent requests coalesce onto one
+computation by construction, because the board is only ever touched from
+the event loop (no awaits between lookup and insert, hence no race
+window).
+
+:class:`ServiceStats` is the plain-counter mirror of the ``service.*``
+observability metrics, shipped verbatim in ``stats`` responses so shell
+scripts (the CI smoke gate) can assert on computed/coalesced/warm/shed
+without parsing the metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Job:
+    """One distinct computation in flight.
+
+    Attributes:
+        key: the content-addressed job key (report/plan fingerprint).
+        kind: the request kind ("explore" | "stabilize" | "campaign").
+        request: the parsed request object that will execute.
+        future: resolved (from the event loop) with the outcome dict, or
+            with a typed :class:`~repro.service.protocol.ServiceError`.
+        started: ``time.monotonic()`` at creation -- progress events
+            report elapsed time against this.
+        metrics_cut: an ``obs.registry().snapshot()`` taken at creation;
+            progress events ship the counter deltas since this cut.
+        waiters: connections currently awaiting the future (the first
+            one computed it; the rest coalesced).
+    """
+
+    key: str
+    kind: str
+    request: object
+    future: asyncio.Future
+    started: float = field(default_factory=time.monotonic)
+    metrics_cut: Optional[Dict[str, Dict[str, object]]] = None
+    waiters: int = 1
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+
+class JobBoard:
+    """The event-loop-confined registry of in-flight jobs."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+
+    def get(self, key: str) -> Optional[Job]:
+        return self._jobs.get(key)
+
+    def create(
+        self,
+        key: str,
+        kind: str,
+        request: object,
+        loop: asyncio.AbstractEventLoop,
+        metrics_cut: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> Job:
+        if key in self._jobs:  # pragma: no cover - guarded by callers
+            raise RuntimeError(f"job {key} already in flight")
+        job = Job(
+            key=key,
+            kind=kind,
+            request=request,
+            future=loop.create_future(),
+            metrics_cut=metrics_cut,
+        )
+        self._jobs[key] = job
+        return job
+
+    def finish(self, key: str) -> None:
+        """Drop a job from the board (after its future resolved)."""
+        self._jobs.pop(key, None)
+
+    def depth(self) -> int:
+        """In-flight jobs -- the admission gate's load measure."""
+        return len(self._jobs)
+
+    def keys(self):
+        return tuple(self._jobs)
+
+
+@dataclass
+class ServiceStats:
+    """Service lifetime counters, shipped in ``stats`` responses.
+
+    ``requests`` counts verification requests only (control-plane pings
+    and stats probes are free).  Every verification request lands in
+    exactly one of: ``computed`` (it dispatched a cold job), ``coalesced``
+    (attached to an in-flight job), ``warm`` (answered from the result
+    cache), ``shed`` (refused with ``busy``), or ``errors``
+    (``bad_request`` / ``budget_exceeded`` / internal failure at
+    admission or execution).
+    """
+
+    requests: int = 0
+    computed: int = 0
+    coalesced: int = 0
+    warm: int = 0
+    shed: int = 0
+    errors: int = 0
+    bad_requests: int = 0
+    budget_exceeded: int = 0
+    connections: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "computed": self.computed,
+            "coalesced": self.coalesced,
+            "warm": self.warm,
+            "shed": self.shed,
+            "errors": self.errors,
+            "bad_requests": self.bad_requests,
+            "budget_exceeded": self.budget_exceeded,
+            "connections": self.connections,
+        }

@@ -1,0 +1,137 @@
+"""The bounded worker pool: cold jobs, executed off the event loop.
+
+A :class:`ServicePool` marries three existing pieces:
+
+* a ``ThreadPoolExecutor`` bounds *concurrency* -- at most ``workers``
+  verification computations run at once, everything else queues;
+* the fabric's :class:`~repro.fabric.queue.WorkQueue` is reused as the
+  crash-auditable **job ledger**: every dispatched job becomes a ticket
+  (keyed by its report/plan fingerprint instead of a campaign cell id)
+  that moves pending -> leased -> done/failed through the same atomic
+  renames, with the lease heartbeat refreshed from inside long
+  computations.  The ledger is an audit trail and liveness signal, not
+  a correctness dependency -- results live in the content-addressed
+  cache, exactly as in the fabric;
+* :func:`~repro.resilience.runner.supervised_single_run` supervises each
+  campaign cell (fork, timeout, crash containment) via the request's own
+  ``execute``.
+
+Futures are resolved back on the event loop with
+``loop.call_soon_threadsafe`` -- worker threads never touch asyncio
+state directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro import obs
+from repro.fabric.queue import WorkQueue
+from repro.kernel.errors import KernelError
+from repro.service.jobs import Job, JobBoard, ServiceStats
+from repro.service.protocol import ServiceError
+from repro.service.requests import ServiceLimits
+
+
+class ServicePool:
+    """Bounded executor + job ledger for cold verification work."""
+
+    def __init__(
+        self,
+        cache,
+        queue: WorkQueue,
+        limits: ServiceLimits,
+        board: JobBoard,
+        stats: ServiceStats,
+        workers: int = 2,
+    ) -> None:
+        self.cache = cache
+        self.queue = queue
+        self.limits = limits
+        self.board = board
+        self.stats = stats
+        self.workers = max(1, int(workers))
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        self.queue.init_layout()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="stp-service"
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def submit(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
+        """Ticket the job in the ledger and hand it to a worker thread."""
+        if self._executor is None:
+            raise RuntimeError("pool is not running")
+        self.queue.enqueue(job.key)
+        self._executor.submit(self._run, job, loop)
+
+    # -- worker-thread side --------------------------------------------
+
+    def _run(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
+        # Targeted claim of exactly this job's ticket.  A None ticket is
+        # tolerated: a stale done/failed ticket from a prior server on
+        # the same ledger makes enqueue a no-op, and the ledger is an
+        # audit aid, not the source of truth.
+        ticket = self.queue.claim(cell_id=job.key)
+        try:
+            with obs.span("service.job", kind=job.request.kind):
+                outcome = job.request.execute(
+                    self.cache,
+                    self.limits,
+                    heartbeat=lambda: self.queue.heartbeat(job.key),
+                )
+        except ServiceError as error:
+            self._ledger_failed(ticket, job, str(error))
+            self._resolve(loop, job, error=error)
+        except KernelError as error:
+            self._ledger_failed(ticket, job, str(error))
+            wrapped = ServiceError(str(error))
+            self._resolve(loop, job, error=wrapped)
+        except Exception as error:  # noqa: BLE001 - worker must not die
+            self._ledger_failed(ticket, job, repr(error))
+            self._resolve(loop, job, error=ServiceError(repr(error)))
+        else:
+            self.queue.mark_done(job.key, {"kind": job.request.kind})
+            self._resolve(loop, job, outcome=outcome)
+
+    def _ledger_failed(self, ticket, job: Job, message: str) -> None:
+        # ticket is None when a stale done/failed entry on a reused
+        # ledger made enqueue a no-op -- nothing to release then.
+        if ticket is not None:
+            self.queue.release_failed(ticket, message)
+
+    def _resolve(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        job: Job,
+        outcome=None,
+        error: Optional[ServiceError] = None,
+    ) -> None:
+        def settle() -> None:
+            self.board.finish(job.key)
+            if job.future.cancelled():
+                return
+            if error is not None:
+                self.stats.errors += 1
+                if error.code == "budget_exceeded":
+                    self.stats.budget_exceeded += 1
+                obs.add("service.job_errors")
+                job.future.set_exception(error)
+                # Coalesced waiters all consume the same exception; mark
+                # it retrieved so an abandoned future does not log.
+                job.future.exception()
+            else:
+                self.stats.computed += 1
+                obs.add("service.computed")
+                obs.observe("service.job_seconds", job.elapsed)
+                job.future.set_result(outcome)
+
+        loop.call_soon_threadsafe(settle)

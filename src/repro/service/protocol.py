@@ -1,0 +1,209 @@
+"""The ``stp-service/1`` wire protocol: newline-delimited JSON.
+
+One TCP connection carries a stream of newline-terminated JSON objects
+in each direction.  Every message -- request or response -- carries the
+:data:`SERVICE_SCHEMA` tag; a missing or foreign tag is a
+``bad_request``, never a silent misparse.  The full vocabulary:
+
+Requests (client -> server)::
+
+    {"schema": "stp-service/1", "id": "<client-chosen>",
+     "kind": "explore" | "stabilize" | "campaign"
+            | "ping" | "stats" | "shutdown",
+     "params": {...},          # kind-specific, see repro.service.requests
+     "subscribe": false}       # true streams progress events
+
+Responses (server -> client), discriminated by ``type``:
+
+* ``accepted`` -- the request parsed and was admitted; carries the
+  content-addressed job ``key`` it resolved to.
+* ``progress`` -- periodic while a subscribed request's job runs:
+  elapsed seconds plus the ``repro.obs`` counter deltas since the job
+  started.
+* ``result`` -- the terminal success message: the outcome payload plus
+  ``warm`` (answered from the completed-work cache) and ``coalesced``
+  (attached to another request's in-flight computation) flags.
+* ``error`` -- the terminal failure message: a ``code`` from
+  :data:`ERROR_CODES`, a human-readable ``message``, and free-form
+  ``details`` (partial metrics for ``budget_exceeded``, the admission
+  depth for ``busy``).
+* ``pong`` / ``stats`` -- control-plane answers.
+
+Error codes are the service's typed failure vocabulary; the exception
+classes below map onto them one-to-one so internal code can ``raise``
+and the transport layer renders.  Everything derives from
+:class:`~repro.kernel.errors.KernelError`, the library-wide base.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.kernel.errors import KernelError
+
+#: Version tag carried by every message; bump on any wire change.
+SERVICE_SCHEMA = "stp-service/1"
+
+#: Verification request kinds (dispatched to the worker pool).
+VERIFY_KINDS = ("explore", "stabilize", "campaign")
+
+#: Control request kinds (answered inline by the server loop).
+CONTROL_KINDS = ("ping", "stats", "shutdown")
+
+#: The typed failure vocabulary.
+ERROR_CODES = (
+    "bad_request",
+    "busy",
+    "budget_exceeded",
+    "internal",
+    "shutting_down",
+)
+
+#: Hard ceiling on one wire message; a line longer than this is a
+#: malformed request, not a reason to buffer without bound.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ServiceError(KernelError):
+    """Base of the typed service failures; renders as an error message.
+
+    ``details`` is a JSON-friendly dict shipped verbatim in the error
+    response -- partial metrics, admission state, offending fields.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message)
+        self.details: Dict[str, object] = dict(details)
+
+
+class BadRequest(ServiceError):
+    """The request could not be parsed or validated."""
+
+    code = "bad_request"
+
+
+class Busy(ServiceError):
+    """Admission control shed the request (queue depth at the limit)."""
+
+    code = "busy"
+
+
+class BudgetExceeded(ServiceError):
+    """A per-request step/state budget was over the cap or exhausted.
+
+    Raised both at admission (requested budget above the server's caps)
+    and after execution (the run hit ``StepBudgetExceeded`` or the
+    explorer truncated); in the second case ``details["partial"]``
+    carries the metrics gathered before the budget ran out.
+    """
+
+    code = "budget_exceeded"
+
+
+class ShuttingDown(ServiceError):
+    """The server is draining and accepts no new verification work."""
+
+    code = "shutting_down"
+
+
+def encode(payload: Dict[str, object]) -> bytes:
+    """One canonical wire line: sorted keys, compact, newline-terminated.
+
+    Canonical rendering means two byte-equal result messages imply equal
+    payloads -- what the CI smoke job's ``cmp`` over coalesced requests
+    leans on.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    """Parse one wire line; every malformation is a :class:`BadRequest`."""
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequest(f"not a JSON line: {error}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("a message must be a JSON object")
+    if payload.get("schema") != SERVICE_SCHEMA:
+        raise BadRequest(
+            f"unsupported schema {payload.get('schema')!r}; "
+            f"this server speaks {SERVICE_SCHEMA}"
+        )
+    return payload
+
+
+def _base(request_id: Optional[str], type_: str) -> Dict[str, object]:
+    payload: Dict[str, object] = {"schema": SERVICE_SCHEMA, "type": type_}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def accepted_message(
+    request_id: Optional[str], key: str, kind: str
+) -> Dict[str, object]:
+    payload = _base(request_id, "accepted")
+    payload["key"] = key
+    payload["kind"] = kind
+    return payload
+
+
+def progress_message(
+    request_id: Optional[str],
+    key: str,
+    elapsed_seconds: float,
+    counters: Dict[str, object],
+) -> Dict[str, object]:
+    payload = _base(request_id, "progress")
+    payload["key"] = key
+    payload["elapsed_seconds"] = round(elapsed_seconds, 3)
+    payload["counters"] = counters
+    return payload
+
+
+def result_message(
+    request_id: Optional[str],
+    key: str,
+    kind: str,
+    outcome: Dict[str, object],
+    warm: bool,
+    coalesced: bool,
+) -> Dict[str, object]:
+    payload = _base(request_id, "result")
+    payload["key"] = key
+    payload["kind"] = kind
+    payload["outcome"] = outcome
+    payload["warm"] = warm
+    payload["coalesced"] = coalesced
+    return payload
+
+
+def error_message(
+    request_id: Optional[str], error: ServiceError
+) -> Dict[str, object]:
+    payload = _base(request_id, "error")
+    payload["code"] = error.code
+    payload["message"] = str(error)
+    payload["details"] = error.details
+    return payload
+
+
+def error_from_message(payload: Dict[str, object]) -> ServiceError:
+    """Rehydrate a typed error from an ``error`` response (client side)."""
+    classes = {
+        cls.code: cls
+        for cls in (BadRequest, Busy, BudgetExceeded, ShuttingDown)
+    }
+    cls = classes.get(str(payload.get("code")), ServiceError)
+    error = cls(str(payload.get("message", "service error")))
+    details = payload.get("details")
+    if isinstance(details, dict):
+        error.details = details
+    return error

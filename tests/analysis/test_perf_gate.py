@@ -8,6 +8,7 @@ import json
 import pytest
 
 from benchmarks.perf_gate import (
+    service_checks,
     DEFAULT_TOLERANCE,
     compare_reports,
     regressions,
@@ -145,3 +146,52 @@ def test_run_gate_exit_codes(tmp_path, capsys):
     assert run_gate(baseline_path, slow_path) == 1
     out = capsys.readouterr().out
     assert "FAIL" in out and "[perf-skip]" in out
+
+
+def _service_report(cold, warm, cpus=4):
+    return {
+        "cpu_count_available": cpus,
+        "records": [
+            {
+                "name": "service:throughput",
+                "wall_seconds": 1.0,
+                "extra": {
+                    "cold_requests_per_second": cold,
+                    "warm_requests_per_second": warm,
+                },
+            }
+        ],
+    }
+
+
+def test_service_checks_require_warm_above_cold():
+    checks = service_checks(_service_report(cold=20.0, warm=400.0))
+    assert len(checks) == 1
+    assert checks[0]["name"] == "service:throughput"
+    assert not checks[0]["regressed"]
+
+    inverted = service_checks(_service_report(cold=400.0, warm=20.0))
+    assert inverted[0]["regressed"]
+    # Equality is a failure too: warm must be *strictly* better.
+    tied = service_checks(_service_report(cold=50.0, warm=50.0))
+    assert tied[0]["regressed"]
+
+
+def test_service_checks_skip_without_record_or_cpus():
+    assert service_checks({"records": []}) == []
+    single_cpu = _service_report(cold=400.0, warm=20.0, cpus=1)
+    assert service_checks(single_cpu) == []
+
+
+def test_run_gate_fails_on_service_inversion(tmp_path, capsys):
+    """The service check rides the same gate as the timing comparisons."""
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(_baseline_report()))
+    current = _current_like_baseline()
+    bad = _service_report(cold=400.0, warm=20.0)
+    current["cpu_count_available"] = bad["cpu_count_available"]
+    current["records"].extend(bad["records"])
+    current_path = tmp_path / "current.json"
+    current_path.write_text(json.dumps(current))
+    assert run_gate(baseline_path, current_path) == 1
+    assert "service:throughput" in capsys.readouterr().out

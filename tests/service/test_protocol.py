@@ -1,0 +1,94 @@
+"""The ``stp-service/1`` wire protocol: framing, canonicality, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    SERVICE_SCHEMA,
+    BadRequest,
+    BudgetExceeded,
+    Busy,
+    ServiceError,
+    ShuttingDown,
+)
+
+
+def test_encode_decode_roundtrip():
+    payload = {"schema": SERVICE_SCHEMA, "kind": "ping", "id": "r1"}
+    line = protocol.encode(payload)
+    assert line.endswith(b"\n")
+    assert protocol.decode(line) == payload
+
+
+def test_encode_is_canonical():
+    """Equal payloads encode to equal bytes whatever the dict order.
+
+    The CI smoke job ``cmp``s result files from coalesced requests, so
+    byte-identity must hold for semantically identical messages.
+    """
+    a = {"schema": SERVICE_SCHEMA, "kind": "ping", "id": "x"}
+    b = {"id": "x", "kind": "ping", "schema": SERVICE_SCHEMA}
+    assert protocol.encode(a) == protocol.encode(b)
+
+
+def test_decode_rejects_non_json():
+    with pytest.raises(BadRequest):
+        protocol.decode(b"definitely not json\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(BadRequest):
+        protocol.decode(json.dumps([1, 2, 3]).encode() + b"\n")
+
+
+def test_decode_rejects_foreign_schema():
+    line = protocol.encode({"schema": "stp-service/999", "kind": "ping"})
+    with pytest.raises(BadRequest, match="schema"):
+        protocol.decode(line)
+
+
+def test_decode_rejects_oversize_line():
+    huge = protocol.encode(
+        {"schema": SERVICE_SCHEMA, "pad": "x" * (MAX_LINE_BYTES + 1)}
+    )
+    with pytest.raises(BadRequest, match="exceeds"):
+        protocol.decode(huge)
+
+
+@pytest.mark.parametrize(
+    "cls", [BadRequest, Busy, BudgetExceeded, ShuttingDown]
+)
+def test_error_message_roundtrip(cls):
+    """error_message -> error_from_message preserves type and details."""
+    error = cls("boom", depth=3, partial={"states": 7})
+    message = protocol.error_message("req-1", error)
+    assert message["type"] == "error"
+    assert message["code"] == cls.code
+    rehydrated = protocol.error_from_message(message)
+    assert type(rehydrated) is cls
+    assert rehydrated.details == {"depth": 3, "partial": {"states": 7}}
+    assert str(rehydrated) == "boom"
+
+
+def test_unknown_error_code_maps_to_base():
+    rehydrated = protocol.error_from_message(
+        {"type": "error", "code": "martian", "message": "??"}
+    )
+    assert type(rehydrated) is ServiceError
+    assert rehydrated.code == "internal"
+
+
+def test_result_message_shape():
+    message = protocol.result_message(
+        "r", "key123", "explore", {"states": 4}, warm=True, coalesced=False
+    )
+    assert message["type"] == "result"
+    assert message["key"] == "key123"
+    assert message["outcome"] == {"states": 4}
+    assert message["warm"] is True
+    assert message["coalesced"] is False
