@@ -11,7 +11,7 @@ must be there too (both frontier engines report through the same
 ``explorer.*`` names as the scalar engines, which is what makes the
 engines swappable in dashboards).
 
-    python benchmarks/assert_frontier_metrics.py BENCH_PR9.json
+    python benchmarks/assert_frontier_metrics.py BENCH_PR10.json
 """
 
 from __future__ import annotations
@@ -75,7 +75,7 @@ def check(report: Dict) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("artifact", type=Path, help="perf BENCH_PR9.json")
+    parser.add_argument("artifact", type=Path, help="perf BENCH_PR10.json")
     args = parser.parse_args(argv)
     report = json.loads(args.artifact.read_text(encoding="utf-8"))
     try:

@@ -1,0 +1,57 @@
+"""Benchmark: distributed sweeps -- cells/sec at 1, 2 and 4 workers.
+
+Runs the demo explore sweep through :func:`repro.fabric.run_sweep` at
+each worker count via the shared probe
+(:func:`repro.analysis.perfreport.measure_sweep_scaling`, the same one
+``stp-repro bench`` runs), so the ``fabric:sweep-scaling`` record and
+its per-worker-count ``fabric:sweep-cold-w<n>`` records land in the
+session perf report (``BENCH_PR10.json``).
+
+The probe itself asserts correctness at every worker count: canonical
+sweep JSON byte-identical to the single-host ``serial_sweep``
+reference (cold and warm), warm re-runs that claim zero cells, the
+warm-anywhere cross-store probe (a fabric sweep over the store the
+serial path populated enqueues nothing), and the compiled-table
+discipline -- at one worker the fleet compiles exactly one table per
+distinct system, and a four-shard stabilize member compiles once and
+reuses three times.  This test adds the *scaling* gates, conditional on
+the host actually having CPUs to scale onto:
+
+* cold cells/sec must not *decrease* from 1 to 2 workers with >= 2
+  schedulable CPUs (the ISSUE's monotonic gate; a generous floor
+  because sweep cells are short relative to fork cost);
+* no gate on a pinned single-CPU container, where the sweep degrades
+  gracefully to a serial drain (correctness still asserted).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import perf_report
+from repro.analysis.perfreport import measure_sweep_scaling
+
+
+def test_bench_fabric_sweep_scaling(benchmark):
+    """Cold/warm sweep at 1, 2, 4 workers with conditional gates."""
+    report = perf_report()
+    comparison = benchmark.pedantic(
+        measure_sweep_scaling, args=(report,), rounds=1, iterations=1
+    )
+
+    assert comparison["cells"] >= 6
+    # Compile-once-fleet-wide: one compile per distinct system at one
+    # worker (cells == distinct systems in the explore demo) and one
+    # compile + shards-1 reuses for the sharded stabilize member.
+    assert comparison["compiled_tables_w1"] == comparison["members"]
+    assert comparison["stabilize_compiled"] == 1
+    assert (
+        comparison["stabilize_table_reuses"]
+        == comparison["stabilize_shards"] - 1
+    )
+
+    cpus = comparison["schedulable_cpus"]
+    rates = comparison["cells_per_second"]
+    if cpus >= 2 and "1" in rates and "2" in rates:
+        assert rates["2"] >= rates["1"], (
+            f"cold cells/sec fell from {rates['1']:.2f} (w=1) to "
+            f"{rates['2']:.2f} (w=2) on {cpus} CPUs"
+        )

@@ -3,7 +3,7 @@
 Times the F5-style throughput grid (no-repetition protocol, duplicating
 channels, fair random adversary, every prefix length from 4 upward) once
 serially and once with a 4-process worker pool, and records both in the
-session perf report (``BENCH_PR9.json``).
+session perf report (``BENCH_PR10.json``).
 
 Two assertions:
 

@@ -3,7 +3,7 @@
 Explores the full T2 exhaustive family (every repetition-free input over
 a 3-letter alphabet, duplicating channels) with the object-graph
 explorer and again over warm :class:`repro.kernel.compiled.CompiledSystem`
-tables, and records both in the session perf report (``BENCH_PR9.json``).
+tables, and records both in the session perf report (``BENCH_PR10.json``).
 
 Two assertions:
 

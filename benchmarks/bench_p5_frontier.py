@@ -5,7 +5,7 @@ inputs over a 4-letter alphabet, duplicating channels) three ways --
 scalar compiled explorer, the level-synchronous union BFS of
 :class:`repro.verify.FrontierFamily`, and the same sweep under
 input-renaming symmetry reduction -- and records all of it in the
-session perf report (``BENCH_PR9.json``).
+session perf report (``BENCH_PR10.json``).
 
 Three assertions:
 

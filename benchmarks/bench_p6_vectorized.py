@@ -4,7 +4,7 @@ Sweeps the full T2 exhaustive family at ``m=4`` (65 repetition-free
 inputs over a 4-letter alphabet, duplicating channels) with the
 dense-array core of :class:`repro.verify.VectorizedFamily` -- cold
 (construction included) and warm, with ``shards=1`` and ``shards=N`` --
-and records all of it in the session perf report (``BENCH_PR9.json``).
+and records all of it in the session perf report (``BENCH_PR10.json``).
 
 Three assertions, mirroring ``bench_p5_frontier.py`` one engine up:
 

@@ -5,14 +5,14 @@ Analyzes the small lossy-FIFO instance (input ``("a","b")`` over domain
 input-pinned renaming symmetry has something to collapse) for plain ABP
 and the self-stabilizing ARQ, on both frontier engines, reduced and
 unreduced, and records all of it in the session perf report
-(``BENCH_PR9.json``).
+(``BENCH_PR10.json``).
 
 Assertions:
 
 * the per-source stabilization **verdicts are bit-identical** across
   batched/vectorized engines and reduced/unreduced initial sets;
 * the **reduced initial set is strictly smaller** (reduction ratio > 1):
-  the ``BENCH_PR9.json`` headline this PR tracks;
+  the ``BENCH_PR10.json`` headline this PR tracks;
 * ss-ARQ **converges** from every corrupt start with a finite max
   stabilization depth; plain ABP has non-stabilizing corrupt starts --
   the two qualitative facts the whole workload family exists to show.

@@ -5,7 +5,7 @@ each worker count via the shared probe
 (:func:`repro.analysis.perfreport.measure_fabric_scaling`, the same one
 ``stp-repro bench`` runs), so the ``fabric:scaling`` record and its
 per-worker-count ``fabric:cold-w<n>`` records land in the session perf
-report (``BENCH_PR9.json``).
+report (``BENCH_PR10.json``).
 
 The probe itself asserts correctness at every worker count: identical
 outcomes cold, and a warm re-run that never claims a single cell (the

@@ -4,7 +4,7 @@ Stands up a real :class:`~repro.service.server.VerificationService` on a
 loopback socket via the shared probe
 (:func:`repro.analysis.perfreport.measure_service_throughput`, the same
 one ``stp-repro bench`` runs), so the ``service:throughput`` record
-lands in the session perf report (``BENCH_PR9.json``).
+lands in the session perf report (``BENCH_PR10.json``).
 
 The probe itself asserts the accounting invariants: the cold batch
 computes every distinct request exactly once, and the warm batch

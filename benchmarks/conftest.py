@@ -9,7 +9,7 @@ or read EXPERIMENTS.md for the archived copies.
 
 Every experiment timed here is also appended to a
 :class:`repro.analysis.perfreport.PerfReport`; at session end the report
-is written to ``BENCH_PR9.json`` at the repo root, the same artifact
+is written to ``BENCH_PR10.json`` at the repo root, the same artifact
 ``stp-repro bench`` produces, so benchmark runs leave a diffable perf
 trail PR over PR.  Observability collection (:mod:`repro.obs`) is on for
 the session, so the artifact carries ``spans:`` and ``metrics:``

@@ -7,7 +7,7 @@
 * :mod:`repro.analysis.tables` -- deterministic ASCII tables and series,
   the output format of every benchmark.
 * :mod:`repro.analysis.perfreport` -- wall-clock perf records and the
-  PR-over-PR ``BENCH_PR9.json`` artifact (with ``spans:``/``metrics:``
+  PR-over-PR ``BENCH_PR10.json`` artifact (with ``spans:``/``metrics:``
   sections from :mod:`repro.obs`).
 * :mod:`repro.analysis.cache` -- the content-addressed on-disk result
   cache (compiled tables, exploration reports, campaign run metrics,

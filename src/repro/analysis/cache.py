@@ -19,7 +19,7 @@ Three layers use this module:
   :class:`~repro.analysis.metrics.RunMetrics` keyed by (campaign spec,
   RNG identity, input, seed);
 * the T2/T4/F2 experiments and ``stp-repro bench`` -- which report hit /
-  miss counts into ``BENCH_PR9.json``.
+  miss counts into ``BENCH_PR10.json``.
 
 :func:`cached_stabilize` extends the same scheme to corrupted-start
 analysis: the report key pins everything the corrupt initial set and its
@@ -67,6 +67,13 @@ CACHE_SCHEMA = "stp-repro-cache/1"
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "STP_REPRO_CACHE"
+
+#: Store kind holding :meth:`CompiledSystem.snapshot` blobs, keyed
+#: directly by the system fingerprint.  Published so that a fleet
+#: draining a sweep compiles each distinct system once fleet-wide:
+#: every worker after the first revives the snapshot instead of
+#: re-running protocol/channel code.
+COMPILED_KIND = "compiled"
 
 
 def _default_root() -> Path:
@@ -240,6 +247,22 @@ def stabilize_report_key(
     )
 
 
+def stabilize_shard_key(report_key: str, shard_index: int, shard_count: int) -> str:
+    """The cache key of one corrupted-start shard of a stabilization run.
+
+    A stabilize sweep cell computes the verdicts for one partition of
+    the symmetry-reduced corrupt-set classes (see
+    :func:`repro.resilience.stabilize.shard_of_class`) and stores them
+    under this key; the merge step reassembles the shards into the
+    single-host :class:`StabilizationResult` and publishes it under the
+    plain ``"stabilize"`` / :func:`stabilize_report_key` address -- so a
+    sweep warms :func:`cached_stabilize` and vice versa.
+    """
+    return fingerprint(
+        "stabilize-shard", report_key, int(shard_index), int(shard_count)
+    )
+
+
 class ResultCache:
     """Content-addressed pickle caching with hit/miss accounting.
 
@@ -382,6 +405,7 @@ def cached_explore(
     engine: str = "scalar",
     reduce: bool = False,
     shards: int = 1,
+    table=None,
 ):
     """Exhaustive exploration behind the cache, on any engine.
 
@@ -408,6 +432,11 @@ def cached_explore(
         shards: frontier shards for the vectorized engine (ignored by the
             others).  Sharding changes the execution schedule, never the
             report, so it is *not* part of any fingerprint.
+        table: an already-revived :class:`CompiledSystem` for ``system``
+            (fabric workers keep one per distinct system in a
+            :class:`CompiledTableCache`); skips the store revival probe.
+            Ignored when a resumable frontier cut is found, since the
+            snapshot embeds its own warm table.
 
     The unreduced batched and vectorized engines additionally keep a
     :class:`~repro.kernel.frontier.FrontierSnapshot` per (system,
@@ -480,8 +509,9 @@ def cached_explore(
             and max_states >= stored.expanded
         ):
             resume = stored
-        table = None
-        if resume is None and reuse_table:
+        if resume is not None:
+            table = None  # the snapshot carries its own warm table
+        elif table is None and reuse_table:
             table = _revive_table(cache, system, base)
         if engine == "vectorized":
             report, snapshot = explore_vectorized_resumable(
@@ -506,10 +536,11 @@ def cached_explore(
         if snapshot is not None:
             cache.put("frontier", frontier_key, snapshot)
         if table is not None and reuse_table:
-            cache.put("table", fingerprint("table", base), table.snapshot())
+            cache.put(COMPILED_KIND, base, table.snapshot())
         return report
 
-    table = _revive_table(cache, system, base) if reuse_table else None
+    if table is None and reuse_table:
+        table = _revive_table(cache, system, base)
     if table is None:
         table = CompiledSystem(system)
     if engine == "batched":
@@ -530,7 +561,7 @@ def cached_explore(
         )
     cache.put("explore", report_key, report)
     if reuse_table:
-        cache.put("table", fingerprint("table", base), table.snapshot())
+        cache.put(COMPILED_KIND, base, table.snapshot())
     return report
 
 
@@ -611,10 +642,79 @@ def _revive_table(cache: ResultCache, system, base: str):
     """A cached compiled table for ``system``, or None."""
     from repro.kernel.compiled import CompiledSystem
 
-    snapshot = cache.get("table", fingerprint("table", base))
+    snapshot = cache.get(COMPILED_KIND, base)
     if snapshot is None:
         return None
     try:
         return CompiledSystem.from_snapshot(system, snapshot)
     except Exception:
         return None  # stale/corrupt snapshot: recompile
+
+
+class CompiledTableCache:
+    """Per-worker in-process LRU of compiled tables over the shared store.
+
+    The compile-once-fleet-wide discipline for sweep workers: the first
+    toucher of a distinct system compiles its
+    :class:`~repro.kernel.compiled.CompiledSystem` (counted in
+    ``compiled``) and should :meth:`publish` the snapshot; every later
+    toucher revives instead -- from this process's LRU first, then from
+    the shared store's :data:`COMPILED_KIND` entry (both counted in
+    ``reused`` and in the ``fabric.compile_reuse`` metric).  A 100-cell
+    sweep over a handful of distinct systems therefore compiles each
+    system once across the whole fleet, not once per cell.
+
+    The LRU is intentionally small (``max_entries``): tables hold every
+    interned configuration, so a worker walking a long heterogeneous
+    sweep must not accumulate every table it ever touched.
+    """
+
+    def __init__(
+        self, cache: Optional[ResultCache] = None, max_entries: int = 8
+    ) -> None:
+        from collections import OrderedDict
+
+        self.cache = cache
+        self.max_entries = max_entries
+        self._tables: "OrderedDict[str, object]" = OrderedDict()
+        self.compiled = 0
+        self.reused = 0
+
+    def table_for(self, system, base: Optional[str] = None):
+        """A compiled table for ``system``: LRU hit, revival, or compile."""
+        from repro.kernel.compiled import CompiledSystem
+
+        if base is None:
+            base = system_fingerprint(system)
+        table = self._tables.get(base)
+        if table is not None:
+            self._tables.move_to_end(base)
+            self.reused += 1
+            obs.add("fabric.compile_reuse")
+            return table
+        table = (
+            _revive_table(self.cache, system, base)
+            if self.cache is not None
+            else None
+        )
+        if table is not None:
+            self.reused += 1
+            obs.add("fabric.compile_reuse")
+        else:
+            table = CompiledSystem(system)
+            self.compiled += 1
+        self._tables[base] = table
+        while len(self._tables) > self.max_entries:
+            self._tables.popitem(last=False)
+        return table
+
+    def publish(self, base: str, table) -> None:
+        """Snapshot ``table`` into the shared store for sibling workers.
+
+        Call after the table has been *grown* by real work (exploration
+        interns states lazily), so the published blob carries the rows a
+        sibling is about to need.  Publishing is last-write-wins and
+        any complete snapshot is correct, so racing workers are safe.
+        """
+        if self.cache is not None:
+            self.cache.put(COMPILED_KIND, base, table.snapshot())

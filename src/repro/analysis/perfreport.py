@@ -1,7 +1,7 @@
 """Perf observability: timing records and the PR-over-PR BENCH file.
 
 Every performance claim in this repository flows through one artifact:
-``BENCH_PR9.json`` at the repo root (previously ``BENCH_PR1``..``PR8``),
+``BENCH_PR10.json`` at the repo root (previously ``BENCH_PR1``..``PR8``),
 written by ``stp-repro bench`` and by the benchmark harness
 (``benchmarks/conftest.py``).  Tracking the file PR over PR turns "we
 made it faster" into a diffable trajectory; the committed previous-PR
@@ -56,7 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 
 BENCH_SCHEMA = "repro-perf/1"
-BENCH_FILENAME = "BENCH_PR9.json"
+BENCH_FILENAME = "BENCH_PR10.json"
 
 
 @dataclass
@@ -784,6 +784,163 @@ def measure_fabric_scaling(
     return comparison
 
 
+def measure_sweep_scaling(
+    report: PerfReport, worker_counts: Tuple[int, ...] = (1, 2, 4)
+) -> Dict[str, object]:
+    """Record sweep cells/sec at each worker count, cold and warm.
+
+    Runs the demo explore sweep through :func:`repro.fabric.run_sweep`
+    at every count in ``worker_counts``, cold (fresh store) and warm
+    (same store), asserting that every leg's canonical sweep JSON is
+    byte-identical to the single-host :func:`repro.fabric.serial_sweep`
+    reference, that warm re-runs claim zero cells, and -- at one worker,
+    where the drain is serial -- that the fleet compiled exactly one
+    table per distinct system.  A stabilize leg (one member, four
+    shards) then checks the compile-once-per-*system* discipline: four
+    cells share one projected system, so one compile and three reuses.
+
+    Records ``fabric:sweep-cold-w<n>`` per worker count plus the
+    headline ``fabric:sweep-scaling`` record; returns the headline's
+    comparison dict.  Monotonic-speedup *gates* live in
+    ``benchmarks/bench_p10_sweep.py``, conditional on schedulable CPUs.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.hostinfo import available_cpu_count
+    from repro.fabric import (
+        demo_sweep_spec,
+        plan_sweep,
+        run_sweep,
+        serial_sweep,
+        sweep_outcome_to_json,
+    )
+
+    spec = demo_sweep_spec(kind="explore")
+    plan = plan_sweep(spec)
+    cells = len(plan.cells)
+    members = len(plan.members())
+    rates: Dict[str, float] = {}
+    warm_rates: Dict[str, float] = {}
+    compiled_w1 = None
+    total_wall = 0.0
+    root = Path(tempfile.mkdtemp(prefix="stp-sweep-bench-"))
+    try:
+        # The single-host reference every distributed leg must reproduce.
+        serial_cache = ResultCache(root / "store-serial")
+        start = time.perf_counter()
+        serial_json = sweep_outcome_to_json(
+            plan, serial_sweep(spec, serial_cache)
+        )
+        total_wall += time.perf_counter() - start
+        for workers in worker_counts:
+            # A fresh store per worker count keeps every cold leg cold.
+            cache = ResultCache(root / f"store-w{workers}")
+            start = time.perf_counter()
+            cold = run_sweep(
+                spec,
+                root / f"queue-w{workers}-cold",
+                cache,
+                workers=workers,
+                idle_timeout=30.0,
+            )
+            cold_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_sweep(
+                spec,
+                root / f"queue-w{workers}-warm",
+                cache,
+                workers=workers,
+                idle_timeout=30.0,
+            )
+            warm_wall = time.perf_counter() - start
+            assert cold.cold_cells == cells
+            assert warm.warm_cells == cells
+            assert sum(s.claimed for s in warm.worker_stats) == 0
+            assert sum(s.compiled for s in warm.worker_stats) == 0
+            rendered = sweep_outcome_to_json(cold.plan, cold.results)
+            assert rendered == serial_json
+            assert (
+                sweep_outcome_to_json(warm.plan, warm.results) == serial_json
+            )
+            if workers == 1:
+                # Serial drain: exactly one compile per distinct system,
+                # none for cells whose system was already compiled.
+                compiled_w1 = sum(s.compiled for s in cold.worker_stats)
+                assert compiled_w1 == members
+            rates[str(workers)] = cells / cold_wall
+            warm_rates[str(workers)] = cells / warm_wall
+            total_wall += cold_wall + warm_wall
+            report.add(
+                f"fabric:sweep-cold-w{workers}",
+                cold_wall,
+                runs=cells,
+                workers=workers,
+                cells=cells,
+                cold_cells_per_second=cells / cold_wall,
+                warm_seconds=warm_wall,
+                warm_cells_per_second=cells / warm_wall,
+                warm_cells_claimed=0,
+            )
+        # Warm-anywhere: a fabric sweep against the store the *serial*
+        # reference populated enqueues nothing.
+        cross = run_sweep(
+            spec,
+            root / "queue-cross",
+            serial_cache,
+            workers=2,
+            idle_timeout=30.0,
+        )
+        assert cross.cold_cells == 0
+        assert sweep_outcome_to_json(cross.plan, cross.results) == serial_json
+
+        # Compile-once-per-system: four stabilize shards of one member
+        # walk one projected system -- one compile, three table reuses.
+        stab_spec = demo_sweep_spec(kind="stabilize", shards=4)
+        stab_cache = ResultCache(root / "store-stab")
+        start = time.perf_counter()
+        stab = run_sweep(
+            stab_spec,
+            root / "queue-stab",
+            stab_cache,
+            workers=1,
+            idle_timeout=30.0,
+        )
+        stab_wall = time.perf_counter() - start
+        total_wall += stab_wall
+        stab_members = len(stab.plan.members())
+        stab_compiled = sum(s.compiled for s in stab.worker_stats)
+        stab_reused = sum(s.compile_reuse for s in stab.worker_stats)
+        assert stab_compiled == stab_members
+        assert stab_reused == len(stab.plan.cells) - stab_compiled
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    parallel_rates = [
+        rates[str(w)] for w in worker_counts if w > 1 and str(w) in rates
+    ]
+    comparison: Dict[str, object] = {
+        "cells": cells,
+        "members": members,
+        "schedulable_cpus": available_cpu_count(),
+        "cells_per_second": rates,
+        "warm_cells_per_second": warm_rates,
+        "best_parallel_speedup": (
+            max(parallel_rates) / rates[str(min(worker_counts))]
+            if parallel_rates
+            else 1.0
+        ),
+        "compiled_tables_w1": compiled_w1,
+        "stabilize_shards": len(stab.plan.cells),
+        "stabilize_compiled": stab_compiled,
+        "stabilize_table_reuses": stab_reused,
+        "stabilize_seconds": stab_wall,
+    }
+    report.add("fabric:sweep-scaling", total_wall, **comparison)
+    return comparison
+
+
 #: The distinct request mix the service-throughput probe replays: a few
 #: cheap exhaustive explorations plus corrupted-start analyses whose
 #: cold computation dwarfs a cache read, so the cold/warm contrast
@@ -1081,8 +1238,9 @@ def run_default_bench(
 ) -> PerfReport:
     """The ``stp-repro bench`` suite: experiments, explorer, parallel
     sweep, the corrupted-start stabilization probe, the fabric scaling
-    probe (``fabric:scaling``), and the verification-service throughput
-    probe (``service:throughput``).
+    probes (``fabric:scaling`` for campaign cells, ``fabric:sweep-
+    scaling`` for distributed explore/stabilize sweeps), and the
+    verification-service throughput probe (``service:throughput``).
 
     ``cache`` (a :class:`repro.analysis.cache.ResultCache`) is threaded
     through the experiments that memoize work; the report then carries a
@@ -1139,6 +1297,7 @@ def run_default_bench(
         measure_campaign_speedup(report, workers=workers)
         measure_stabilization(report, cache=cache)
         measure_fabric_scaling(report)
+        measure_sweep_scaling(report)
         measure_service_throughput(report)
         if cache is not None:
             report.add("cache:stats", 0.0, **cache.stats())

@@ -25,16 +25,19 @@ Subcommands:
   ``cache stats`` (on-disk shape, ``--json`` for machine form),
   ``cache clear`` (wipe), ``cache prune --max-size N`` (evict oldest
   entries until the store fits);
-* ``fabric`` -- the distributed campaign fabric: ``fabric plan`` (split
-  a spec into content-addressed cells and show warm/cold against a
-  store), ``fabric run`` (plan + N local workers + merge, bit-identical
-  to serial), ``fabric merge`` (reassemble a finished queue's outcome),
-  ``fabric status`` (queue ticket counts);
+* ``fabric`` -- the distributed work fabric: ``fabric plan`` (split
+  a campaign spec into content-addressed cells and show warm/cold
+  against a store), ``fabric run`` (plan + N local workers + merge,
+  bit-identical to serial), ``fabric sweep`` (distribute an explore/
+  stabilize grid as typed sweep cells, ``--serial`` for the single-host
+  reference), ``fabric merge`` (reassemble a finished queue's outcome),
+  ``fabric status`` (queue ticket counts per cell kind, ``--json`` for
+  machine form);
 * ``worker`` -- one pull-based fabric worker loop over a shared queue
   directory and cache store (start several, on one host or many);
 * ``bench`` -- time experiments, exhaustive exploration (object-graph,
   compiled-table, batched-frontier, and vectorized), and the
-  serial-vs-parallel campaign sweep, and write the ``BENCH_PR9.json``
+  serial-vs-parallel campaign sweep, and write the ``BENCH_PR10.json``
   perf artifact tracked PR over PR (carrying ``spans:`` and ``metrics:``
   sections from the observability layer); ``--cache-dir`` turns on the
   content-addressed result cache (``--no-cache`` runs cold);
@@ -57,7 +60,9 @@ Subcommands:
   answers warm requests from the result cache, coalesces identical
   concurrent requests onto one computation, dispatches cold work to a
   bounded pool over the fabric's queue ledger, and sheds load with
-  typed ``busy`` errors past ``--max-queue-depth``;
+  typed ``busy`` errors past ``--max-queue-depth``; ``--dispatch
+  enqueue`` publishes cold explore/stabilize jobs as fabric sweep
+  cells for external worker fleets instead of computing them in-pool;
 * ``request`` -- send one request (``explore``/``stabilize``/
   ``campaign``, or ``ping``/``stats``/``shutdown``) to a running
   service and print the canonical outcome JSON;
@@ -737,14 +742,44 @@ def _cmd_fabric(args) -> int:
     if args.action == "status":
         queue = WorkQueue(args.queue)
         counts = queue.counts()
+        kinds = queue.kind_counts()
         try:
-            plan = queue.load_plan()
+            plan = queue.load_plan_optional()
+        except FabricError:
+            plan = None
+        if getattr(args, "json", False):
+            payload = {
+                "queue": str(args.queue),
+                "plan": (
+                    {
+                        "fingerprint": plan.plan_fingerprint,
+                        "cells": len(plan.cells),
+                    }
+                    if plan is not None
+                    else None
+                ),
+                "counts": counts,
+                "kinds": kinds,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if plan is not None:
             print(f"plan:  {plan.plan_fingerprint[:16]}... "
                   f"({len(plan.cells)} cells)")
-        except FabricError:
+        else:
             print("plan:  (none bound)")
         for state, count in counts.items():
-            print(f"{state + ':':8}{count}")
+            by_kind = kinds.get(state, {})
+            detail = (
+                " ("
+                + ", ".join(
+                    f"{kind} {by_kind[kind]}" for kind in sorted(by_kind)
+                )
+                + ")"
+                if by_kind
+                else ""
+            )
+            print(f"{state + ':':8}{count}{detail}")
         return 0
 
     if args.action == "merge":
@@ -766,6 +801,9 @@ def _cmd_fabric(args) -> int:
             f"completed {outcome.summary.completed}"
         )
         return 0 if not outcome.failures else 1
+
+    if args.action == "sweep":
+        return _fabric_sweep(args)
 
     spec = _fabric_spec_from_args(args)
 
@@ -834,6 +872,78 @@ def _cmd_fabric(args) -> int:
     return 0 if not outcome.failures else 1
 
 
+def _fabric_sweep(args) -> int:
+    """``stp-repro fabric sweep``: distribute an explore/stabilize grid."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.analysis.cache import ResultCache
+    from repro.fabric import (
+        FabricError,
+        SweepSpec,
+        demo_sweep_spec,
+        plan_sweep,
+        run_sweep,
+        serial_sweep,
+        sweep_outcome_to_json,
+    )
+
+    if getattr(args, "spec", None):
+        payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        spec = SweepSpec.from_dict(payload)
+    else:
+        spec = demo_sweep_spec(
+            kind=args.kind,
+            members=args.members,
+            length=args.length,
+            shards=args.shards,
+        )
+    cache = ResultCache(args.cache_dir)
+    plan = plan_sweep(spec)
+    try:
+        if args.serial:
+            results = serial_sweep(spec, cache)
+            print(
+                f"sweep ({spec.kind}, serial): "
+                f"{len(plan.members())} members, {len(plan.cells)} cells"
+            )
+        else:
+            queue_dir = args.queue or tempfile.mkdtemp(
+                prefix="stp-sweep-queue-"
+            )
+            result = run_sweep(
+                spec,
+                queue_dir,
+                cache,
+                workers=args.workers,
+                run_timeout=args.run_timeout,
+            )
+            results = result.results
+            plan = result.plan
+            print(
+                f"sweep ({spec.kind}): {len(plan.cells)} cells "
+                f"({result.warm_cells} warm, {result.cold_cells} cold) "
+                f"over {len(result.worker_stats)} workers"
+            )
+            for stats in result.worker_stats:
+                print(
+                    f"  {stats.worker_id}: claimed {stats.claimed}, "
+                    f"computed {stats.computed}, warm {stats.warm}, "
+                    f"compiled {stats.compiled}, "
+                    f"reused tables {stats.compile_reuse}"
+                )
+    except FabricError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        Path(args.out).write_text(
+            sweep_outcome_to_json(plan, results), encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -849,7 +959,7 @@ def _cmd_serve(args) -> int:
     print(
         f"serving stp-service/1 on {args.host} "
         f"(cache {args.cache_dir}, queue {args.queue}, "
-        f"{args.workers} workers)",
+        f"{args.workers} workers, {args.dispatch} dispatch)",
         flush=True,
     )
     try:
@@ -863,6 +973,7 @@ def _cmd_serve(args) -> int:
                 limits=limits,
                 port_file=args.port_file,
                 progress_interval=args.progress_interval,
+                dispatch=args.dispatch,
             )
         )
     except KeyboardInterrupt:
@@ -1064,7 +1175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.set_defaults(func=_cmd_report)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the perf suite and write BENCH_PR9.json"
+        "bench", help="time the perf suite and write BENCH_PR10.json"
     )
     bench_parser.add_argument(
         "ids", nargs="*", help="experiment ids to time (default: T1 T2 F1 F5)"
@@ -1089,7 +1200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the result cache entirely (every run is cold)",
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR9.json", help="output path for the perf JSON"
+        "--out", default="BENCH_PR10.json", help="output path for the perf JSON"
     )
     _add_engine_arguments(bench_parser)
     _add_profile_arguments(bench_parser)
@@ -1278,10 +1389,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     fabric_merge.set_defaults(func=_cmd_fabric, action="merge")
 
     fabric_status = fabric_sub.add_parser(
-        "status", help="show a queue's ticket counts"
+        "status", help="show a queue's ticket counts, split by cell kind"
     )
     fabric_status.add_argument("--queue", required=True, metavar="DIR")
+    fabric_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status (plan, counts, per-kind counts)",
+    )
     fabric_status.set_defaults(func=_cmd_fabric, action="status")
+
+    fabric_sweep = fabric_sub.add_parser(
+        "sweep",
+        help=(
+            "distribute an explore/stabilize grid over sweep cells "
+            "(or --serial for the single-host reference)"
+        ),
+    )
+    fabric_sweep.add_argument(
+        "--kind", choices=("explore", "stabilize"), default="explore",
+        help="demo sweep family (ignored with --spec)",
+    )
+    fabric_sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="a SweepSpec JSON file instead of the demo grid",
+    )
+    fabric_sweep.add_argument(
+        "--members", type=int, default=6,
+        help="demo grid size (explore sweeps)",
+    )
+    fabric_sweep.add_argument(
+        "--length", type=int, default=4,
+        help="longest demo input sequence",
+    )
+    fabric_sweep.add_argument(
+        "--shards", type=int, default=4,
+        help="shards per stabilize member (demo spec)",
+    )
+    fabric_sweep.add_argument("--workers", type=int, default=2)
+    fabric_sweep.add_argument(
+        "--serial", action="store_true",
+        help="run the single-host reference path instead of the fabric",
+    )
+    fabric_sweep.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="queue directory (default: a fresh temp dir)",
+    )
+    fabric_sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result store (default: $STP_REPRO_CACHE)",
+    )
+    fabric_sweep.add_argument("--run-timeout", type=float, default=120.0)
+    fabric_sweep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the canonical sweep-outcome JSON",
+    )
+    fabric_sweep.set_defaults(func=_cmd_fabric, action="sweep")
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -1457,6 +1619,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.5,
         help="seconds between progress events for subscribed requests",
     )
+    serve_parser.add_argument(
+        "--dispatch",
+        choices=("inline", "enqueue"),
+        default="inline",
+        help=(
+            "cold explore/stabilize jobs: compute in the pool (inline) "
+            "or enqueue fabric sweep cells for external workers (enqueue)"
+        ),
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     request_parser = sub.add_parser(
@@ -1540,8 +1711,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats_parser.add_argument(
         "path",
         nargs="?",
-        default="BENCH_PR9.json",
-        help="perf/chaos artifact or span trace (default: BENCH_PR9.json)",
+        default="BENCH_PR10.json",
+        help="perf/chaos artifact or span trace (default: BENCH_PR10.json)",
     )
     stats_parser.add_argument(
         "--json",

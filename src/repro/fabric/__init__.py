@@ -15,13 +15,17 @@ The pieces, importable a la carte:
   registry-named campaign description;
 * :mod:`repro.fabric.planner` -- :func:`plan_cells`, the deterministic
   grid -> cell decomposition keyed by campaign cache fingerprints;
+* :mod:`repro.fabric.sweep` -- :class:`SweepSpec` / :func:`plan_sweep`,
+  the explore/stabilize family -> cell decomposition;
+* :mod:`repro.fabric.cells` -- the typed cell-kind registry and the
+  sweep-cell executors (compiled-table reuse, shard merging);
 * :mod:`repro.fabric.queue` -- :class:`WorkQueue`, lease/claim/
   heartbeat/requeue via atomic renames, no server;
 * :mod:`repro.fabric.worker` -- :class:`FabricWorker`, the pull loop;
-* :mod:`repro.fabric.merge` -- :func:`merge_outcome` and the canonical
-  JSON report;
-* :mod:`repro.fabric.coordinator` -- :func:`run_fabric`, the one-host
-  N-worker convenience wrapper.
+* :mod:`repro.fabric.merge` -- :func:`merge_outcome` /
+  :func:`merge_sweep` and the canonical JSON reports;
+* :mod:`repro.fabric.coordinator` -- :func:`run_fabric` /
+  :func:`run_sweep`, the one-host N-worker convenience wrappers.
 
 Attribute access is lazy (PEP 562): :mod:`repro.analysis.cache` imports
 :mod:`repro.fabric.store` at module load, which executes this package
@@ -35,6 +39,7 @@ _EXPORTS: Dict[str, str] = {
     # store
     "CacheStore": "repro.fabric.store",
     "LocalDirStore": "repro.fabric.store",
+    "MemoryStore": "repro.fabric.store",
     "StoreEntry": "repro.fabric.store",
     "open_store": "repro.fabric.store",
     # spec
@@ -44,12 +49,34 @@ _EXPORTS: Dict[str, str] = {
     "FabricSpec": "repro.fabric.spec",
     "demo_spec": "repro.fabric.spec",
     # planner
+    "CAMPAIGN_CELL_KIND": "repro.fabric.planner",
+    "CAMPAIGN_OUTCOME_KIND": "repro.fabric.planner",
     "CELL_KIND": "repro.fabric.planner",
     "SERVICE_CELL_KIND": "repro.fabric.planner",
     "FabricPlan": "repro.fabric.planner",
     "WorkCell": "repro.fabric.planner",
     "plan_cells": "repro.fabric.planner",
     "split_warm_cold": "repro.fabric.planner",
+    # sweep
+    "SWEEP_SCHEMA": "repro.fabric.sweep",
+    "SWEEP_KINDS": "repro.fabric.sweep",
+    "SweepCell": "repro.fabric.sweep",
+    "SweepPlan": "repro.fabric.sweep",
+    "SweepSpec": "repro.fabric.sweep",
+    "build_explore_system": "repro.fabric.sweep",
+    "build_stabilize_system": "repro.fabric.sweep",
+    "demo_sweep_spec": "repro.fabric.sweep",
+    "plan_sweep": "repro.fabric.sweep",
+    "sweep_split_warm_cold": "repro.fabric.sweep",
+    # cells
+    "CELL_KINDS": "repro.fabric.cells",
+    "CellKindSpec": "repro.fabric.cells",
+    "STABILIZE_SHARD_KIND": "repro.fabric.cells",
+    "cell_kind": "repro.fabric.cells",
+    "execute_sweep_cell": "repro.fabric.cells",
+    "kind_of_ticket": "repro.fabric.cells",
+    "merge_stabilize_member": "repro.fabric.cells",
+    "sweep_cell_warm": "repro.fabric.cells",
     # queue
     "WorkQueue": "repro.fabric.queue",
     "default_worker_id": "repro.fabric.queue",
@@ -59,10 +86,15 @@ _EXPORTS: Dict[str, str] = {
     "run_worker": "repro.fabric.worker",
     # merge
     "merge_outcome": "repro.fabric.merge",
+    "merge_sweep": "repro.fabric.merge",
     "outcome_to_json": "repro.fabric.merge",
+    "sweep_outcome_to_json": "repro.fabric.merge",
     # coordinator
     "FabricResult": "repro.fabric.coordinator",
+    "SweepResult": "repro.fabric.coordinator",
     "run_fabric": "repro.fabric.coordinator",
+    "run_sweep": "repro.fabric.coordinator",
+    "serial_sweep": "repro.fabric.coordinator",
 }
 
 __all__: Tuple[str, ...] = tuple(sorted(_EXPORTS))

@@ -1,11 +1,16 @@
 """The deterministic cell planner: campaign grid -> content-addressed cells.
 
-A fabric run starts by splitting a campaign into *work cells* -- one per
-``(input, seed)`` grid point -- where each cell's identity is the same
-sha256 fingerprint :class:`~repro.analysis.campaign.Campaign` already
-uses to memoize per-cell :class:`RunMetrics` in the result cache
-(:meth:`Campaign.run_key`).  That identity choice does all the heavy
-lifting:
+This module plans the fabric's original cell kind -- **campaign** cells,
+one per ``(input, seed)`` grid point of a
+:class:`~repro.fabric.spec.FabricSpec`; the sweep kinds (``explore`` /
+``stabilize``, planned from a :class:`~repro.fabric.sweep.SweepSpec`)
+live in :mod:`repro.fabric.sweep`, and :mod:`repro.fabric.cells` is the
+registry that names them all.  Every kind shares one identity
+discipline: a cell's id is the sha256 fingerprint its result is cached
+under -- here, the same fingerprint
+:class:`~repro.analysis.campaign.Campaign` already uses to memoize
+per-cell :class:`RunMetrics` (:meth:`Campaign.run_key`).  That identity
+choice does all the heavy lifting:
 
 * a cell that any prior run -- serial, parallel, fabric, another host --
   has completed is **warm in the shared store** and is never recomputed;
@@ -30,17 +35,23 @@ from repro.analysis.cache import ResultCache, fingerprint
 from repro.fabric.spec import FABRIC_SCHEMA, FabricSpec
 from repro.kernel.rng import DeterministicRNG
 
-#: Cache kind under which campaign cell results are stored -- the same
-#: kind ``Campaign.run`` uses, deliberately.
-CELL_KIND = "run"
+#: Cache kind under which *campaign* cell results are stored -- the
+#: same kind ``Campaign.run`` uses, deliberately.  (Explore and
+#: stabilize sweep cells store under their own kinds; see
+#: :mod:`repro.fabric.cells` for the full kind registry.)
+CAMPAIGN_CELL_KIND = "run"
 
-#: Cache kind for whole campaign-request outcomes, keyed by the plan
+#: Cache kind for whole merged campaign outcomes, keyed by the plan
 #: fingerprint.  The service front-end (:mod:`repro.service`) publishes
-#: the merged outcome here beside the per-cell :data:`CELL_KIND`
-#: entries, so a repeated campaign request is answered from the store
-#: without re-planning or re-merging -- the service's cell kind on the
-#: same content-addressed fabric.
-SERVICE_CELL_KIND = "campaign"
+#: the merged outcome here beside the per-cell
+#: :data:`CAMPAIGN_CELL_KIND` entries, so a repeated campaign request is
+#: answered from the store without re-planning or re-merging.
+CAMPAIGN_OUTCOME_KIND = "campaign"
+
+#: Pre-multi-kind aliases, kept for callers written against the PR 8
+#: campaign-only fabric.  New code should use the ``CAMPAIGN_*`` names.
+CELL_KIND = CAMPAIGN_CELL_KIND
+SERVICE_CELL_KIND = CAMPAIGN_OUTCOME_KIND
 
 
 @dataclass(frozen=True)
@@ -180,7 +191,7 @@ def split_warm_cold(
     warm: List[WorkCell] = []
     cold: List[WorkCell] = []
     for cell in plan.cells:
-        if cache.get(CELL_KIND, cell.cell_id) is not None:
+        if cache.get(CAMPAIGN_CELL_KIND, cell.cell_id) is not None:
             warm.append(cell)
         else:
             cold.append(cell)

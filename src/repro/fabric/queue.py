@@ -9,11 +9,20 @@ exactly one state directory:
 .. code-block:: text
 
     <root>/
-      plan.json         # the bound FabricPlan (schema stp-fabric/1)
+      plan.json         # the bound plan: FabricPlan (stp-fabric/1)
+                        # or SweepPlan (stp-fabric-sweep/1); absent for
+                        # plan-less ledgers (service, enqueue-only)
       pending/<id>.json  # enqueued, unclaimed
       leased/<id>.json   # claimed by a worker; mtime is the heartbeat
       done/<id>.json     # completed (result lives in the shared cache)
-      failed/<id>.json   # exhausted its attempts
+      failed/<id>.json   # exhausted its attempts (with attempt history)
+
+Tickets may embed their whole :class:`~repro.fabric.sweep.SweepCell`
+under ``"cell"`` -- self-describing work a worker can execute without
+any bound plan, which is how the service's enqueue-only dispatch hands
+explore/stabilize cells to remote fleets.  The embedded cell and the
+accumulated ``history`` of attempt errors survive every
+requeue/park transition.
 
 Claiming is ``rename(pending/X, leased/X)``: of N racing workers
 exactly one rename succeeds and the rest observe ``FileNotFoundError``
@@ -101,12 +110,14 @@ class WorkQueue:
         for state in STATES:
             self._dir(state).mkdir(exist_ok=True)
 
-    def init(self, plan: FabricPlan) -> None:
+    def init(self, plan) -> None:
         """Create the queue layout and bind it to ``plan``.
 
-        Re-initializing with the *same* plan is a no-op (any host may
-        race to set up a shared queue); a different plan is refused
-        rather than silently mixed.
+        ``plan`` is a :class:`~repro.fabric.planner.FabricPlan` or a
+        :class:`~repro.fabric.sweep.SweepPlan` -- anything with a
+        ``to_dict`` / ``plan_fingerprint``.  Re-initializing with the
+        *same* plan is a no-op (any host may race to set up a shared
+        queue); a different plan is refused rather than silently mixed.
         """
         self.init_layout()
         payload = plan.to_dict()
@@ -121,28 +132,68 @@ class WorkQueue:
             return
         self._write_json(self.plan_path, payload)
 
-    def load_plan(self) -> FabricPlan:
-        """The plan this queue is bound to."""
+    def load_plan(self):
+        """The plan this queue is bound to (campaign or sweep).
+
+        Dispatches on the stored schema tag:``stp-fabric/1`` revives a
+        :class:`FabricPlan`, ``stp-fabric-sweep/1`` a
+        :class:`~repro.fabric.sweep.SweepPlan`.
+        """
         try:
             payload = json.loads(self.plan_path.read_text())
         except (OSError, json.JSONDecodeError) as error:
             raise FabricError(
                 f"queue {self.root} has no readable plan.json: {error}"
             ) from None
-        return FabricPlan.from_dict(payload)
+        if payload.get("schema") == FABRIC_SCHEMA:
+            return FabricPlan.from_dict(payload)
+        from repro.fabric.sweep import SWEEP_SCHEMA, SweepPlan
+
+        if payload.get("schema") == SWEEP_SCHEMA:
+            return SweepPlan.from_dict(payload)
+        raise FabricError(
+            f"queue {self.root} plan.json has unsupported schema "
+            f"{payload.get('schema')!r}"
+        )
+
+    def load_plan_optional(self):
+        """:meth:`load_plan`, or None for plan-less ledgers.
+
+        A missing ``plan.json`` is a legitimate state (the service's
+        enqueue-only dispatch runs the queue as a ledger of
+        self-describing tickets); an unreadable or unsupported one is
+        still an error.
+        """
+        if not self.plan_path.exists():
+            return None
+        return self.load_plan()
 
     # -- ticket lifecycle ----------------------------------------------
 
-    def enqueue(self, cell_id: str, attempt: int = 1) -> bool:
-        """Add a pending ticket; False if the cell is already tracked."""
+    def enqueue(
+        self,
+        cell_id: str,
+        attempt: int = 1,
+        cell: Optional[Dict] = None,
+    ) -> bool:
+        """Add a pending ticket; False if the cell is already tracked.
+
+        ``cell`` embeds a self-describing payload (a
+        :meth:`SweepCell.to_dict`) so workers can execute the ticket
+        without a bound plan.
+        """
         if any(
             self._ticket_path(state, cell_id).exists() for state in STATES
         ):
             return False
-        self._write_json(
-            self._ticket_path("pending", cell_id),
-            {"schema": FABRIC_SCHEMA, "cell_id": cell_id, "attempt": attempt},
-        )
+        payload: Dict = {
+            "schema": FABRIC_SCHEMA,
+            "cell_id": cell_id,
+            "attempt": attempt,
+        }
+        if cell is not None:
+            payload["cell"] = cell
+        self._write_json(self._ticket_path("pending", cell_id), payload)
         return True
 
     def mark_done(self, cell_id: str, info: Optional[Dict] = None) -> None:
@@ -212,32 +263,34 @@ class WorkQueue:
     def release_failed(self, ticket: Dict, message: str) -> str:
         """Handle a failed attempt: requeue with backoff budget or park.
 
-        Returns ``"requeued"`` or ``"failed"``.
+        Returns ``"requeued"`` or ``"failed"``.  The embedded cell (if
+        any) and the accumulated ``history`` of per-attempt error
+        messages ride along, so a parked ticket records every attempt
+        that led there.
         """
         cell_id = ticket["cell_id"]
         attempt = int(ticket.get("attempt", 1))
+        history = list(ticket.get("history", []))
+        history.append(message)
+        carried: Dict = {"schema": FABRIC_SCHEMA, "cell_id": cell_id}
+        if "cell" in ticket:
+            carried["cell"] = ticket["cell"]
         self._ticket_path("leased", cell_id).unlink(missing_ok=True)
         if attempt + 1 > self.max_attempts:
-            self._write_json(
-                self._ticket_path("failed", cell_id),
-                {
-                    "schema": FABRIC_SCHEMA,
-                    "cell_id": cell_id,
-                    "attempt": attempt,
-                    "error": message,
-                },
+            carried.update(
+                {"attempt": attempt, "error": message, "history": history}
             )
+            self._write_json(self._ticket_path("failed", cell_id), carried)
             obs.add("fabric.cells_failed")
             return "failed"
-        self._write_json(
-            self._ticket_path("pending", cell_id),
+        carried.update(
             {
-                "schema": FABRIC_SCHEMA,
-                "cell_id": cell_id,
                 "attempt": attempt + 1,
                 "last_error": message,
-            },
+                "history": history,
+            }
         )
+        self._write_json(self._ticket_path("pending", cell_id), carried)
         obs.add("fabric.cells_requeued")
         return "requeued"
 
@@ -290,6 +343,33 @@ class WorkQueue:
             )
             for state in STATES
         }
+
+    def kind_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-state ticket counts split by cell kind.
+
+        Tickets without an embedded cell are campaign cells (the PR 8
+        ticket shape); unreadable tickets count under ``"?"``.
+        """
+        result: Dict[str, Dict[str, int]] = {}
+        for state in STATES:
+            directory = self._dir(state)
+            counts: Dict[str, int] = {}
+            if directory.is_dir():
+                for path in sorted(directory.glob("*.json")):
+                    try:
+                        ticket = json.loads(path.read_text())
+                    except (OSError, json.JSONDecodeError):
+                        kind = "?"
+                    else:
+                        embedded = ticket.get("cell")
+                        if isinstance(embedded, dict):
+                            kind = str(embedded.get("kind", "campaign"))
+                        else:
+                            # done tickets carry the kind at top level
+                            kind = str(ticket.get("kind", "campaign"))
+                    counts[kind] = counts.get(kind, 0) + 1
+            result[state] = counts
+        return result
 
     def drained(self) -> bool:
         """True when no ticket is pending or leased."""

@@ -25,10 +25,13 @@ the fabric leans on:
   ``False``), never as an exception that fails the computation whose
   result we merely failed to remember.
 
-:class:`LocalDirStore` is the only implementation shipped here; its
-layout (``<root>/<kind>/<key[:2]>/<key>.pkl``) is byte-compatible with
-the pre-fabric ``ResultCache`` directories, so existing warm caches stay
-warm across the refactor.
+Two implementations ship here: :class:`LocalDirStore`, whose layout
+(``<root>/<kind>/<key[:2]>/<key>.pkl``) is byte-compatible with the
+pre-fabric ``ResultCache`` directories so existing warm caches stay warm
+across the refactor, and :class:`MemoryStore`, a lock-protected
+dict-backed store -- the object-store-shim shape in miniature, used by
+the service tests and any embedding that wants a private, process-local
+cache without touching the filesystem.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ import itertools
 import os
 import secrets
 import shutil
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional
@@ -180,6 +184,65 @@ class LocalDirStore(CacheStore):
 
     def __repr__(self) -> str:
         return f"LocalDirStore({str(self.root)!r})"
+
+
+class MemoryStore(CacheStore):
+    """A lock-protected, in-process dict of content-addressed blobs.
+
+    The object-store-shim shape in miniature: no filesystem, no
+    persistence, just the five-verb contract over a dictionary.  Safe
+    for concurrent *threads* sharing one instance (the service pool, a
+    prune racing a put): every verb holds one lock, and
+    :meth:`entries` snapshots under it so a racing writer can never
+    make iteration raise.  ``mtime`` is a monotonic per-store counter
+    rather than a wall clock, so eviction order is deterministic even
+    when two writes land within one clock tick.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._clock = itertools.count(1)
+        # blob bytes and write stamps, both keyed by (kind, key).
+        self.blobs: dict = {}
+        self._stamps: dict = {}
+
+    def read(self, kind: str, key: str) -> Optional[bytes]:
+        with self._lock:
+            return self.blobs.get((kind, key))
+
+    def write(self, kind: str, key: str, data: bytes) -> bool:
+        with self._lock:
+            self.blobs[(kind, key)] = bytes(data)
+            self._stamps[(kind, key)] = next(self._clock)
+        return True
+
+    def delete(self, kind: str, key: str) -> bool:
+        with self._lock:
+            self._stamps.pop((kind, key), None)
+            return self.blobs.pop((kind, key), None) is not None
+
+    def entries(self) -> List[StoreEntry]:
+        with self._lock:
+            return [
+                StoreEntry(
+                    kind=kind,
+                    key=key,
+                    size=len(data),
+                    mtime=float(self._stamps.get((kind, key), 0)),
+                )
+                for (kind, key), data in self.blobs.items()
+            ]
+
+    def wipe(self) -> None:
+        with self._lock:
+            self.blobs.clear()
+            self._stamps.clear()
+
+    def describe(self) -> str:
+        return f"memory:{id(self):#x}"
+
+    def __repr__(self) -> str:
+        return f"MemoryStore(entries={len(self.blobs)})"
 
 
 def open_store(locator) -> CacheStore:

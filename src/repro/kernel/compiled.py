@@ -282,11 +282,38 @@ class CompiledSystem:
         The snapshot must come from an identical system (the cache layer
         guarantees this by fingerprinting); ids are re-assigned in the
         stored order, so they match the exporting process exactly.
+
+        A malformed snapshot -- mismatched table lengths, or a row edge
+        referencing an out-of-range event or state id -- raises
+        :class:`~repro.kernel.errors.SimulationError` instead of
+        producing a table that fails later mid-traversal.  Fabric
+        workers revive snapshots published by *other* processes into a
+        shared store, so a truncated or corrupted blob must be rejected
+        at the boundary (the cache layer turns the rejection into a
+        miss and recompiles).
         """
         if snapshot.get("schema") != SNAPSHOT_SCHEMA:
             raise SimulationError(
                 f"unsupported compiled-system snapshot: "
                 f"{snapshot.get('schema')!r}"
+            )
+        configs = snapshot["configs"]
+        events = snapshot["events"]
+        rows = snapshot["rows"]
+        safe = snapshot.get("safe", b"")
+        complete = snapshot.get("complete", b"")
+        state_count = len(configs)  # type: ignore[arg-type]
+        event_count = len(events)  # type: ignore[arg-type]
+        if len(rows) != state_count:  # type: ignore[arg-type]
+            raise SimulationError(
+                f"corrupt compiled-system snapshot: {len(rows)} rows "  # type: ignore[arg-type]
+                f"for {state_count} configurations"
+            )
+        if len(safe) != state_count or len(complete) != state_count:  # type: ignore[arg-type]
+            raise SimulationError(
+                "corrupt compiled-system snapshot: predicate bit arrays "
+                f"({len(safe)}/{len(complete)}) do not cover "  # type: ignore[arg-type]
+                f"{state_count} configurations"
             )
         compiled = cls(system)
         obs.add("compiled.tables_revived")
@@ -298,6 +325,13 @@ class CompiledSystem:
         for state_id, row in enumerate(snapshot["rows"]):  # type: ignore[arg-type]
             if row is None:
                 continue
+            for event_id, next_id in row:
+                if not (0 <= event_id < event_count and 0 <= next_id < state_count):
+                    raise SimulationError(
+                        f"corrupt compiled-system snapshot: row {state_id} "
+                        f"edge ({event_id}, {next_id}) exceeds "
+                        f"{event_count} events / {state_count} states"
+                    )
             compiled._rows[state_id] = row
             nodrop = tuple(edge for edge in row if not is_drop[edge[0]])
             compiled._rows_nodrop[state_id] = nodrop

@@ -14,7 +14,7 @@ default) every helper is a single flag test --
 -- so instrumentation stays in the code permanently at <2% overhead on
 the hottest compiled-kernel paths (asserted by
 :func:`repro.analysis.perfreport.measure_obs_overhead` and the
-``obs:overhead-disabled`` record of ``BENCH_PR9.json``).
+``obs:overhead-disabled`` record of ``BENCH_PR10.json``).
 
 Enable with :func:`enable`, the ``--profile spans`` CLI flag, or the
 ``STP_REPRO_OBS=1`` environment variable.  :func:`scoped` swaps in fresh

@@ -5,7 +5,7 @@ the repository crossed with the fault vocabulary of
 :mod:`repro.adversaries.fault` -- each executed under the self-healing
 :class:`~repro.resilience.runner.ResilientRunner` and summarized as one
 :class:`~repro.analysis.perfreport.PerfRecord`.  The report reuses the
-``repro-perf/1`` schema of the perf artifact (``BENCH_PR9.json``) but is written to its own
+``repro-perf/1`` schema of the perf artifact (``BENCH_PR10.json``) but is written to its own
 artifact, ``BENCH_PR2.json``, so the resilience trajectory diffs
 independently of the raw perf trajectory.
 

@@ -57,7 +57,21 @@ The pipeline, end to end:
 data-item renaming over the full domain), explores one representative
 per class, and expands each representative's verdict to its whole class
 -- bit-identical per-source verdicts at a fraction of the graph, which
-is the symmetry-reduction payoff ``BENCH_PR9.json`` records.
+is the symmetry-reduction payoff ``BENCH_PR10.json`` records.
+
+**Sharding.**  Per-source verdicts depend only on the subgraph
+reachable from that source: a path out of a source never leaves its
+reachable set, so the shortest depth into ``L`` and trap-reachability
+computed on the restriction equal those computed on the full
+multi-source graph.  That makes the corrupt set embarrassingly
+partitionable: :func:`shard_of_class` deals each symmetry class (by the
+digest of its canonical representative) onto one of ``shard_count``
+shards, :func:`analyze_stabilization_shard` judges one shard's sources
+on its own reachable subgraph, and
+:func:`merge_stabilization_shards` reassembles the full
+:class:`StabilizationResult` -- bit-identical (timing aside) to the
+single-host analysis, which is what lets the work fabric distribute
+``stabilize`` cells across workers.
 """
 
 from __future__ import annotations
@@ -68,7 +82,7 @@ import random
 import time
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.kernel.compiled import CompiledSystem
@@ -506,11 +520,22 @@ def analyze_stabilization(
         return result
 
 
-def _analyze(
+@dataclass
+class _StabilizePrep:
+    """Everything the verdict phase needs, shared by host and shard paths."""
+
+    projected: System
+    table: CompiledSystem
+    legitimate: FrozenSet[int]
+    corrupt: Tuple[Configuration, ...]
+    fingerprint: str
+    key_fn: Callable[[Configuration], object]
+    class_of: Dict[object, List[Configuration]]
+    source_ids: Dict[Configuration, int]
+
+
+def _prepare(
     system: System,
-    engine: str,
-    reduce: bool,
-    shards: int,
     sample: Optional[int],
     seed: int,
     max_states: int,
@@ -518,10 +543,23 @@ def _analyze(
     include_drops: bool,
     corruption: str,
     domain: Optional[Sequence],
-) -> StabilizationResult:
-    start = time.perf_counter()
+    table: Optional[CompiledSystem] = None,
+) -> _StabilizePrep:
+    """Legitimate set, corrupt enumeration, and symmetry classes.
+
+    The deterministic prefix every shard recomputes identically (and the
+    single-host path computes once): because the enumeration, sampling,
+    and classing are pure functions of the system and knobs, shards on
+    different workers agree on the exact corrupt set, class
+    representatives, and fingerprint without any coordination.  ``table``
+    lets a fabric worker hand in a revived
+    :class:`~repro.kernel.compiled.CompiledSystem` for the *projected*
+    system -- verdicts are id-invariant, so a table grown by another
+    process is as good as a fresh compile.
+    """
     projected = projected_system(system)
-    table = CompiledSystem(projected)
+    if table is None:
+        table = CompiledSystem(projected)
 
     # The legitimate set: one single-source run of the same BFS core.
     legit_ids, _ = explore_multi_source_batched(
@@ -551,11 +589,48 @@ def _analyze(
     class_of: Dict[object, List[Configuration]] = {}
     for config in corrupt:  # repr-sorted: representatives are canonical
         class_of.setdefault(key_fn(config), []).append(config)
-    classes = len(class_of)
 
     source_ids = {
         config: table._ensure_state(config) for config in corrupt
     }
+    return _StabilizePrep(
+        projected=projected,
+        table=table,
+        legitimate=legitimate,
+        corrupt=corrupt,
+        fingerprint=fingerprint,
+        key_fn=key_fn,
+        class_of=class_of,
+        source_ids=source_ids,
+    )
+
+
+def _analyze(
+    system: System,
+    engine: str,
+    reduce: bool,
+    shards: int,
+    sample: Optional[int],
+    seed: int,
+    max_states: int,
+    channel_depth: Optional[int],
+    include_drops: bool,
+    corruption: str,
+    domain: Optional[Sequence],
+) -> StabilizationResult:
+    start = time.perf_counter()
+    prep = _prepare(
+        system, sample, seed, max_states, channel_depth, include_drops,
+        corruption, domain,
+    )
+    table = prep.table
+    legitimate = prep.legitimate
+    corrupt = prep.corrupt
+    fingerprint = prep.fingerprint
+    key_fn = prep.key_fn
+    class_of = prep.class_of
+    source_ids = prep.source_ids
+    classes = len(class_of)
     if reduce:
         bfs_configs = [members[0] for members in class_of.values()]
     else:
@@ -631,6 +706,260 @@ def _analyze(
         shards=shards,
         sample=sample,
         seed=seed,
+        elapsed_seconds=elapsed,
+        states_per_second=explored / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# sharding: partition the corrupt set, judge per shard, merge bit-identically
+# ---------------------------------------------------------------------------
+
+
+def _config_digest(config: Configuration) -> bytes:
+    """A stable 16-byte digest of one configuration (for visited-set union)."""
+    return hashlib.sha256(repr(config).encode()).digest()[:16]
+
+
+def shard_of_class(representative: Configuration, shard_count: int) -> int:
+    """The shard owning one symmetry class of the corrupt set.
+
+    Keyed by the digest of the class's canonical representative (the
+    ``repr``-least member, which every process derives identically from
+    the ``repr``-sorted corrupt enumeration), salted with
+    :data:`CORRUPTION_SCHEMA` so partition assignments shift whenever
+    the enumeration semantics do.  Whole classes -- never individual
+    members -- land on one shard, so reduced and unreduced shard
+    analyses seed their BFS from the same partition.
+    """
+    digest = hashlib.sha256(
+        (CORRUPTION_SCHEMA + repr(representative)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, shard_count)
+
+
+@dataclass(frozen=True)
+class StabilizationShard:
+    """One shard's verdicts plus the agreement fields merging checks.
+
+    ``sources`` / ``classes`` / ``legitimate_states`` /
+    ``corrupt_fingerprint`` describe the *full* analysis (every shard
+    recomputes the deterministic prefix and must agree on them);
+    ``verdicts`` covers only the sources whose symmetry class
+    :func:`shard_of_class` assigned here, ``repr``-sorted.
+    ``visited_digests`` holds :func:`_config_digest` of each
+    illegitimate state this shard's BFS visited -- the merge unions them
+    to reconstruct the single-host ``explored_states`` count exactly.
+    """
+
+    shard_index: int
+    shard_count: int
+    corruption: str
+    reduce: bool
+    sample: Optional[int]
+    seed: int
+    sources: int
+    classes: int
+    legitimate_states: int
+    corrupt_fingerprint: str
+    verdicts: Tuple[Tuple[Configuration, bool, Optional[int]], ...]
+    visited_digests: FrozenSet[bytes]
+    elapsed_seconds: float
+
+
+def analyze_stabilization_shard(
+    system: System,
+    shard_index: int,
+    shard_count: int,
+    reduce: bool = False,
+    sample: Optional[int] = None,
+    seed: int = 0,
+    max_states: int = 500_000,
+    channel_depth: Optional[int] = None,
+    include_drops: bool = True,
+    corruption: str = "full",
+    domain: Optional[Sequence] = None,
+    table: Optional[CompiledSystem] = None,
+    heartbeat=None,
+) -> StabilizationShard:
+    """Corrupted-start verdicts for one shard of the corrupt set.
+
+    Sound because per-source verdicts are reachable-subgraph-local (see
+    the module docstring): judging this shard's sources on the graph
+    reachable from them alone yields exactly the verdicts the full
+    multi-source analysis assigns them.  ``table`` accepts a revived
+    compiled table for the *projected* system; ``heartbeat`` (a no-arg
+    callable) is invoked between phases so a fabric worker can keep its
+    queue lease fresh through a long BFS.
+    """
+    if not (0 <= shard_index < shard_count):
+        raise VerificationError(
+            f"shard_index {shard_index} out of range for "
+            f"{shard_count} shards"
+        )
+    start = time.perf_counter()
+    prep = _prepare(
+        system, sample, seed, max_states, channel_depth, include_drops,
+        corruption, domain, table=table,
+    )
+    if heartbeat is not None:
+        heartbeat()
+    mine = {
+        key: members
+        for key, members in prep.class_of.items()
+        if shard_of_class(members[0], shard_count) == shard_index
+    }
+    members_sorted = sorted(
+        (config for members in mine.values() for config in members), key=repr
+    )
+    if reduce:
+        bfs_configs = [members[0] for members in mine.values()]
+    else:
+        bfs_configs = members_sorted
+    bfs_sources = [prep.source_ids[config] for config in bfs_configs]
+
+    compiled = prep.table
+    visited, _widths = explore_multi_source_batched(
+        compiled, bfs_sources, prep.legitimate,
+        max_states=max_states, include_drops=include_drops,
+    )
+    if heartbeat is not None:
+        heartbeat()
+
+    successor = (
+        compiled.succ_row if include_drops else compiled.succ_row_without_drops
+    )
+    adjacency = {
+        sid: tuple(sorted(set(successor(sid)))) for sid in sorted(visited)
+    }
+    depth, doomed = _judge(adjacency, prep.legitimate)
+
+    def verdict_of(sid: int) -> Tuple[bool, Optional[int]]:
+        if sid in prep.legitimate:
+            return True, 0
+        if sid in doomed:
+            return False, None
+        return True, depth[sid]
+
+    if reduce:
+        representative_verdicts = {
+            key: verdict_of(prep.source_ids[members[0]])
+            for key, members in mine.items()
+        }
+        verdicts = tuple(
+            (config, *representative_verdicts[prep.key_fn(config)])
+            for config in members_sorted
+        )
+    else:
+        verdicts = tuple(
+            (config, *verdict_of(prep.source_ids[config]))
+            for config in members_sorted
+        )
+    digests = frozenset(
+        _config_digest(compiled.config_of(sid)) for sid in visited
+    )
+    return StabilizationShard(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        corruption=corruption,
+        reduce=bool(reduce),
+        sample=sample,
+        seed=seed,
+        sources=len(prep.corrupt),
+        classes=len(prep.class_of),
+        legitimate_states=len(prep.legitimate),
+        corrupt_fingerprint=prep.fingerprint,
+        verdicts=verdicts,
+        visited_digests=digests,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def merge_stabilization_shards(
+    shards: Sequence[StabilizationShard],
+) -> StabilizationResult:
+    """Reassemble shard verdicts into the single-host result.
+
+    Deterministic in everything but timing: verdicts are the
+    ``repr``-sorted concatenation (equal to the single-host verdict
+    order because the shards partition the same ``repr``-sorted corrupt
+    set), and ``explored_states`` is rebuilt from the union of the
+    shards' visited digests.  The timing fields are *sums over the
+    stored shards*, so two workers racing to merge the same shard
+    payloads publish byte-identical results.  Raises
+    :class:`VerificationError` on an incomplete or disagreeing shard
+    set.
+    """
+    if not shards:
+        raise VerificationError("no stabilization shards to merge")
+    ordered = sorted(shards, key=lambda shard: shard.shard_index)
+    first = ordered[0]
+    indices = [shard.shard_index for shard in ordered]
+    if (
+        len(ordered) != first.shard_count
+        or set(indices) != set(range(first.shard_count))
+    ):
+        raise VerificationError(
+            f"shard indices {indices} do not cover "
+            f"0..{first.shard_count - 1} exactly once"
+        )
+    agreement = (
+        first.shard_count, first.corruption, first.reduce, first.sample,
+        first.seed, first.sources, first.classes, first.legitimate_states,
+        first.corrupt_fingerprint,
+    )
+    for shard in ordered[1:]:
+        if (
+            shard.shard_count, shard.corruption, shard.reduce, shard.sample,
+            shard.seed, shard.sources, shard.classes,
+            shard.legitimate_states, shard.corrupt_fingerprint,
+        ) != agreement:
+            raise VerificationError(
+                f"shard {shard.shard_index} disagrees with shard "
+                f"{first.shard_index} on the deterministic prefix "
+                "(corrupt set / legitimate set / knobs)"
+            )
+    verdicts = tuple(
+        sorted(
+            (verdict for shard in ordered for verdict in shard.verdicts),
+            key=lambda verdict: repr(verdict[0]),
+        )
+    )
+    if len(verdicts) != first.sources:
+        raise VerificationError(
+            f"merged verdicts cover {len(verdicts)} sources, "
+            f"expected {first.sources}"
+        )
+    visited_union: FrozenSet[bytes] = frozenset().union(
+        *(shard.visited_digests for shard in ordered)
+    )
+    stabilizing_depths = [d for _, ok, d in verdicts if ok]
+    histogram = tuple(sorted(Counter(stabilizing_depths).items()))
+    non_stabilizing = [config for config, ok, _ in verdicts if not ok]
+    explored = first.legitimate_states + len(visited_union)
+    elapsed = sum(shard.elapsed_seconds for shard in ordered)
+    return StabilizationResult(
+        sources=first.sources,
+        classes=first.classes,
+        reduction_ratio=(
+            first.sources / first.classes if first.classes else 1.0
+        ),
+        legitimate_states=first.legitimate_states,
+        explored_states=explored,
+        stabilizing=len(stabilizing_depths),
+        non_stabilizing=len(non_stabilizing),
+        max_depth=max(stabilizing_depths) if stabilizing_depths else None,
+        depth_histogram=histogram,
+        verdicts=verdicts,
+        non_stabilizing_examples=tuple(non_stabilizing[:5]),
+        converges=not non_stabilizing,
+        corrupt_fingerprint=first.corrupt_fingerprint,
+        corruption=first.corruption,
+        engine="batched",
+        reduce=first.reduce,
+        shards=1,
+        sample=first.sample,
+        seed=first.seed,
         elapsed_seconds=elapsed,
         states_per_second=explored / elapsed if elapsed > 0 else 0.0,
     )

@@ -19,11 +19,22 @@ A :class:`ServicePool` marries three existing pieces:
 Futures are resolved back on the event loop with
 ``loop.call_soon_threadsafe`` -- worker threads never touch asyncio
 state directly.
+
+**Dispatch modes.**  ``dispatch="inline"`` (the default) computes cold
+explore/stabilize jobs in the pool's own threads via the request's
+``execute``.  ``dispatch="enqueue"`` instead publishes the request's
+self-describing fabric sweep cells (:meth:`sweep_cells`) into the
+shared :class:`WorkQueue` and waits for the result to appear in the
+content-addressed cache -- any fabric worker fleet pointed at the same
+queue/store drains them, which is how the service front-end scales out
+beyond one host.  Campaign jobs always run inline (their cells are
+plan-bound, already fabric-shaped).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
@@ -46,13 +57,19 @@ class ServicePool:
         board: JobBoard,
         stats: ServiceStats,
         workers: int = 2,
+        dispatch: str = "inline",
     ) -> None:
+        if dispatch not in ("inline", "enqueue"):
+            raise ValueError(
+                f"dispatch must be 'inline' or 'enqueue', got {dispatch!r}"
+            )
         self.cache = cache
         self.queue = queue
         self.limits = limits
         self.board = board
         self.stats = stats
         self.workers = max(1, int(workers))
+        self.dispatch = dispatch
         self._executor: Optional[ThreadPoolExecutor] = None
 
     def start(self) -> None:
@@ -70,8 +87,18 @@ class ServicePool:
         """Ticket the job in the ledger and hand it to a worker thread."""
         if self._executor is None:
             raise RuntimeError("pool is not running")
+        if self._enqueues(job):
+            # The sweep cells become the tickets; no job-key ticket.
+            self._executor.submit(self._run_enqueued, job, loop)
+            return
         self.queue.enqueue(job.key)
         self._executor.submit(self._run, job, loop)
+
+    def _enqueues(self, job: Job) -> bool:
+        """True when this job is dispatched as fabric sweep cells."""
+        return self.dispatch == "enqueue" and hasattr(
+            job.request, "sweep_cells"
+        )
 
     # -- worker-thread side --------------------------------------------
 
@@ -101,6 +128,52 @@ class ServicePool:
         else:
             self.queue.mark_done(job.key, {"kind": job.request.kind})
             self._resolve(loop, job, outcome=outcome)
+
+    def _run_enqueued(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
+        """Dispatch one cold job as sweep cells and await its result."""
+        try:
+            with obs.span(
+                "service.job", kind=job.request.kind, dispatch="enqueue"
+            ):
+                outcome = self._await_enqueued(job)
+        except ServiceError as error:
+            self._resolve(loop, job, error=error)
+        except KernelError as error:
+            self._resolve(loop, job, error=ServiceError(str(error)))
+        except Exception as error:  # noqa: BLE001 - worker must not die
+            self._resolve(loop, job, error=ServiceError(repr(error)))
+        else:
+            self._resolve(loop, job, outcome=outcome)
+
+    def _await_enqueued(self, job: Job):
+        from repro.fabric.cells import sweep_cell_warm
+
+        cells = job.request.sweep_cells()
+        cell_ids = set()
+        for cell in cells:
+            cell_ids.add(cell.cell_id)
+            if not sweep_cell_warm(cell, self.cache):
+                if self.queue.enqueue(cell.cell_id, cell=cell.to_dict()):
+                    obs.add("service.cells_enqueued")
+        deadline = time.monotonic() + self.limits.run_timeout
+        while True:
+            result = self.cache.get(job.request.cache_kind, job.key)
+            if result is not None:
+                return job.request.outcome(result)
+            for ticket in self.queue.failed_tickets():
+                if ticket.get("cell_id") in cell_ids:
+                    raise ServiceError(
+                        "enqueued cell failed permanently: "
+                        f"{ticket.get('error', '?')}"
+                    )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"enqueued {job.request.kind} job "
+                    f"{job.key[:12]}... not completed within "
+                    f"{self.limits.run_timeout:.0f}s -- are fabric "
+                    "workers draining this queue?"
+                )
+            time.sleep(0.05)
 
     def _ledger_failed(self, ticket, job: Job, message: str) -> None:
         # ticket is None when a stale done/failed entry on a reused

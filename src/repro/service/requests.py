@@ -82,38 +82,38 @@ def _items(params: Dict[str, object], name: str = "input") -> Tuple[str, ...]:
     return tuple(value)
 
 
+def _known_names(field: Optional[str]):
+    from repro.channels import channel_names
+    from repro.protocols import protocol_names
+
+    if field == "protocol":
+        return list(protocol_names())
+    if field == "channel":
+        return list(channel_names())
+    return None
+
+
 def _build_system(
     protocol: str, channel: str, items: Tuple[str, ...]
 ):
-    """A live :class:`System`, with registry errors mapped to bad_request."""
-    from repro.channels import channel_by_name, channel_names
-    from repro.kernel.system import System
-    from repro.protocols import protocol_by_name, protocol_names
+    """A live :class:`System`, with registry errors mapped to bad_request.
 
-    domain = tuple(sorted(set(items))) or ("a",)
+    Delegates to the fabric sweep builder so the service and the sweep
+    cells construct byte-identical systems -- that shared construction
+    is what lets a service request and a fabric sweep address the same
+    cache entry.
+    """
+    from repro.fabric.spec import FabricError
+    from repro.fabric.sweep import build_explore_system
+
     try:
-        sender, receiver = protocol_by_name(
-            protocol, domain, max(len(items), 1)
-        )
-    except Exception:
+        return build_explore_system(protocol, channel, items)
+    except FabricError as error:
+        field = getattr(error, "field", None)
+        details = {"field": field, "known": _known_names(field)}
         raise BadRequest(
-            f"unknown protocol {protocol!r}",
-            field="protocol",
-            known=list(protocol_names()),
-        ) from None
-    try:
-        return System(
-            sender,
-            receiver,
-            channel_by_name(channel),
-            channel_by_name(channel),
-            items,
-        )
-    except Exception:
-        raise BadRequest(
-            f"unknown channel {channel!r}",
-            field="channel",
-            known=list(channel_names()),
+            str(error),
+            **{key: value for key, value in details.items() if value},
         ) from None
 
 
@@ -191,6 +191,27 @@ class ExploreRequest:
             include_drops=self.include_drops,
             reduce=self.reduce,
         )
+
+    def sweep_cells(self):
+        """The fabric sweep cells computing this request's answer.
+
+        A single-member explore sweep: one self-describing cell whose
+        id *is* this request's job key, so a worker pool completing the
+        cell publishes exactly the payload :meth:`execute` would have
+        cached -- the enqueue-dispatch service mode rides on this.
+        """
+        from repro.fabric.sweep import SweepSpec, plan_sweep
+
+        spec = SweepSpec(
+            kind="explore",
+            protocols=(self.protocol,),
+            channels=(self.channel,),
+            inputs=(self.items,),
+            max_states=self.max_states,
+            include_drops=self.include_drops,
+            reduce=self.reduce,
+        )
+        return plan_sweep(spec).cells
 
     def execute(
         self, cache, limits: ServiceLimits, heartbeat=None
@@ -330,37 +351,23 @@ class StabilizeRequest:
         return request
 
     def system(self):
-        from repro.channels import channel_by_name
-        from repro.channels.fifo import LossyFifoChannel
-        from repro.kernel.system import System
-        from repro.protocols import protocol_by_name, protocol_names
+        from repro.fabric.spec import FabricError
+        from repro.fabric.sweep import build_stabilize_system
 
         try:
-            sender, receiver = protocol_by_name(
-                self.protocol, self.domain, max(len(self.items), 1)
+            return build_stabilize_system(
+                self.protocol,
+                self.channel,
+                self.items,
+                self.domain,
+                capacity=self.capacity,
             )
-        except Exception:
+        except FabricError as error:
+            field = getattr(error, "field", None)
+            details = {"field": field, "known": _known_names(field)}
             raise BadRequest(
-                f"unknown protocol {self.protocol!r}",
-                field="protocol",
-                known=list(protocol_names()),
-            ) from None
-
-        def make_channel():
-            # Corrupted-start exploration needs a bounded channel --
-            # an unbounded lossy queue's state space is infinite under
-            # retransmitting protocols (same bound the CLI applies).
-            if self.channel == "lossy-fifo":
-                return LossyFifoChannel(capacity=self.capacity)
-            return channel_by_name(self.channel)
-
-        try:
-            return System(
-                sender, receiver, make_channel(), make_channel(), self.items
-            )
-        except Exception:
-            raise BadRequest(
-                f"unknown channel {self.channel!r}", field="channel"
+                str(error),
+                **{key: value for key, value in details.items() if value},
             ) from None
 
     def job_key(self) -> str:
@@ -377,6 +384,35 @@ class StabilizeRequest:
             reduce=self.reduce,
             domain=self.domain,
         )
+
+    def sweep_cells(self):
+        """The fabric sweep cells computing this request's answer.
+
+        A single-member, single-shard stabilize sweep.  The member
+        domain rule reproduces ``self.domain`` exactly (the parse-time
+        domain already includes the input items), so the member's
+        result key equals this request's job key and the worker's
+        opportunistic merge publishes under it.
+        """
+        from repro.fabric.sweep import SweepSpec, plan_sweep
+
+        spec = SweepSpec(
+            kind="stabilize",
+            protocols=(self.protocol,),
+            channels=(self.channel,),
+            inputs=(self.items,),
+            max_states=self.max_states,
+            include_drops=self.include_drops,
+            reduce=self.reduce,
+            corruption=self.corruption,
+            channel_depth=self.channel_depth,
+            sample=self.sample,
+            seed=self.seed,
+            capacity=self.capacity,
+            shards=1,
+            domain=self.domain,
+        )
+        return plan_sweep(spec).cells
 
     def execute(
         self, cache, limits: ServiceLimits, heartbeat=None
@@ -507,13 +543,17 @@ class CampaignRequest:
         :func:`~repro.resilience.runner.supervised_single_run` (calling
         ``heartbeat`` to keep the job ledger's lease fresh), publish
         before proceeding.  The merged outcome is published under the
-        plan fingerprint (:data:`repro.fabric.planner.SERVICE_CELL_KIND`)
-        so identical future requests warm-probe straight to it.
+        plan fingerprint
+        (:data:`repro.fabric.planner.CAMPAIGN_OUTCOME_KIND`) so
+        identical future requests warm-probe straight to it.
         """
         from dataclasses import asdict
 
         from repro.fabric.merge import merge_outcome, outcome_to_json
-        from repro.fabric.planner import CELL_KIND, SERVICE_CELL_KIND
+        from repro.fabric.planner import (
+            CAMPAIGN_CELL_KIND,
+            CAMPAIGN_OUTCOME_KIND,
+        )
         from repro.resilience.runner import supervised_single_run
 
         plan = self.plan()
@@ -522,7 +562,7 @@ class CampaignRequest:
         computed = 0
         warm_cells = 0
         for cell in plan.cells:
-            if cache.get(CELL_KIND, cell.cell_id) is not None:
+            if cache.get(CAMPAIGN_CELL_KIND, cell.cell_id) is not None:
                 warm_cells += 1
                 continue
             metrics = supervised_single_run(
@@ -532,7 +572,7 @@ class CampaignRequest:
                 run_timeout=limits.run_timeout,
                 heartbeat=heartbeat,
             )
-            cache.put(CELL_KIND, cell.cell_id, metrics)
+            cache.put(CAMPAIGN_CELL_KIND, cell.cell_id, metrics)
             computed += 1
         outcome = merge_outcome(plan, cache)
         exhausted = [
@@ -558,7 +598,7 @@ class CampaignRequest:
         payload = json.loads(outcome_to_json(outcome))
         payload["plan_fingerprint"] = plan.plan_fingerprint
         payload["cells"] = len(plan.cells)
-        cache.put(SERVICE_CELL_KIND, plan.plan_fingerprint, payload)
+        cache.put(CAMPAIGN_OUTCOME_KIND, plan.plan_fingerprint, payload)
         return payload
 
 

@@ -81,6 +81,7 @@ class VerificationService:
         host: str = "127.0.0.1",
         port: int = 0,
         progress_interval: float = 0.5,
+        dispatch: str = "inline",
     ) -> None:
         self.cache = cache
         self.queue = queue
@@ -91,7 +92,13 @@ class VerificationService:
         self.board = JobBoard()
         self.stats = ServiceStats()
         self.pool = ServicePool(
-            cache, queue, self.limits, self.board, self.stats, workers
+            cache,
+            queue,
+            self.limits,
+            self.board,
+            self.stats,
+            workers,
+            dispatch=dispatch,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
@@ -440,6 +447,7 @@ def build_service(
     limits: Optional[ServiceLimits] = None,
     progress_interval: float = 0.5,
     lease_timeout: float = 120.0,
+    dispatch: str = "inline",
 ) -> VerificationService:
     """Wire a service from directory paths (the CLI's entry point)."""
     cache = ResultCache(cache_dir)
@@ -452,6 +460,7 @@ def build_service(
         host=host,
         port=port,
         progress_interval=progress_interval,
+        dispatch=dispatch,
     )
 
 
@@ -465,6 +474,7 @@ async def serve(
     port_file: Optional[str] = None,
     progress_interval: float = 0.5,
     install_signal_handlers: bool = True,
+    dispatch: str = "inline",
 ) -> None:
     """The ``stp-repro serve`` coroutine: run until shutdown."""
     if not obs.enabled():
@@ -477,6 +487,7 @@ async def serve(
         port=port,
         limits=limits,
         progress_interval=progress_interval,
+        dispatch=dispatch,
     )
     if install_signal_handlers:
         import signal

@@ -189,6 +189,63 @@ class TestLeaseExpiry:
         assert queue.counts()["failed"] == 1
 
 
+class TestAttemptBudgetExhaustion:
+    """Repeated lease expiry burns the attempt budget and parks the
+    ticket in ``failed/`` with the full per-attempt history."""
+
+    def test_exhaustion_parks_with_full_history(self, tmp_path):
+        queue = make_queue(tmp_path, lease_timeout=0.05, max_attempts=3)
+        embedded = {"schema": "stp-fabric-sweep/1", "kind": "explore"}
+        assert queue.enqueue("cell-1", cell=embedded)
+
+        # Attempts 1 and 2 crash (stale lease) and are requeued with an
+        # incremented attempt count and a growing history.
+        for attempt in (1, 2):
+            ticket = queue.claim(f"w{attempt}")
+            assert ticket["attempt"] == attempt
+            assert ticket["cell"] == embedded
+            time.sleep(0.1)
+            assert queue.requeue_expired() == 1
+            pending = json.loads(
+                (queue.root / "pending" / "cell-1.json").read_text()
+            )
+            assert pending["attempt"] == attempt + 1
+            assert pending["cell"] == embedded
+            assert len(pending["history"]) == attempt
+            assert f"worker w{attempt}" in pending["history"][-1]
+
+        # Attempt 3 exhausts the budget: parked, not requeued.
+        ticket = queue.claim("w3")
+        assert ticket["attempt"] == 3
+        time.sleep(0.1)
+        assert queue.requeue_expired() == 0
+        assert queue.counts() == {
+            "pending": 0, "leased": 0, "done": 0, "failed": 1,
+        }
+
+        (failed,) = queue.failed_tickets()
+        assert failed["cell_id"] == "cell-1"
+        assert failed["attempt"] == 3
+        # One message per attempt, in order, each naming its worker.
+        assert len(failed["history"]) == 3
+        for attempt, message in enumerate(failed["history"], start=1):
+            assert "lease expired" in message
+            assert f"worker w{attempt}" in message
+        # The terminal error is the last history entry, and the
+        # embedded cell payload survived every transition.
+        assert failed["error"] == failed["history"][-1]
+        assert failed["cell"] == embedded
+
+    def test_release_failed_parks_immediately_at_budget_one(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=1)
+        queue.enqueue("cell-1")
+        ticket = queue.claim("w1")
+        assert queue.release_failed(ticket, "boom") == "failed"
+        (failed,) = queue.failed_tickets()
+        assert failed["history"] == ["boom"]
+        assert failed["error"] == "boom"
+
+
 def _racing_claimer(queue_root, results_path, worker_id):
     queue = WorkQueue(queue_root)
     claimed = []

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -10,6 +12,7 @@ from repro.analysis.cache import ResultCache
 from repro.fabric.store import (
     CacheStore,
     LocalDirStore,
+    MemoryStore,
     StoreEntry,
     iter_kinds,
     open_store,
@@ -97,35 +100,6 @@ class TestOpenStore:
                 call()
 
 
-class MemoryStore(CacheStore):
-    """A dict-backed store: the object-store-shim shape, in miniature."""
-
-    def __init__(self):
-        self.blobs = {}
-
-    def read(self, kind, key):
-        return self.blobs.get((kind, key))
-
-    def write(self, kind, key, data):
-        self.blobs[(kind, key)] = data
-        return True
-
-    def delete(self, kind, key):
-        return self.blobs.pop((kind, key), None) is not None
-
-    def entries(self):
-        return [
-            StoreEntry(kind=kind, key=key, size=len(data), mtime=0.0)
-            for (kind, key), data in self.blobs.items()
-        ]
-
-    def wipe(self):
-        self.blobs.clear()
-
-    def describe(self):
-        return "memory://"
-
-
 class TestCachePluggability:
     """ResultCache over a non-filesystem store: the point of the refactor."""
 
@@ -134,7 +108,7 @@ class TestCachePluggability:
         cache.put("kind", KEY, {"value": 9})
         assert cache.get("kind", KEY) == {"value": 9}
         assert cache.root is None
-        assert cache.stats()["root"] == "memory://"
+        assert cache.stats()["root"].startswith("memory:")
 
     def test_disk_stats_and_prune_over_memory_store(self):
         store = MemoryStore()
@@ -159,3 +133,103 @@ class TestCachePluggability:
         cache.put("kind", KEY, ("x", 1))
         raw = cache.store.read("kind", KEY)
         assert pickle.loads(raw) == ("x", 1)
+
+
+class TestMemoryStoreConcurrency:
+    """The promoted MemoryStore under thread races (satellite 3)."""
+
+    def test_counter_mtimes_give_deterministic_eviction_order(self):
+        store = MemoryStore()
+        store.write("kind", "a" * 64, b"first")
+        store.write("kind", "b" * 64, b"second")
+        entries = sorted(store.entries(), key=lambda e: e.mtime)
+        assert isinstance(entries[0], StoreEntry)
+        assert [e.key[0] for e in entries] == ["a", "b"]
+        # Overwriting bumps the stamp: "a" becomes the newest entry.
+        store.write("kind", "a" * 64, b"third")
+        entries = sorted(store.entries(), key=lambda e: e.mtime)
+        assert [e.key[0] for e in entries] == ["b", "a"]
+
+    def test_concurrent_prune_vs_put_never_raises(self):
+        """A prune racing fresh puts must not corrupt iteration.
+
+        The naive dict-backed store (which this class replaced) could
+        raise RuntimeError("dictionary changed size during iteration")
+        when entries() iterated under a racing writer; the promoted
+        store snapshots under its lock.
+        """
+        store = MemoryStore()
+        cache = ResultCache(store=store)
+        stop = threading.Event()
+        errors = []
+
+        def putter(tag):
+            index = 0
+            while not stop.is_set():
+                key = f"{tag}{index % 40:02d}".ljust(64, "0")
+                try:
+                    cache.put("kind", key, [index] * 50)
+                except Exception as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+                    return
+                index += 1
+
+        def pruner():
+            while not stop.is_set():
+                try:
+                    cache.prune(0)
+                except Exception as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=putter, args=("a",)),
+            threading.Thread(target=putter, args=("b",)),
+            threading.Thread(target=pruner),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        assert errors == []
+        # The store is still coherent after the storm.
+        key = "c" * 64
+        cache.put("kind", key, {"ok": True})
+        assert cache.get("kind", key) == {"ok": True}
+
+    def test_concurrent_deletes_and_entries_snapshot(self):
+        store = MemoryStore()
+        keys = [f"{i:064d}" for i in range(200)]
+        for key in keys:
+            store.write("kind", key, b"x")
+        errors = []
+
+        def deleter(chunk):
+            for key in chunk:
+                try:
+                    store.delete("kind", key)
+                except Exception as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+
+        def scanner():
+            for _ in range(50):
+                try:
+                    for entry in store.entries():
+                        assert entry.size == 1
+                except Exception as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=deleter, args=(keys[:100],)),
+            threading.Thread(target=deleter, args=(keys[100:],)),
+            threading.Thread(target=scanner),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert errors == []
+        assert store.entries() == []

@@ -1,0 +1,378 @@
+"""Tests for fabric sweep cells (repro.fabric.sweep/cells/coordinator).
+
+The contract under test is the PR's headline: a sweep distributed over
+any number of fabric workers must render **byte-identically** to the
+single-host ``serial_sweep`` reference -- cold, warm, after a worker
+crash, and across stores warmed by either path -- while compiling each
+distinct system once per fleet, not once per cell.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.analysis.cache import (
+    COMPILED_KIND,
+    CompiledTableCache,
+    ResultCache,
+)
+from repro.fabric import (
+    STABILIZE_SHARD_KIND,
+    FabricWorker,
+    SweepCell,
+    SweepSpec,
+    WorkQueue,
+    cell_kind,
+    demo_sweep_spec,
+    execute_sweep_cell,
+    kind_of_ticket,
+    merge_stabilize_member,
+    merge_sweep,
+    plan_sweep,
+    run_sweep,
+    serial_sweep,
+    sweep_cell_warm,
+    sweep_outcome_to_json,
+    sweep_split_warm_cold,
+)
+from repro.fabric.spec import FabricError
+
+
+def explore_spec() -> SweepSpec:
+    """Six explore cells (two protocols x three prefixes), small states."""
+    return demo_sweep_spec(kind="explore", members=4, length=3)
+
+
+def stabilize_spec(shards: int = 3) -> SweepSpec:
+    return demo_sweep_spec(kind="stabilize", shards=shards)
+
+
+def needs_fork():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs the fork start method")
+
+
+class TestSweepSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FabricError, match="unknown sweep kind"):
+            SweepSpec(
+                kind="campaign",
+                protocols=("norepeat",),
+                channels=("dup",),
+                inputs=(("a",),),
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(FabricError, match="at least one"):
+            SweepSpec(
+                kind="explore", protocols=(), channels=("dup",),
+                inputs=(("a",),),
+            )
+
+    def test_shard_and_budget_validation(self):
+        with pytest.raises(FabricError, match="shards"):
+            SweepSpec(
+                kind="stabilize", protocols=("ss-arq",),
+                channels=("lossy-fifo",), inputs=(("a",),), shards=0,
+            )
+        with pytest.raises(FabricError, match="max_states"):
+            SweepSpec(
+                kind="explore", protocols=("norepeat",),
+                channels=("dup",), inputs=(("a",),), max_states=0,
+            )
+
+    def test_roundtrip_through_dict(self):
+        spec = stabilize_spec(shards=2)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        payload = explore_spec().to_dict()
+        payload["frobnicate"] = True
+        with pytest.raises(FabricError, match="frobnicate"):
+            SweepSpec.from_dict(payload)
+
+    def test_member_domain_is_sorted_union_with_extras(self):
+        spec = SweepSpec(
+            kind="stabilize", protocols=("ss-arq",),
+            channels=("lossy-fifo",), inputs=(("b", "a"),),
+            domain=("c",),
+        )
+        assert spec.member_domain(("b", "a")) == ("a", "b", "c")
+
+    def test_grid_counts(self):
+        spec = SweepSpec(
+            kind="stabilize", protocols=("ss-arq",),
+            channels=("lossy-fifo",), inputs=(("a",), ("a", "b")),
+            shards=3,
+        )
+        assert spec.member_count == 2
+        assert spec.cell_count == 6  # shards multiply stabilize members
+
+
+class TestPlanDeterminism:
+    def test_replanning_is_bit_stable(self):
+        first = plan_sweep(explore_spec())
+        second = plan_sweep(explore_spec())
+        assert first.plan_fingerprint == second.plan_fingerprint
+        assert [c.cell_id for c in first.cells] == [
+            c.cell_id for c in second.cells
+        ]
+
+    def test_explore_cell_id_is_its_result_key(self):
+        plan = plan_sweep(explore_spec())
+        assert len(plan.cells) == 6
+        for cell in plan.cells:
+            assert cell.kind == "explore"
+            assert cell.cell_id == cell.result_key
+
+    def test_stabilize_shards_share_a_member_key(self):
+        plan = plan_sweep(stabilize_spec(shards=3))
+        assert len(plan.cells) == 3
+        keys = {cell.result_key for cell in plan.cells}
+        assert len(keys) == 1  # one member
+        assert len({cell.cell_id for cell in plan.cells}) == 3
+        assert [cell.shard_index for cell in plan.cells] == [0, 1, 2]
+        (result_key,) = keys
+        assert plan.member_cells(result_key) == plan.cells
+
+    def test_plan_roundtrip_through_dict(self):
+        plan = plan_sweep(stabilize_spec(shards=2))
+        revived = type(plan).from_dict(plan.to_dict())
+        assert revived == plan
+
+    def test_cell_roundtrip_rejects_unknown_fields(self):
+        cell = plan_sweep(explore_spec()).cells[0]
+        assert SweepCell.from_dict(cell.to_dict()) == cell
+        payload = cell.to_dict()
+        payload["mystery"] = 1
+        with pytest.raises(FabricError, match="mystery"):
+            SweepCell.from_dict(payload)
+
+
+class TestCellKindRegistry:
+    def test_registered_kinds(self):
+        assert cell_kind("explore").result_kind == "explore"
+        stabilize = cell_kind("stabilize")
+        assert stabilize.result_kind == STABILIZE_SHARD_KIND
+        assert stabilize.merged_kind == "stabilize"
+
+    def test_unknown_kind_is_a_fabric_error(self):
+        with pytest.raises(FabricError, match="unknown cell kind"):
+            cell_kind("mapreduce")
+
+    def test_kind_of_ticket(self):
+        cell = plan_sweep(explore_spec()).cells[0]
+        assert kind_of_ticket({"cell": cell.to_dict()}) == "explore"
+        assert kind_of_ticket({"cell_id": "x"}) == "campaign"
+
+    def test_executor_refuses_forged_cell_id(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = plan_sweep(explore_spec()).cells[0]
+        forged = SweepCell.from_dict(
+            {**cell.to_dict(), "cell_id": "0" * 64, "result_key": "0" * 64}
+        )
+        with pytest.raises(FabricError, match="does not match"):
+            execute_sweep_cell(forged, cache, CompiledTableCache(cache))
+
+
+class TestExploreSweepByteIdentity:
+    def test_one_worker_matches_serial_reference(self, tmp_path):
+        spec = explore_spec()
+        serial_cache = ResultCache(tmp_path / "serial")
+        reference = sweep_outcome_to_json(
+            plan_sweep(spec), serial_sweep(spec, serial_cache)
+        )
+
+        fabric_cache = ResultCache(tmp_path / "fabric")
+        outcome = run_sweep(
+            spec, tmp_path / "queue", fabric_cache, workers=1
+        )
+        assert outcome.cold_cells == len(outcome.plan.cells) == 6
+        assert outcome.warm_cells == 0
+        rendered = sweep_outcome_to_json(outcome.plan, outcome.results)
+        assert rendered == reference
+
+        # Warm re-run over the same store: zero cells claimed, same bytes.
+        warm = run_sweep(
+            spec, tmp_path / "queue-warm", fabric_cache, workers=1
+        )
+        assert warm.cold_cells == 0
+        assert warm.warm_cells == 6
+        assert sum(s.claimed for s in warm.worker_stats) == 0
+        assert sum(s.compiled for s in warm.worker_stats) == 0
+        assert sweep_outcome_to_json(warm.plan, warm.results) == reference
+
+        # Warm-anywhere: a fabric sweep over the store the *serial* path
+        # populated enqueues nothing and reproduces the same bytes.
+        cross = run_sweep(
+            spec, tmp_path / "queue-cross", serial_cache, workers=1
+        )
+        assert cross.cold_cells == 0
+        assert (
+            sweep_outcome_to_json(cross.plan, cross.results) == reference
+        )
+
+    def test_two_workers_match_serial_reference(self, tmp_path):
+        needs_fork()
+        spec = explore_spec()
+        reference = sweep_outcome_to_json(
+            plan_sweep(spec),
+            serial_sweep(spec, ResultCache(tmp_path / "serial")),
+        )
+        outcome = run_sweep(
+            spec, tmp_path / "queue", ResultCache(tmp_path / "fabric"),
+            workers=2,
+        )
+        assert (
+            sweep_outcome_to_json(outcome.plan, outcome.results)
+            == reference
+        )
+
+    def test_compile_once_per_distinct_system_at_one_worker(self, tmp_path):
+        spec = explore_spec()
+        cache = ResultCache(tmp_path / "store")
+        outcome = run_sweep(spec, tmp_path / "queue", cache, workers=1)
+        # Each explore demo member is a distinct system: one compile
+        # each, zero revivals, and every snapshot published for the
+        # fleet.
+        assert sum(s.compiled for s in outcome.worker_stats) == 6
+        compiled_entries = [
+            entry
+            for entry in cache.store.entries()
+            if entry.kind == COMPILED_KIND
+        ]
+        assert len(compiled_entries) == 6
+
+
+class TestStabilizeSharding:
+    def test_sharded_sweep_matches_serial_reference(self, tmp_path):
+        spec = stabilize_spec(shards=3)
+        reference = sweep_outcome_to_json(
+            plan_sweep(spec),
+            serial_sweep(spec, ResultCache(tmp_path / "serial")),
+        )
+        cache = ResultCache(tmp_path / "fabric")
+        outcome = run_sweep(spec, tmp_path / "queue", cache, workers=1)
+        assert outcome.cold_cells == 3
+        assert (
+            sweep_outcome_to_json(outcome.plan, outcome.results)
+            == reference
+        )
+        # All shards project onto ONE system: compiled once, reused for
+        # the remaining shards.
+        assert sum(s.compiled for s in outcome.worker_stats) == 1
+        assert sum(s.compile_reuse for s in outcome.worker_stats) == 2
+
+    def test_single_host_warm_store_claims_zero_cells(self, tmp_path):
+        """A store warmed by ``cached_stabilize`` (no shards) satisfies a
+        sharded sweep without recomputation."""
+        spec = stabilize_spec(shards=3)
+        cache = ResultCache(tmp_path / "store")
+        serial_results = serial_sweep(spec, cache)
+        plan = plan_sweep(spec)
+        warm, cold = sweep_split_warm_cold(plan, cache)
+        assert cold == []
+        assert len(warm) == 3
+        outcome = run_sweep(spec, tmp_path / "queue", cache, workers=1)
+        assert outcome.cold_cells == 0
+        assert sum(s.claimed for s in outcome.worker_stats) == 0
+        assert sweep_outcome_to_json(
+            outcome.plan, outcome.results
+        ) == sweep_outcome_to_json(plan, serial_results)
+
+    def test_merge_waits_for_every_shard(self, tmp_path):
+        spec = stabilize_spec(shards=2)
+        plan = plan_sweep(spec)
+        cache = ResultCache(tmp_path / "store")
+        tables = CompiledTableCache(cache=cache)
+        first, second = plan.cells
+        execute_sweep_cell(first, cache, tables)
+        # One shard in: no merged member yet.
+        assert merge_stabilize_member(first, cache) is None
+        with pytest.raises(FabricError, match="members missing"):
+            merge_sweep(plan, cache, wait_timeout=0.0)
+        execute_sweep_cell(second, cache, tables)
+        merged = merge_stabilize_member(second, cache)
+        assert merged is not None
+        results = merge_sweep(plan, cache)
+        assert list(results) == [first.result_key]
+
+
+class TestWorkerCrashRecovery:
+    def test_abandoned_lease_requeues_and_bytes_match(self, tmp_path):
+        spec = explore_spec()
+        reference = sweep_outcome_to_json(
+            plan_sweep(spec),
+            serial_sweep(spec, ResultCache(tmp_path / "serial")),
+        )
+        plan = plan_sweep(spec)
+        queue = WorkQueue(tmp_path / "queue", lease_timeout=0.1)
+        queue.init(plan)
+        for cell in plan.cells:
+            assert queue.enqueue(cell.cell_id, cell=cell.to_dict())
+        # A worker claims one cell and dies without heartbeating.
+        crashed = queue.claim("crashed-worker")
+        assert crashed is not None
+        time.sleep(0.2)
+
+        cache = ResultCache(tmp_path / "store")
+        stats = FabricWorker(
+            queue=queue, cache=cache, idle_timeout=10.0,
+            worker_id="survivor",
+        ).run()
+        assert stats.requeued_leases >= 1
+        assert queue.drained()
+        assert queue.counts()["failed"] == 0
+        results = merge_sweep(plan, cache)
+        assert sweep_outcome_to_json(plan, results) == reference
+
+
+class TestMalformedTickets:
+    def test_malformed_embedded_cell_parks_as_failed(self, tmp_path):
+        plan = plan_sweep(explore_spec())
+        queue = WorkQueue(tmp_path / "queue", max_attempts=1)
+        queue.init(plan)
+        queue.enqueue("bogus-cell", cell={"kind": "explore", "junk": 1})
+        cache = ResultCache(tmp_path / "store")
+        stats = FabricWorker(
+            queue=queue, cache=cache, idle_timeout=2.0
+        ).run()
+        assert stats.failed == 1
+        (failed,) = queue.failed_tickets()
+        assert failed["cell_id"] == "bogus-cell"
+        assert "malformed embedded cell" in failed["error"]
+
+    def test_forged_embedded_cell_id_parks_as_failed(self, tmp_path):
+        plan = plan_sweep(explore_spec())
+        queue = WorkQueue(tmp_path / "queue", max_attempts=1)
+        queue.init(plan)
+        cell = plan.cells[0]
+        queue.enqueue("f" * 64, cell=cell.to_dict())
+        cache = ResultCache(tmp_path / "store")
+        stats = FabricWorker(
+            queue=queue, cache=cache, idle_timeout=2.0
+        ).run()
+        assert stats.failed == 1
+        (failed,) = queue.failed_tickets()
+        assert "does not match ticket" in failed["error"]
+
+
+class TestWarmProbe:
+    def test_sweep_cell_warm_explore(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = plan_sweep(explore_spec()).cells[0]
+        assert not sweep_cell_warm(cell, cache)
+        execute_sweep_cell(cell, cache, CompiledTableCache(cache))
+        assert sweep_cell_warm(cell, cache)
+
+    def test_stabilize_shard_warm_via_merged_member(self, tmp_path):
+        """The merged member result alone satisfies every shard cell."""
+        spec = stabilize_spec(shards=3)
+        cache = ResultCache(tmp_path)
+        serial_sweep(spec, cache)  # publishes only the merged member
+        for cell in plan_sweep(spec).cells:
+            assert sweep_cell_warm(cell, cache)

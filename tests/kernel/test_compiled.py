@@ -125,6 +125,100 @@ class TestSnapshot:
             CompiledSystem.from_snapshot(system, snapshot)
 
 
+class TestSnapshotCorruption:
+    """Fabric workers revive snapshots other processes published, so a
+    truncated or bit-flipped blob must be rejected at the boundary."""
+
+    def grown_snapshot(self, system):
+        table = CompiledSystem(system)
+        frontier = [table.initial_id()]
+        for _ in range(3):
+            frontier = [
+                nid for sid in frontier for _, nid in table.row(sid)
+            ]
+        return table.snapshot()
+
+    def test_truncated_rows_rejected(self):
+        system = make_system()
+        snapshot = self.grown_snapshot(system)
+        snapshot["rows"] = snapshot["rows"][:-1]
+        with pytest.raises(
+            SimulationError, match="corrupt compiled-system snapshot"
+        ):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+    def test_wrong_safe_bits_length_rejected(self):
+        system = make_system()
+        snapshot = self.grown_snapshot(system)
+        snapshot["safe"] = snapshot["safe"][:-1]
+        with pytest.raises(
+            SimulationError, match="corrupt compiled-system snapshot"
+        ):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+    def test_wrong_complete_bits_length_rejected(self):
+        system = make_system()
+        snapshot = self.grown_snapshot(system)
+        snapshot["complete"] = snapshot["complete"] + b"\x00"
+        with pytest.raises(
+            SimulationError, match="corrupt compiled-system snapshot"
+        ):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+    def test_out_of_range_edge_ids_rejected(self):
+        system = make_system()
+        snapshot = self.grown_snapshot(system)
+        rows = list(snapshot["rows"])
+        for state_id, row in enumerate(rows):
+            if row:
+                bad = ((row[0][0], len(snapshot["configs"]) + 7),) + row[1:]
+                rows[state_id] = bad
+                break
+        snapshot["rows"] = tuple(rows)
+        with pytest.raises(
+            SimulationError, match="corrupt compiled-system snapshot"
+        ):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+    def test_out_of_range_event_id_rejected(self):
+        system = make_system()
+        snapshot = self.grown_snapshot(system)
+        rows = list(snapshot["rows"])
+        for state_id, row in enumerate(rows):
+            if row:
+                bad = ((len(snapshot["events"]), row[0][1]),) + row[1:]
+                rows[state_id] = bad
+                break
+        snapshot["rows"] = tuple(rows)
+        with pytest.raises(
+            SimulationError, match="corrupt compiled-system snapshot"
+        ):
+            CompiledSystem.from_snapshot(system, snapshot)
+
+    def test_cache_layer_treats_corrupt_snapshot_as_miss(self, tmp_path):
+        """A corrupted shared-store snapshot recompiles, never crashes."""
+        from repro.analysis.cache import (
+            COMPILED_KIND,
+            CompiledTableCache,
+            ResultCache,
+            system_fingerprint,
+        )
+
+        system = make_system()
+        base = system_fingerprint(system)
+        cache = ResultCache(tmp_path)
+        snapshot = self.grown_snapshot(system)
+        snapshot["rows"] = snapshot["rows"][:-1]
+        cache.put(COMPILED_KIND, base, snapshot)
+
+        tables = CompiledTableCache(cache=cache)
+        table = tables.table_for(system, base)
+        assert table.initial_id() == 0
+        # The poisoned snapshot counted as a miss: compiled, not reused.
+        assert tables.compiled == 1
+        assert tables.reused == 0
+
+
 class TestSimulateCompiled:
     @pytest.mark.parametrize("items", [(), ("a",), ("a", "b"), ("a", "b", "c")])
     def test_bit_identical_to_simulator(self, items):

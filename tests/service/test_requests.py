@@ -228,3 +228,57 @@ def test_stabilize_outcome_strips_engine_details(tmp_path):
     assert "engine" not in outcome
     assert "shards" not in outcome
     assert outcome["converges"] is True
+
+
+# -- enqueue dispatch: requests decompose into fabric sweep cells -------
+#
+# In dispatch="enqueue" mode the pool publishes these cells instead of
+# executing inline, so the cell keys MUST be the request's own job key
+# -- otherwise the poll for the result would never see the fabric
+# worker's publication.
+
+
+def test_explore_sweep_cells_carry_the_job_key():
+    request = _parse(
+        "explore", protocol="norepeat", channel="dup", input="a,b"
+    )
+    (cell,) = request.sweep_cells()
+    assert cell.kind == "explore"
+    assert cell.cell_id == request.job_key()
+    assert cell.result_key == request.job_key()
+    assert cell.protocol == "norepeat"
+    assert cell.input_sequence == ("a", "b")
+
+
+def test_stabilize_sweep_cells_merge_onto_the_job_key():
+    from repro.analysis.cache import stabilize_shard_key
+
+    request = _parse(
+        "stabilize", protocol="ss-arq", channel="lossy-fifo",
+        input="a,b", seed=7, sample=50,
+    )
+    (cell,) = request.sweep_cells()
+    assert cell.kind == "stabilize"
+    assert cell.result_key == request.job_key()
+    assert cell.cell_id == stabilize_shard_key(request.job_key(), 0, 1)
+    # Every analysis knob rides along, so a remote worker reproduces
+    # the exact same fingerprint.
+    assert cell.seed == 7
+    assert cell.sample == 50
+    assert cell.domain == request.domain
+
+
+def test_sweep_cell_execution_is_warm_for_the_request(tmp_path):
+    """A fabric worker executing the request's cell satisfies its poll."""
+    from repro.analysis.cache import CompiledTableCache
+    from repro.fabric.cells import execute_sweep_cell
+
+    cache = ResultCache(tmp_path / "store")
+    request = _parse(
+        "explore", protocol="norepeat", channel="dup", input="a,b"
+    )
+    (cell,) = request.sweep_cells()
+    execute_sweep_cell(cell, cache, CompiledTableCache(cache))
+    result = cache.get(request.cache_kind, request.job_key())
+    assert result is not None
+    assert request.outcome(result)["all_safe"] is True

@@ -44,12 +44,13 @@ def make_service(tmp_path):
     """Factory for a live thread-hosted service; torn down per test."""
     hosts = []
 
-    def build(limits=None, workers=2):
+    def build(limits=None, workers=2, dispatch="inline"):
         service = build_service(
             tmp_path / "store",
             tmp_path / "queue",
             workers=workers,
             limits=limits,
+            dispatch=dispatch,
         )
         host = ServiceThread(service)
         host.__enter__()
@@ -329,3 +330,53 @@ def _port_open(port):
             return True
     except OSError:
         return False
+
+
+def test_enqueue_dispatch_serves_via_fabric_workers(make_service, tmp_path):
+    """dispatch="enqueue": the service publishes sweep cells and an
+    external fabric worker fleet computes them."""
+    from repro.fabric.worker import run_worker
+
+    service, port = make_service(dispatch="enqueue")
+    stop = threading.Event()
+
+    def drain():
+        while not stop.is_set():
+            run_worker(
+                tmp_path / "queue",
+                tmp_path / "store",
+                idle_timeout=0.1,
+                lease_timeout=10.0,
+            )
+            time.sleep(0.02)
+
+    fleet = threading.Thread(target=drain, daemon=True)
+    fleet.start()
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            message = client.call("explore", EXPLORE_A)
+        assert message["type"] == "result"
+        assert message["outcome"]["all_safe"] is True
+        # The ledger shows the typed sweep cell, drained by the fleet.
+        counts = service.queue.kind_counts()
+        assert counts.get("done", {}).get("explore", 0) == 1
+        # A repeat of the same request is a cache hit, not a new cell.
+        with ServiceClient("127.0.0.1", port) as client:
+            message = client.call("explore", EXPLORE_A)
+        assert message["type"] == "result"
+        assert service.stats.warm == 1
+    finally:
+        stop.set()
+        fleet.join(timeout=10)
+    assert not fleet.is_alive()
+
+
+def test_enqueue_dispatch_times_out_without_a_fleet(make_service):
+    """No workers draining the queue: a typed, actionable error."""
+    service, port = make_service(
+        limits=ServiceLimits(run_timeout=0.5), dispatch="enqueue"
+    )
+    with ServiceClient("127.0.0.1", port) as client:
+        message = client.call("explore", EXPLORE_A)
+    assert message["type"] == "error"
+    assert "fabric workers" in message["message"]
